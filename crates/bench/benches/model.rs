@@ -1,0 +1,84 @@
+//! Criterion micro-benchmarks of the analytic model: per-component cost,
+//! scaling with the stream count, distribution sensitivity, and the
+//! decomposed-vs-oracle gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use vod_dist::kinds::{Empirical, Exponential, Gamma, LogNormal};
+use vod_dist::DurationDist;
+use vod_model::{
+    p_hit_ff, p_hit_pause, p_hit_rw, p_hit_single_dist, ModelOptions, Rates, SystemParams,
+    VcrMix,
+};
+
+fn params(n: u32) -> SystemParams {
+    SystemParams::from_wait(120.0, 1.0, n, Rates::paper()).expect("valid")
+}
+
+fn bench_components(c: &mut Criterion) {
+    let d = Gamma::paper_fig7();
+    let opts = ModelOptions::default();
+    let p = params(20);
+    let mut g = c.benchmark_group("model_components");
+    g.bench_function("ff", |b| {
+        b.iter(|| p_hit_ff(black_box(&p), &d, &opts).total())
+    });
+    g.bench_function("rw", |b| {
+        b.iter(|| p_hit_rw(black_box(&p), &d, &opts).total())
+    });
+    g.bench_function("pause", |b| {
+        b.iter(|| p_hit_pause(black_box(&p), &d, &opts))
+    });
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let d = Gamma::paper_fig7();
+    let opts = ModelOptions::default();
+    let mix = VcrMix::paper_fig7d();
+    let mut g = c.benchmark_group("model_scaling_n");
+    g.sample_size(20);
+    for n in [10u32, 40, 100] {
+        let p = params(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| p_hit_single_dist(black_box(p), &d, &mix, &opts).total)
+        });
+    }
+    g.finish();
+}
+
+fn bench_distributions(c: &mut Criterion) {
+    let opts = ModelOptions::default();
+    let mix = VcrMix::paper_fig7d();
+    let p = params(20);
+    let samples: Vec<f64> = {
+        use vod_dist::rng::seeded;
+        let g = Gamma::paper_fig7();
+        let mut rng = seeded(5);
+        (0..5000).map(|_| g.sample(&mut rng)).collect()
+    };
+    let dists: Vec<(&str, Box<dyn DurationDist>)> = vec![
+        ("gamma", Box::new(Gamma::paper_fig7())),
+        ("exponential", Box::new(Exponential::with_mean(8.0).unwrap())),
+        (
+            "lognormal",
+            Box::new(LogNormal::with_mean_cv(8.0, 0.7).unwrap()),
+        ),
+        (
+            "empirical_5k",
+            Box::new(Empirical::from_samples(&samples).unwrap()),
+        ),
+    ];
+    let mut g = c.benchmark_group("model_by_distribution");
+    g.sample_size(20);
+    for (name, d) in &dists {
+        g.bench_function(*name, |b| {
+            b.iter(|| p_hit_single_dist(black_box(&p), d.as_ref(), &mix, &opts).total)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_components, bench_scaling, bench_distributions);
+criterion_main!(benches);

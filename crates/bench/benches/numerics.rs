@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the numerics substrate: special functions,
+//! quadrature, root finding, and distribution kernels — the primitives
+//! every model evaluation is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vod_dist::kinds::{Empirical, Gamma};
+use vod_dist::quad::{adaptive_simpson, gauss_legendre};
+use vod_dist::root::brent;
+use vod_dist::special::{gamma_p, ln_gamma};
+use vod_dist::DurationDist;
+
+fn bench_special(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special");
+    g.bench_function("ln_gamma", |b| {
+        b.iter(|| ln_gamma(black_box(7.25)));
+    });
+    g.bench_function("gamma_p_series_branch", |b| {
+        b.iter(|| gamma_p(black_box(2.0), black_box(1.5)));
+    });
+    g.bench_function("gamma_p_contfrac_branch", |b| {
+        b.iter(|| gamma_p(black_box(2.0), black_box(25.0)));
+    });
+    g.finish();
+}
+
+fn bench_quad(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quadrature");
+    g.bench_function("adaptive_simpson_smooth", |b| {
+        b.iter(|| adaptive_simpson(|x| (-x).exp() * x.sin(), 0.0, black_box(10.0), 1e-10));
+    });
+    g.bench_function("gauss_legendre_16", |b| {
+        b.iter(|| gauss_legendre(|x| (-x).exp() * x.sin(), 0.0, black_box(10.0)));
+    });
+    g.finish();
+}
+
+fn bench_root(c: &mut Criterion) {
+    c.bench_function("brent_cdf_inversion", |b| {
+        let d = Gamma::paper_fig7();
+        b.iter(|| {
+            brent(
+                |x| d.cdf(x) - black_box(0.63),
+                0.0,
+                200.0,
+                1e-12,
+            )
+            .expect("bracketed")
+        });
+    });
+}
+
+fn bench_dist_kernels(c: &mut Criterion) {
+    let gamma = Gamma::paper_fig7();
+    let samples: Vec<f64> = {
+        use vod_dist::rng::seeded;
+        let mut rng = seeded(1);
+        (0..10_000).map(|_| gamma.sample(&mut rng)).collect()
+    };
+    let emp = Empirical::from_samples(&samples).expect("non-empty");
+    let mut g = c.benchmark_group("dist_kernels");
+    g.bench_function("gamma_cdf", |b| b.iter(|| gamma.cdf(black_box(9.5))));
+    g.bench_function("gamma_cdf_integral", |b| {
+        b.iter(|| gamma.cdf_integral(black_box(9.5)))
+    });
+    g.bench_function("empirical10k_cdf", |b| b.iter(|| emp.cdf(black_box(9.5))));
+    g.bench_function("empirical10k_cdf_integral", |b| {
+        b.iter(|| emp.cdf_integral(black_box(9.5)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_special,
+    bench_quad,
+    bench_root,
+    bench_dist_kernels
+);
+criterion_main!(benches);

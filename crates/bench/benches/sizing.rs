@@ -1,0 +1,77 @@
+//! Criterion benchmarks of the sizing machinery: feasibility bisection,
+//! allocation, and cost-curve tracing (with and without a prebuilt
+//! catalog — the ablation behind `Catalog`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use vod_dist::kinds::Exponential;
+use vod_model::{ModelOptions, Rates, VcrMix};
+use vod_sizing::{
+    allocate_min_buffer, cost_curve, cost_curve_with_catalog, max_feasible_streams, Budgets,
+    Catalog, MovieSpec, ResourceCost,
+};
+
+fn toy_movies() -> Vec<MovieSpec> {
+    let mk = |name: &str, l: f64, w: f64, mean: f64| {
+        MovieSpec::new(
+            name,
+            l,
+            w,
+            0.5,
+            VcrMix::paper_fig7d(),
+            Arc::new(Exponential::with_mean(mean).unwrap()),
+            Rates::paper(),
+        )
+        .expect("valid")
+    };
+    vec![
+        mk("a", 60.0, 1.0, 4.0),
+        mk("b", 90.0, 1.5, 6.0),
+        mk("c", 45.0, 0.75, 2.0),
+    ]
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let movies = toy_movies();
+    let opts = ModelOptions::default();
+    let mut g = c.benchmark_group("sizing");
+    g.sample_size(10);
+    g.bench_function("max_feasible_bisection", |b| {
+        b.iter(|| max_feasible_streams(black_box(&movies[0]), &opts).expect("ok"))
+    });
+    g.bench_function("allocate_min_buffer", |b| {
+        b.iter(|| {
+            allocate_min_buffer(
+                black_box(&movies),
+                Budgets {
+                    streams: 120,
+                    buffer: None,
+                },
+                &opts,
+            )
+            .expect("feasible")
+        })
+    });
+    g.finish();
+}
+
+fn bench_curves(c: &mut Criterion) {
+    let movies = toy_movies();
+    let opts = ModelOptions::default();
+    let prices = ResourceCost::from_phi(11.0).expect("valid");
+    let mut g = c.benchmark_group("cost_curve");
+    g.sample_size(10);
+    g.bench_function("rebuilding_catalog", |b| {
+        b.iter(|| cost_curve(black_box(&movies), prices, 3, 150, 5, &opts).expect("ok"))
+    });
+    let catalog = Catalog::new(&movies, &opts).expect("ok");
+    g.bench_function("prebuilt_catalog", |b| {
+        b.iter(|| cost_curve_with_catalog(black_box(&catalog), prices, 3, 150, 5))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_feasibility, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Minimal ASCII scatter/line plotting for experiment output — renders
+//! Figure-7/9-style curves directly in the terminal so the regenerated
+//! figures are *visible*, not just tabulated.
+
+/// A named series of `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label; its first character is the plot glyph.
+    pub label: String,
+    /// Data points (need not be sorted).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render series on a `width x height` character canvas with simple
+/// axes. Returns the drawing as a string.
+pub fn plot(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 16 && height >= 4, "canvas too small");
+    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if pts.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        x_lo = x_lo.min(x);
+        x_hi = x_hi.max(x);
+        y_lo = y_lo.min(y);
+        y_hi = y_hi.max(y);
+    }
+    if x_hi <= x_lo {
+        x_hi = x_lo + 1.0;
+    }
+    if y_hi <= y_lo {
+        y_hi = y_lo + 1.0;
+    }
+    let mut canvas = vec![vec![' '; width]; height];
+    for s in series {
+        let glyph = s.label.chars().next().unwrap_or('*');
+        for &(x, y) in &s.points {
+            let cx = ((x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            canvas[row][cx.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_hi:>10.3} ┤"));
+    out.push_str(&canvas[0].iter().collect::<String>());
+    out.push('\n');
+    for row in canvas.iter().take(height - 1).skip(1) {
+        out.push_str("           │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_lo:>10.3} ┤"));
+    out.push_str(&canvas[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str("           └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "            {:<10.1}{:>width$.1}\n",
+        x_lo,
+        x_hi,
+        width = width.saturating_sub(10)
+    ));
+    for s in series {
+        out.push_str(&format!(
+            "            {} = {}\n",
+            s.label.chars().next().unwrap_or('*'),
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_something_sane() {
+        let s = Series {
+            label: "model".into(),
+            points: (0..20).map(|i| (i as f64, (i as f64 * 0.3).sin())).collect(),
+        };
+        let out = plot(&[s], 40, 10);
+        assert!(out.contains('m'), "glyph missing:\n{out}");
+        assert!(out.lines().count() >= 12);
+        assert!(out.contains("model"));
+    }
+
+    #[test]
+    fn empty_series_ok() {
+        assert_eq!(plot(&[], 40, 10), "(no data)\n");
+    }
+
+    #[test]
+    fn flat_series_does_not_divide_by_zero() {
+        let s = Series {
+            label: "flat".into(),
+            points: vec![(1.0, 2.0), (2.0, 2.0)],
+        };
+        let out = plot(&[s], 20, 5);
+        assert!(out.contains('f'));
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        plot(&[], 2, 2);
+    }
+}

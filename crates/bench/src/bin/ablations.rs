@@ -1,0 +1,190 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. Eq.-19 jump cutoff vs the extended summation (FF).
+//! 2. Decomposed closed forms vs brute-force 2-D integration oracles
+//!    (accuracy + speed).
+//! 3. Quadrature tolerance sensitivity.
+//! 4. Sizing: greedy water-fill vs per-movie independent choices.
+//! 5. Piggyback merge-back on/off in the data-path server.
+//!
+//! ```sh
+//! cargo run --release -p vod-bench --bin ablations
+//! ```
+
+use std::time::Instant;
+
+use rand::RngCore;
+use vod_bench::table::{num, Table};
+use vod_dist::kinds::Gamma;
+use vod_dist::rng::seeded;
+use vod_model::{
+    p_hit_ff, p_hit_ff_direct, p_hit_pause, p_hit_pause_direct, p_hit_rw, p_hit_rw_direct, ModelOptions, Rates, SystemParams,
+};
+use vod_server::{HostedMovie, MovieId, ServerConfig, VodServer};
+use vod_workload::VcrKind;
+
+fn main() {
+    eq19_vs_extended();
+    decomposed_vs_oracle();
+    tolerance_sensitivity();
+    piggyback_on_off();
+}
+
+fn eq19_vs_extended() {
+    println!("# Ablation 1: Eq.-19 jump cutoff vs extended summation (FF, gamma(2,4))");
+    let d = Gamma::paper_fig7();
+    let mut t = Table::new(vec!["l", "B", "n", "paper eq19", "extended", "diff"]);
+    for (l, b, n) in [
+        (120.0, 30.0, 10u32),
+        (120.0, 60.0, 20),
+        (120.0, 90.0, 40),
+        (120.0, 110.0, 60),
+        (75.0, 39.0, 360),
+        // Few streams + large buffer: Eq. 19 yields i_max < 1 (no jump
+        // terms at all) while partial jump hits still exist — the cutoff
+        // bites here.
+        (120.0, 100.0, 5),
+        (120.0, 110.0, 4),
+        (90.0, 80.0, 3),
+    ] {
+        let p = SystemParams::new(l, b, n, Rates::paper()).expect("valid");
+        let paper = p_hit_ff(&p, &d, &ModelOptions::paper()).total();
+        let ext = p_hit_ff(&p, &d, &ModelOptions::default()).total();
+        t.row(vec![
+            num(l, 0),
+            num(b, 0),
+            n.to_string(),
+            num(paper, 5),
+            num(ext, 5),
+            num(ext - paper, 5),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(the cutoff drops only partial-hit tails; differences stay small)\n");
+}
+
+fn decomposed_vs_oracle() {
+    println!("# Ablation 2: decomposed closed forms vs 2-D integration oracles");
+    let d = Gamma::paper_fig7();
+    let p = SystemParams::new(120.0, 60.0, 20, Rates::paper()).expect("valid");
+    let opts = ModelOptions::default();
+    let mut t = Table::new(vec!["component", "decomposed", "oracle", "|diff|", "speedup"]);
+    type Eval<'a> = Box<dyn Fn() -> f64 + 'a>;
+    let cases: Vec<(&str, Eval<'_>, Eval<'_>)> = vec![
+        (
+            "FF",
+            Box::new(|| p_hit_ff(&p, &d, &opts).total()),
+            Box::new(|| p_hit_ff_direct(&p, &d, &opts)),
+        ),
+        (
+            "RW",
+            Box::new(|| p_hit_rw(&p, &d, &opts).total()),
+            Box::new(|| p_hit_rw_direct(&p, &d, &opts)),
+        ),
+        (
+            "PAU",
+            Box::new(|| p_hit_pause(&p, &d, &opts)),
+            Box::new(|| p_hit_pause_direct(&p, &d, &opts)),
+        ),
+    ];
+    for (name, fast, slow) in cases {
+        let t0 = Instant::now();
+        let a = fast();
+        let fast_t = t0.elapsed();
+        let t0 = Instant::now();
+        let b = slow();
+        let slow_t = t0.elapsed();
+        t.row(vec![
+            name.to_string(),
+            num(a, 6),
+            num(b, 6),
+            format!("{:.1e}", (a - b).abs()),
+            format!(
+                "{:.0}x",
+                slow_t.as_secs_f64() / fast_t.as_secs_f64().max(1e-9)
+            ),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+fn tolerance_sensitivity() {
+    println!("# Ablation 3: quadrature tolerance sensitivity (FF, l=120, B=60, n=20)");
+    let d = Gamma::paper_fig7();
+    let p = SystemParams::new(120.0, 60.0, 20, Rates::paper()).expect("valid");
+    let reference = p_hit_ff(
+        &p,
+        &d,
+        &ModelOptions {
+            tol: 1e-12,
+            ..Default::default()
+        },
+    )
+    .total();
+    let mut t = Table::new(vec!["tol", "P(hit|FF)", "error vs 1e-12", "time"]);
+    for tol in [1e-3, 1e-6, 1e-9] {
+        let opts = ModelOptions {
+            tol,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let v = p_hit_ff(&p, &d, &opts).total();
+        t.row(vec![
+            format!("{tol:.0e}"),
+            num(v, 8),
+            format!("{:.1e}", (v - reference).abs()),
+            format!("{:?}", t0.elapsed()),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+}
+
+fn piggyback_on_off() {
+    println!("# Ablation 5: piggyback merge-back on/off (server, random VCR load)");
+    let mut t = Table::new(vec![
+        "piggyback",
+        "merges",
+        "avg dedicated",
+        "disk segs",
+        "buffer segs",
+    ]);
+    for on in [true, false] {
+        let movie = HostedMovie::from_allocation(MovieId(0), 120, 10, 60.0);
+        let mut cfg = ServerConfig::provisioned(vec![movie], 12);
+        if !on {
+            cfg.piggyback = None;
+        }
+        let mut server = VodServer::new(cfg);
+        let mut rng = seeded(7);
+        let mut sessions = Vec::new();
+        for _ in 0..2000u64 {
+            if rng.next_u64().is_multiple_of(2) {
+                if let Ok(s) = server.open_session(MovieId(0)) {
+                    sessions.push(s);
+                }
+            }
+            if !sessions.is_empty() && rng.next_u64().is_multiple_of(8) {
+                let s = sessions[(rng.next_u64() as usize) % sessions.len()];
+                let kind = match rng.next_u64() % 3 {
+                    0 => VcrKind::FastForward,
+                    1 => VcrKind::Rewind,
+                    _ => VcrKind::Pause,
+                };
+                let _ = server.request_vcr(s, kind, 1 + (rng.next_u64() % 15) as u32);
+            }
+            server.tick();
+        }
+        let m = server.metrics();
+        t.row(vec![
+            if on { "on" } else { "off" }.to_string(),
+            m.piggyback_merges.to_string(),
+            num(m.dedicated.average(server.now() as f64, 0.0), 2),
+            m.disk_segments.to_string(),
+            m.buffer_segments.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(merging back releases dedicated streams: lower avg dedicated, fewer disk reads)");
+}

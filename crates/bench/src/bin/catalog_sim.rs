@@ -1,0 +1,109 @@
+//! Extension experiment: the full §5 loop at catalog scale — size the
+//! Example-1 movies with the analytic model, then simulate all three
+//! together sharing one VCR reserve and compare planned vs simulated
+//! hit probabilities per movie, plus reserve denial rates.
+//!
+//! ```sh
+//! cargo run --release -p vod-bench --bin catalog_sim -- [--streams N]
+//! ```
+
+use std::sync::Arc;
+
+use vod_bench::table::{num, Table};
+use vod_model::{ModelOptions, VcrMix};
+use vod_sim::{run_catalog_seeded, CatalogConfig, MovieLoad};
+use vod_sizing::{allocate_min_buffer, erlang_b, example1_movies, Budgets};
+use vod_workload::BehaviorModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut streams = 400u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--streams" => {
+                i += 1;
+                streams = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("catalog_sim: expected --streams N");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("catalog_sim: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let movies = example1_movies(VcrMix::paper_fig7d());
+    let opts = ModelOptions::default();
+    let plan = allocate_min_buffer(
+        &movies,
+        Budgets {
+            streams,
+            buffer: None,
+        },
+        &opts,
+    )
+    .expect("satisfiable");
+    println!(
+        "# Catalog simulation: Example-1 movies, stream budget {streams} \
+         (plan uses {} + {:.1} buffer min)",
+        plan.total_streams(),
+        plan.total_buffer()
+    );
+
+    let loads: Vec<MovieLoad> = movies
+        .iter()
+        .zip(&plan.allocations)
+        .map(|(m, a)| MovieLoad {
+            params: m.params_for_streams(a.n_streams).expect("feasible"),
+            mean_interarrival: 3.0,
+            behavior: BehaviorModel::uniform_dist((0.2, 0.2, 0.6), 30.0, Arc::clone(&m.dist)),
+        })
+        .collect();
+    let cfg = CatalogConfig {
+        movies: loads,
+        horizon: 60.0 * 120.0,
+        warmup: 5.0 * 120.0,
+        count_ff_end_as_hit: true,
+        collect_trace: false,
+        dedicated_capacity: None,
+    };
+    let free = run_catalog_seeded(&cfg, 2026);
+
+    println!("\n## planned vs simulated hit probability (shared catalog)");
+    let mut t = Table::new(vec!["movie", "n*", "B*", "planned", "simulated", "resumes"]);
+    for (a, r) in plan.allocations.iter().zip(&free.per_movie) {
+        t.row(vec![
+            a.movie.clone(),
+            a.n_streams.to_string(),
+            num(a.buffer, 1),
+            num(a.p_hit, 3),
+            num(r.overall.value(), 3),
+            r.overall.trials().to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!("\n## shared VCR reserve (offered load {:.2} Erlangs, peak {:.0})", free.dedicated_avg, free.dedicated_peak);
+    let mut t = Table::new(vec!["reserve", "sim denial", "Erlang-B"]);
+    for factor in [1.0, 1.2, 1.5] {
+        let cap = ((free.dedicated_avg * factor).round() as u32).max(1);
+        let mut capped = cfg.clone();
+        capped.dedicated_capacity = Some(cap);
+        let run = run_catalog_seeded(&capped, 2027);
+        let measured =
+            (run.vcr_denied + run.abandoned) as f64 / run.acquisition_attempts.max(1) as f64;
+        t.row(vec![
+            cap.to_string(),
+            num(measured, 4),
+            num(erlang_b(cap, free.dedicated_avg), 4),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,196 @@
+//! Figure 7 — model verification.
+//!
+//! "Simulation and theoretical results for normal playback and (a) only
+//! fast-forward … (b) only rewind … (c) only pause … (d) all kinds of VCR
+//! requests with P_FF = 0.2, P_RW = 0.2, P_PAU = 0.6. Interarrival times
+//! are exponential and 1/λ = 2 minutes; duration of VCR requests is drawn
+//! from a skewed gamma distribution with mean = 8 minutes (α = 2, γ = 4)."
+//!
+//! The probability of a hit is plotted as a function of the number of
+//! partitions `n`, one curve per maximum waiting time `w`; movie length
+//! `l = 120`, `R_FF = R_RW = 3 R_PB`.
+
+use std::sync::Arc;
+
+use vod_dist::kinds::Gamma;
+use vod_model::{p_hit_single_dist, ModelOptions, Rates, SystemParams, VcrMix};
+use vod_sim::{run_replications, SimConfig};
+use vod_workload::BehaviorModel;
+
+/// Which panel of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Panel {
+    /// (a) FF only.
+    A,
+    /// (b) RW only.
+    B,
+    /// (c) PAU only.
+    C,
+    /// (d) mixed 0.2/0.2/0.6.
+    D,
+}
+
+impl Panel {
+    /// Parse `a|b|c|d` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "a" | "ff" => Some(Panel::A),
+            "b" | "rw" => Some(Panel::B),
+            "c" | "pau" => Some(Panel::C),
+            "d" | "mix" => Some(Panel::D),
+            _ => None,
+        }
+    }
+
+    /// The VCR mix of this panel.
+    pub fn mix(self) -> VcrMix {
+        match self {
+            Panel::A => VcrMix::ff_only(),
+            Panel::B => VcrMix::rw_only(),
+            Panel::C => VcrMix::pause_only(),
+            Panel::D => VcrMix::paper_fig7d(),
+        }
+    }
+
+    /// The mix as a `(ff, rw, pau)` tuple for the behavior model.
+    pub fn mix_tuple(self) -> (f64, f64, f64) {
+        match self {
+            Panel::A => (1.0, 0.0, 0.0),
+            Panel::B => (0.0, 1.0, 0.0),
+            Panel::C => (0.0, 0.0, 1.0),
+            Panel::D => (0.2, 0.2, 0.6),
+        }
+    }
+
+    /// Panel label, e.g. `"7a"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Panel::A => "7a",
+            Panel::B => "7b",
+            Panel::C => "7c",
+            Panel::D => "7d",
+        }
+    }
+}
+
+/// One point of a Figure-7 curve.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Point {
+    /// Partitions / streams `n`.
+    pub n: u32,
+    /// Buffer minutes `B = l − n·w`.
+    pub buffer: f64,
+    /// Analytic `P(hit)`.
+    pub model: f64,
+    /// Simulated hit ratio (mean over replications).
+    pub sim: f64,
+    /// 95% half-width over replications.
+    pub sim_ci: f64,
+}
+
+/// Experiment configuration (defaults follow the paper's §4).
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    /// Movie length (minutes).
+    pub movie_len: f64,
+    /// Maximum waiting times, one curve each.
+    pub waits: Vec<f64>,
+    /// Stream counts along the x axis.
+    pub ns: Vec<u32>,
+    /// Simulation replications per point.
+    pub replications: u32,
+    /// Simulated horizon in movie lengths.
+    pub horizon_movies: f64,
+    /// Mean playback minutes between VCR interactions.
+    pub mean_play_between: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Self {
+            movie_len: 120.0,
+            waits: vec![0.5, 1.0, 2.0],
+            ns: vec![10, 20, 30, 40, 50, 60, 80, 100],
+            replications: 3,
+            horizon_movies: 30.0,
+            mean_play_between: 30.0,
+            seed: 1997,
+        }
+    }
+}
+
+/// Generate one curve (fixed `w`) of a Figure-7 panel.
+pub fn curve(panel: Panel, cfg: &Fig7Config, w: f64) -> Vec<Fig7Point> {
+    let dist = Gamma::paper_fig7();
+    let opts = ModelOptions::default();
+    let mut out = Vec::new();
+    for &n in &cfg.ns {
+        let Ok(params) = SystemParams::from_wait(cfg.movie_len, w, n, Rates::paper()) else {
+            continue; // n·w exceeds l: no such configuration
+        };
+        let model = p_hit_single_dist(&params, &dist, &panel.mix(), &opts).total;
+        let behavior = BehaviorModel::uniform_dist(
+            panel.mix_tuple(),
+            cfg.mean_play_between,
+            Arc::new(dist),
+        );
+        let mut sim_cfg = SimConfig::new(params, behavior);
+        sim_cfg.horizon = cfg.horizon_movies * cfg.movie_len;
+        let agg = run_replications(&sim_cfg, cfg.seed.wrapping_add(n as u64), cfg.replications);
+        out.push(Fig7Point {
+            n,
+            buffer: params.buffer(),
+            model,
+            sim: agg.overall.mean(),
+            sim_ci: agg.overall.ci_half_width(1.96),
+        });
+    }
+    out
+}
+
+/// Generate all curves of a panel, keyed by `w`.
+pub fn panel_data(panel: Panel, cfg: &Fig7Config) -> Vec<(f64, Vec<Fig7Point>)> {
+    cfg.waits
+        .iter()
+        .map(|&w| (w, curve(panel, cfg, w)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_panel_matches_paper_shape() {
+        // Small configuration for test speed: the defining Figure-7
+        // property is that model and simulation agree closely and that
+        // the hit probability falls as n grows at fixed w.
+        let cfg = Fig7Config {
+            ns: vec![20, 60],
+            replications: 2,
+            horizon_movies: 15.0,
+            ..Default::default()
+        };
+        let pts = curve(Panel::A, &cfg, 1.0);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].model > pts[1].model, "P(hit) must fall with n");
+        for p in &pts {
+            assert!(
+                (p.model - p.sim).abs() < 0.05,
+                "n={}: model {} vs sim {}",
+                p.n,
+                p.model,
+                p.sim
+            );
+        }
+    }
+
+    #[test]
+    fn panel_parse() {
+        assert_eq!(Panel::parse("a"), Some(Panel::A));
+        assert_eq!(Panel::parse("MIX"), Some(Panel::D));
+        assert_eq!(Panel::parse("x"), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 9 — "System cost vs number of I/O streams for different values
+//! of φ": six panels sweeping φ ∈ {3, 4, 6, 10, 11, 16} over the
+//! Example-1 catalog. The minimum of each curve is the optimal sizing for
+//! that price regime; for large φ (1997 memory prices) it sits at the
+//! maximum feasible stream count, and as memory gets cheaper it moves
+//! inward — exactly the qualitative claim of §5.
+
+use vod_model::{ModelOptions, VcrMix};
+use vod_sizing::{
+    cost_curve_with_catalog, example1_movies, Catalog, CostCurve, MovieSpec, ResourceCost,
+};
+
+/// The φ values of the six panels, in the paper's order (a)–(f).
+pub const PAPER_PHIS: [f64; 6] = [3.0, 4.0, 6.0, 10.0, 11.0, 16.0];
+
+/// Generate the Figure-9 curves for the Example-1 catalog.
+pub fn data(mix: VcrMix, stride: u32) -> Vec<CostCurve> {
+    data_for(&example1_movies(mix), stride)
+}
+
+/// Same sweep for an arbitrary catalog.
+pub fn data_for(movies: &[MovieSpec], stride: u32) -> Vec<CostCurve> {
+    let opts = ModelOptions::default();
+    let catalog = Catalog::new(movies, &opts).expect("satisfiable catalog");
+    let n_lo = movies.len() as u32;
+    let n_hi = catalog.max_total_streams();
+    PAPER_PHIS
+        .iter()
+        .map(|&phi| {
+            cost_curve_with_catalog(
+                &catalog,
+                ResourceCost::from_phi(phi).expect("valid phi"),
+                n_lo,
+                n_hi,
+                stride,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_moves_inward_as_memory_cheapens() {
+        let curves = data(VcrMix::paper_fig7d(), 10);
+        assert_eq!(curves.len(), 6);
+        let opt_streams: Vec<u32> = curves
+            .iter()
+            .map(|c| c.optimum().expect("non-empty").total_streams)
+            .collect();
+        // φ = 3 (cheap memory) must prefer strictly fewer streams than
+        // φ = 16 (expensive memory).
+        assert!(
+            opt_streams[0] <= opt_streams[5],
+            "optima {opt_streams:?} not ordered with φ"
+        );
+        // At the paper's φ ≈ 11 the optimum sits at the feasible maximum
+        // (the "minimum cost occurs when the number of I/O streams
+        // reaches its maximum feasible value" observation).
+        let c11 = &curves[4];
+        let max_n = c11.points.last().expect("non-empty").total_streams;
+        assert_eq!(c11.optimum().expect("non-empty").total_streams, max_n);
+    }
+}

@@ -1,0 +1,27 @@
+//! # vod-bench — experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `fig7` | Figure 7(a–d): model vs simulation hit probability |
+//! | `fig8` | Figure 8: feasible (B, n) pairs per movie |
+//! | `fig9` | Figure 9(a–f): system cost vs streams for φ sweeps |
+//! | `example1` | §5 Example 1: minimum-buffer allocation |
+//! | `example2` | §5 Example 2: hardware-derived C_b, C_n, φ |
+//! | `ablations` | design-choice ablations from DESIGN.md |
+//!
+//! The library half hosts the data-generation routines so the binaries
+//! and the Criterion micro-benches share one implementation, and so the
+//! integration tests can assert on the numbers that the binaries print.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ascii;
+pub mod ex1;
+pub mod ex2;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table;

@@ -1,0 +1,406 @@
+//! Fast-forward hit probability `P(hit|FF)` — paper §3.1.1–§3.1.3,
+//! Eqs. (3)–(21).
+//!
+//! Two independent implementations are provided:
+//!
+//! * [`p_hit_ff`] — the paper's decomposition: within-partition hits
+//!   (Eqs. 3–8), per-partition jump hits (Eqs. 9–18, summed over the range
+//!   of Eq. 19 or its extension), and the FF-to-end term (Eq. 20). All
+//!   inner integrals over the viewer offset `s = V_f − V_c` are reduced to
+//!   closed forms in `G(y) = ∫₀^y F(αs) ds = H(αy)/α`, leaving only 1-D
+//!   quadrature over `V_c`.
+//! * [`p_hit_ff_direct`] — a brute-force 2-D integration of the exact
+//!   conditional hit probability. Algebraically equal to the extended-mode
+//!   decomposition; used by tests and the ablation bench as an oracle.
+//!
+//! Unit convention (DESIGN.md §3): the sampled duration `x ~ f` is the
+//! *movie distance swept* by the operation; a viewer `Δ` minutes behind a
+//! target needs `x = αΔ` to catch it (Eq. 1).
+
+use vod_dist::quad::adaptive_simpson;
+use vod_dist::DurationDist;
+
+use crate::{BoundaryMode, ModelOptions, SystemParams};
+
+/// Decomposed FF hit probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FfHit {
+    /// `P(hit_w|FF)`: resume within the partition that issued the FF.
+    pub within: f64,
+    /// `P(hit_j^i|FF)` for `i = 1, 2, …`: resume in the i-th partition
+    /// ahead.
+    pub jumps: Vec<f64>,
+    /// `P(end)`: fast-forward reaches the end of the movie (Eq. 20); the
+    /// dedicated stream is released because the viewing is over.
+    pub end: f64,
+}
+
+impl FfHit {
+    /// `P(hit|FF)` — Eq. (21): within + Σ jumps + end.
+    pub fn total(&self) -> f64 {
+        self.within + self.jumps.iter().sum::<f64>() + self.end
+    }
+}
+
+/// Shared closed-form helpers over the duration distribution.
+struct Kernel<'a> {
+    dist: &'a dyn DurationDist,
+    alpha: f64,
+}
+
+impl Kernel<'_> {
+    fn f(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.dist.cdf(x)
+        }
+    }
+
+    /// `H(y) = ∫₀^y F(u) du`.
+    fn h(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            0.0
+        } else {
+            self.dist.cdf_integral(y)
+        }
+    }
+
+    /// `G(y) = ∫₀^y F(α s) ds = H(α y)/α`.
+    fn g(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            0.0
+        } else {
+            self.h(self.alpha * y) / self.alpha
+        }
+    }
+}
+
+/// `P(hit|FF)` via the paper's decomposition.
+pub fn p_hit_ff(params: &SystemParams, dist: &dyn DurationDist, opts: &ModelOptions) -> FfHit {
+    let l = params.movie_len();
+    let n = params.n();
+    let b = params.partition_len();
+    let alpha = params.rates().alpha();
+    let k = Kernel { dist, alpha };
+
+    // Eq. (20): P(end) = ∫₀^l (1 − F(l − V_c)) (1/l) dV_c = 1 − H(l)/l.
+    let end = 1.0 - k.h(l) / l;
+
+    if b <= 0.0 {
+        // Pure batching: no partitions to resume into (paper §3.1:
+        // "the hit probability will always equal zero"); only the
+        // end-of-movie release remains.
+        return FfHit {
+            within: 0.0,
+            jumps: Vec::new(),
+            end,
+        };
+    }
+
+    // ---- Within-partition hits, Eqs. (4)–(8) ----------------------------
+    // Case a (Eq. 7): V_c ∈ [0, l − αB/n]; the inner unconditioning over
+    // V_f collapses to G(B/n), independent of V_c.
+    let p_a = (l - alpha * b).max(0.0) * k.g(b) / (b * l);
+    // Case b (Eq. 8): substituting u = l − V_c, with V_t − V_c = u/α:
+    //   P_b = (1/(bl)) ∫₀^{min(l, αb)} [ H(u)/α + (b − u/α) F(u) ] du.
+    let u_max = l.min(alpha * b);
+    let p_b = adaptive_simpson(
+        |u| k.h(u) / alpha + (b - u / alpha) * k.f(u),
+        0.0,
+        u_max,
+        opts.tol,
+    ) / (b * l);
+    let within = p_a + p_b;
+
+    // ---- Jump hits, Eqs. (9)–(19) ---------------------------------------
+    let mut jumps = Vec::new();
+    let i_paper_max = {
+        // Eq. (19): i ≤ ⌊(n(l + wα) − lα)/(lα)⌋, computed literally.
+        let w = params.max_wait();
+        let raw = (n * (l + w * alpha) - l * alpha) / (l * alpha);
+        // Guard fp slop at exact-integer boundaries.
+        (raw + 1e-9).floor()
+    };
+    let mut i = 1u32;
+    loop {
+        let c = i as f64 * l / n; // phase offset il/n of the i-th partition
+        let e4 = (l - alpha * (c - b)).clamp(0.0, l); // last V_c with any hit
+        match opts.boundary {
+            BoundaryMode::PaperEq19 => {
+                if (i as f64) > i_paper_max {
+                    break;
+                }
+            }
+            BoundaryMode::Extended => {
+                if e4 <= 0.0 {
+                    break;
+                }
+            }
+        }
+        jumps.push(jump_term(&k, l, b, c, opts.tol));
+        i += 1;
+        if i > params.n_streams() + 4 {
+            // Defensive cap: i is geometrically bounded by n/α + B/l + 1 <
+            // n + 2; reaching this means a logic error upstream.
+            debug_assert!(false, "jump summation failed to terminate");
+            break;
+        }
+    }
+
+    FfHit { within, jumps, end }
+}
+
+/// `P(hit_j^i|FF)` for one partition ahead: Eqs. (15)–(18) with every
+/// `V_c` range clamped to `[0, l]`.
+fn jump_term(k: &Kernel<'_>, l: f64, b: f64, c: f64, tol: f64) -> f64 {
+    let alpha = k.alpha;
+
+    // Region 1 (Eq. 15): complete hits for the full V_f range; the inner
+    // integral telescopes to G(c+b) − 2G(c) + G(c−b), independent of V_c.
+    let len1 = (l - alpha * (b + c)).clamp(0.0, l);
+    let inner1 = (k.g(c + b) - 2.0 * k.g(c) + k.g(c - b)) / b;
+    let p1 = len1 / l * inner1;
+
+    // Regions 2+3 (Eqs. 16, 17): V_c ∈ [A2, E2], where the farthest
+    // catchable viewer V_t lies inside the V_f range: m = V_t − V_c =
+    // (l − V_c)/α − c ∈ [0, b]. The two inner integrals combine to
+    //   G(c+m) − 2G(c) + G(c−b) + (b − m) F(l − V_c)
+    // (the G(c−b+m) cross terms cancel).
+    let a2 = (l - alpha * (b + c)).clamp(0.0, l);
+    let e2 = (l - alpha * c).clamp(0.0, l);
+    let p23 = adaptive_simpson(
+        |vc| {
+            let m = ((l - vc) / alpha - c).clamp(0.0, b);
+            (k.g(c + m) - 2.0 * k.g(c) + k.g(c - b) + (b - m) * k.f(l - vc)) / b
+        },
+        a2,
+        e2,
+        tol,
+    ) / l;
+
+    // Region 4 (Eq. 18): only partial hits remain; V_c ∈ [E2, E4] with
+    // m' = (l − V_c)/α − (c − b) ∈ [0, b]:
+    //   inner = m' F(l − V_c) − (G(c−b+m') − G(c−b)).
+    let e4 = (l - alpha * (c - b)).clamp(0.0, l);
+    let p4 = adaptive_simpson(
+        |vc| {
+            let mp = ((l - vc) / alpha - (c - b)).clamp(0.0, b);
+            (mp * k.f(l - vc) - (k.g(c - b + mp) - k.g(c - b))) / b
+        },
+        e2,
+        e4,
+        tol,
+    ) / l;
+
+    p1 + p23 + p4
+}
+
+/// Brute-force oracle: integrate the exact conditional hit probability
+///
+/// ```text
+/// P(hit|FF, V_c, s) = F(min(αs, e)) + Σ_i [F(min(α(c_i+s), e)) − F(min(α(c_i+s−b), e))]
+///                   + (1 − F(e)),            e = l − V_c,
+/// ```
+///
+/// over `s ~ U[0, B/n]`, `V_c ~ U[0, l]` by 2-D quadrature. Equals
+/// extended-mode [`p_hit_ff`] up to quadrature error.
+pub fn p_hit_ff_direct(
+    params: &SystemParams,
+    dist: &dyn DurationDist,
+    opts: &ModelOptions,
+) -> f64 {
+    let l = params.movie_len();
+    let n = params.n();
+    let b = params.partition_len();
+    let alpha = params.rates().alpha();
+    let k = Kernel { dist, alpha };
+
+    let conditional = |vc: f64, s: f64| -> f64 {
+        let e = l - vc;
+        let mut total = k.f((alpha * s).min(e)) + (1.0 - k.f(e));
+        let mut i = 1u32;
+        loop {
+            let c = i as f64 * l / n;
+            let lo = alpha * (c + s - b);
+            if lo >= e {
+                break;
+            }
+            let hi = (alpha * (c + s)).min(e);
+            total += k.f(hi) - k.f(lo.max(0.0).min(e));
+            i += 1;
+            if i > params.n_streams() + 4 {
+                break;
+            }
+        }
+        total
+    };
+
+    if b <= 0.0 {
+        return adaptive_simpson(|vc| 1.0 - k.f(l - vc), 0.0, l, opts.tol) / l;
+    }
+    adaptive_simpson(
+        |vc| adaptive_simpson(|s| conditional(vc, s), 0.0, b, opts.tol * b / l) / b,
+        0.0,
+        l,
+        opts.tol,
+    ) / l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rates;
+    use vod_dist::kinds::{Deterministic, Exponential, Gamma, Uniform};
+
+    fn params(l: f64, b: f64, n: u32) -> SystemParams {
+        SystemParams::new(l, b, n, Rates::paper()).unwrap()
+    }
+
+    #[test]
+    fn end_term_equals_mean_over_l_for_interior_dist() {
+        // For a distribution with all mass inside [0, l]:
+        // P(end) = 1 − H(l)/l = mean/l.
+        let p = params(120.0, 30.0, 10);
+        let d = Gamma::paper_fig7(); // mass above 120 ≈ 3e-12
+        let hit = p_hit_ff(&p, &d, &ModelOptions::default());
+        assert!((hit.end - 8.0 / 120.0).abs() < 1e-9, "end = {}", hit.end);
+    }
+
+    #[test]
+    fn pure_batching_has_only_end_hits() {
+        let p = params(120.0, 0.0, 10);
+        let d = Gamma::paper_fig7();
+        let hit = p_hit_ff(&p, &d, &ModelOptions::default());
+        assert_eq!(hit.within, 0.0);
+        assert!(hit.jumps.is_empty());
+        assert!((hit.total() - hit.end).abs() < 1e-15);
+    }
+
+    #[test]
+    fn total_is_probability() {
+        for (l, b, n) in [
+            (120.0, 30.0, 10),
+            (120.0, 90.0, 30),
+            (120.0, 119.0, 60),
+            (60.0, 5.0, 3),
+            (90.0, 45.0, 1),
+        ] {
+            for mode in [BoundaryMode::PaperEq19, BoundaryMode::Extended] {
+                let p = params(l, b, n);
+                let opts = ModelOptions {
+                    boundary: mode,
+                    ..Default::default()
+                };
+                let hit = p_hit_ff(&p, &Gamma::paper_fig7(), &opts);
+                let t = hit.total();
+                assert!(
+                    (0.0..=1.0 + 1e-7).contains(&t),
+                    "l={l} B={b} n={n} {mode:?}: total {t}"
+                );
+                assert!(hit.within >= -1e-12);
+                assert!(hit.end >= -1e-12);
+                for (i, j) in hit.jumps.iter().enumerate() {
+                    assert!(*j >= -1e-9, "jump {i} = {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_matches_direct_oracle() {
+        // Independent implementations must agree (Extended mode).
+        let opts = ModelOptions::default();
+        for (l, b, n) in [
+            (120.0, 30.0, 10),
+            (120.0, 60.0, 20),
+            (120.0, 12.0, 40),
+            (75.0, 39.0, 25),
+            (60.0, 30.0, 6),
+        ] {
+            let p = params(l, b, n);
+            for d in [
+                Box::new(Gamma::paper_fig7()) as Box<dyn DurationDist>,
+                Box::new(Exponential::with_mean(5.0).unwrap()),
+                Box::new(Uniform::new(0.0, 16.0).unwrap()),
+            ] {
+                let dec = p_hit_ff(&p, d.as_ref(), &opts).total();
+                let dir = p_hit_ff_direct(&p, d.as_ref(), &opts);
+                assert!(
+                    (dec - dir).abs() < 5e-4,
+                    "l={l} B={b} n={n} {d:?}: decomposed {dec} vs direct {dir}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_mode_never_below_paper_mode() {
+        // Extended mode adds non-negative partial-hit mass beyond Eq. 19.
+        for (l, b, n) in [(120.0, 30.0, 10), (120.0, 80.0, 8), (90.0, 44.5, 13)] {
+            let p = params(l, b, n);
+            let d = Gamma::paper_fig7();
+            let paper = p_hit_ff(&p, &d, &ModelOptions::paper()).total();
+            let ext = p_hit_ff(&p, &d, &ModelOptions::default()).total();
+            assert!(
+                ext >= paper - 1e-9,
+                "l={l} B={b} n={n}: ext {ext} < paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_buffer_means_more_hits() {
+        // At fixed n, increasing B grows every partition window.
+        let d = Gamma::paper_fig7();
+        let opts = ModelOptions::default();
+        let mut prev = 0.0;
+        for b in [0.0, 12.0, 30.0, 60.0, 90.0, 118.0] {
+            let p = params(120.0, b, 12);
+            let t = p_hit_ff(&p, &d, &opts).total();
+            assert!(t >= prev - 1e-7, "B={b}: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn deterministic_short_ff_always_hits_within() {
+        // If every FF sweeps exactly 1 movie minute and partitions are
+        // 12 minutes long, almost every viewer resumes in his own
+        // partition: hit_w ≈ P[x ≤ α s] = P[s ≥ x/α = 2/3] over s~U[0,12],
+        // minus the end-of-movie boundary sliver.
+        let p = params(120.0, 120.0, 10); // fully buffered: b = 12, w = 0
+        let d = Deterministic::new(1.0).unwrap();
+        let hit = p_hit_ff(&p, &d, &ModelOptions::default());
+        // s ≥ x/α = 1/1.5 = 2/3 within a 12-minute window: 1 − (2/3)/12.
+        let ideal = 1.0 - (2.0 / 3.0) / 12.0;
+        assert!(
+            (hit.within - ideal).abs() < 0.02,
+            "within {} vs ideal {ideal}",
+            hit.within
+        );
+        // Misses can only jump or end; total stays a probability.
+        assert!(hit.total() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_rates_respected() {
+        // Sweeping x movie minutes at rate R displaces the viewer
+        // x·(1 − 1/R) = x/α relative to the co-moving partitions: a faster
+        // FF gives the partitions less time to follow, so at a fixed swept
+        // distance the viewer drifts *further* and exits his window more
+        // often. α = R/(R−1): slow FF (R=2) ⇒ α=2; fast FF (R=8) ⇒ α=8/7.
+        let d = Exponential::with_mean(8.0).unwrap();
+        let opts = ModelOptions::default();
+        let slow = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 2.0, 3.0).unwrap())
+            .unwrap();
+        let fast = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 8.0, 3.0).unwrap())
+            .unwrap();
+        let hw_slow = p_hit_ff(&slow, &d, &opts).within;
+        let hw_fast = p_hit_ff(&fast, &d, &opts).within;
+        assert!(
+            hw_slow > hw_fast,
+            "within: slow {hw_slow} should exceed fast {hw_fast}"
+        );
+    }
+}

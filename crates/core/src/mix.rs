@@ -1,0 +1,249 @@
+//! VCR request mix and the combined hit probability (§3.1.4, Eq. 22).
+
+use vod_dist::DurationDist;
+
+use crate::{p_hit_ff, p_hit_pause, p_hit_rw, FfHit, ModelError, ModelOptions, RwHit, SystemParams};
+
+/// Probabilities that a VCR request is FF / RW / PAU (`P_FF`, `P_RW`,
+/// `P_PAU` in the paper). Must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcrMix {
+    ff: f64,
+    rw: f64,
+    pause: f64,
+}
+
+impl VcrMix {
+    /// Construct a mix; each probability must be in `[0, 1]` and they must
+    /// sum to 1 (within 1e-9).
+    pub fn new(ff: f64, rw: f64, pause: f64) -> Result<Self, ModelError> {
+        for (name, v) in [("ff", ff), ("rw", rw), ("pause", pause)] {
+            if !(v.is_finite() && (0.0..=1.0).contains(&v)) {
+                return Err(ModelError::InvalidParameter {
+                    name,
+                    value: v,
+                    requirement: "in [0, 1]",
+                });
+            }
+        }
+        let sum = ff + rw + pause;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(ModelError::BadMix { sum });
+        }
+        Ok(Self { ff, rw, pause })
+    }
+
+    /// Only fast-forward requests (Figure 7a).
+    pub fn ff_only() -> Self {
+        Self {
+            ff: 1.0,
+            rw: 0.0,
+            pause: 0.0,
+        }
+    }
+
+    /// Only rewind requests (Figure 7b).
+    pub fn rw_only() -> Self {
+        Self {
+            ff: 0.0,
+            rw: 1.0,
+            pause: 0.0,
+        }
+    }
+
+    /// Only pause requests (Figure 7c).
+    pub fn pause_only() -> Self {
+        Self {
+            ff: 0.0,
+            rw: 0.0,
+            pause: 1.0,
+        }
+    }
+
+    /// The paper's mixed workload (Figure 7d): `P_FF = 0.2`, `P_RW = 0.2`,
+    /// `P_PAU = 0.6`.
+    pub fn paper_fig7d() -> Self {
+        Self {
+            ff: 0.2,
+            rw: 0.2,
+            pause: 0.6,
+        }
+    }
+
+    /// `P_FF`.
+    pub fn ff(&self) -> f64 {
+        self.ff
+    }
+
+    /// `P_RW`.
+    pub fn rw(&self) -> f64 {
+        self.rw
+    }
+
+    /// `P_PAU`.
+    pub fn pause(&self) -> f64 {
+        self.pause
+    }
+}
+
+/// Per-VCR-type duration distributions. The paper's experiments use a
+/// single law for all three types, but the model is agnostic.
+#[derive(Clone, Copy)]
+pub struct VcrDists<'a> {
+    /// Distribution of FF sweep distances.
+    pub ff: &'a dyn DurationDist,
+    /// Distribution of RW sweep distances.
+    pub rw: &'a dyn DurationDist,
+    /// Distribution of pause durations.
+    pub pause: &'a dyn DurationDist,
+}
+
+impl<'a> VcrDists<'a> {
+    /// Use the same distribution for all three VCR types (the paper's §4
+    /// setting).
+    pub fn uniform(dist: &'a dyn DurationDist) -> Self {
+        Self {
+            ff: dist,
+            rw: dist,
+            pause: dist,
+        }
+    }
+}
+
+impl std::fmt::Debug for VcrDists<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VcrDists")
+            .field("ff", &self.ff)
+            .field("rw", &self.rw)
+            .field("pause", &self.pause)
+            .finish()
+    }
+}
+
+/// Fully decomposed hit probability for a system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HitProbability {
+    /// FF decomposition (`None` when `P_FF = 0`, not evaluated).
+    pub ff: Option<FfHit>,
+    /// RW decomposition (`None` when `P_RW = 0`).
+    pub rw: Option<RwHit>,
+    /// PAU hit probability (`None` when `P_PAU = 0`).
+    pub pause: Option<f64>,
+    /// Eq. (22): `P(hit) = P(hit|FF)P_FF + P(hit|RW)P_RW + P(hit|PAU)P_PAU`.
+    pub total: f64,
+}
+
+/// Evaluate Eq. (22) for a mix with per-type duration distributions.
+///
+/// Components whose mix probability is zero are skipped entirely (their
+/// entry is `None`), which keeps single-VCR-type sweeps cheap.
+pub fn p_hit(
+    params: &SystemParams,
+    dists: &VcrDists<'_>,
+    mix: &VcrMix,
+    opts: &ModelOptions,
+) -> HitProbability {
+    let ff = (mix.ff() > 0.0).then(|| p_hit_ff(params, dists.ff, opts));
+    let rw = (mix.rw() > 0.0).then(|| p_hit_rw(params, dists.rw, opts));
+    let pause = (mix.pause() > 0.0).then(|| p_hit_pause(params, dists.pause, opts));
+    let total = ff.as_ref().map_or(0.0, |h| h.total()) * mix.ff()
+        + rw.as_ref().map_or(0.0, |h| h.total()) * mix.rw()
+        + pause.unwrap_or(0.0) * mix.pause();
+    HitProbability {
+        ff,
+        rw,
+        pause,
+        total,
+    }
+}
+
+/// Convenience for the common "one distribution for every VCR type" case.
+pub fn p_hit_single_dist(
+    params: &SystemParams,
+    dist: &dyn DurationDist,
+    mix: &VcrMix,
+    opts: &ModelOptions,
+) -> HitProbability {
+    p_hit(params, &VcrDists::uniform(dist), mix, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rates;
+    use vod_dist::kinds::{Exponential, Gamma};
+
+    fn params() -> SystemParams {
+        SystemParams::new(120.0, 60.0, 20, Rates::paper()).unwrap()
+    }
+
+    #[test]
+    fn mix_validation() {
+        assert!(VcrMix::new(0.2, 0.2, 0.6).is_ok());
+        assert!(VcrMix::new(0.5, 0.5, 0.5).is_err());
+        assert!(VcrMix::new(-0.1, 0.5, 0.6).is_err());
+        assert!(VcrMix::new(f64::NAN, 0.5, 0.5).is_err());
+    }
+
+    #[test]
+    fn paper_mix_constants() {
+        let m = VcrMix::paper_fig7d();
+        assert_eq!((m.ff(), m.rw(), m.pause()), (0.2, 0.2, 0.6));
+    }
+
+    #[test]
+    fn eq22_is_convex_combination() {
+        let p = params();
+        let d = Gamma::paper_fig7();
+        let opts = ModelOptions::default();
+        let ff = p_hit_single_dist(&p, &d, &VcrMix::ff_only(), &opts).total;
+        let rw = p_hit_single_dist(&p, &d, &VcrMix::rw_only(), &opts).total;
+        let pa = p_hit_single_dist(&p, &d, &VcrMix::pause_only(), &opts).total;
+        let mixed = p_hit_single_dist(&p, &d, &VcrMix::paper_fig7d(), &opts).total;
+        let want = 0.2 * ff + 0.2 * rw + 0.6 * pa;
+        assert!((mixed - want).abs() < 1e-12, "{mixed} vs {want}");
+    }
+
+    #[test]
+    fn zero_weight_components_skipped() {
+        let p = params();
+        let d = Gamma::paper_fig7();
+        let out = p_hit_single_dist(&p, &d, &VcrMix::ff_only(), &ModelOptions::default());
+        assert!(out.ff.is_some());
+        assert!(out.rw.is_none());
+        assert!(out.pause.is_none());
+    }
+
+    #[test]
+    fn per_type_distributions_honored() {
+        let p = params();
+        let short = Exponential::with_mean(1.0).unwrap();
+        let long = Exponential::with_mean(30.0).unwrap();
+        let opts = ModelOptions::default();
+        let mix = VcrMix::new(1.0, 0.0, 0.0).unwrap();
+        let short_ff = p_hit(
+            &p,
+            &VcrDists {
+                ff: &short,
+                rw: &long,
+                pause: &long,
+            },
+            &mix,
+            &opts,
+        )
+        .total;
+        let long_ff = p_hit(
+            &p,
+            &VcrDists {
+                ff: &long,
+                rw: &short,
+                pause: &short,
+            },
+            &mix,
+            &opts,
+        )
+        .total;
+        // Short sweeps nearly always stay in the window.
+        assert!(short_ff > long_ff, "{short_ff} vs {long_ff}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Evaluation options for the analytic model.
+
+/// How far the jump-hit summation over partitions ahead/behind extends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundaryMode {
+    /// The paper's printed cutoff (Eq. 19): sum `hit_j^i` only for `i` with
+    /// `l − α(B + il)/n ≥ 0`, i.e. while a *complete* jump hit is possible
+    /// from some position. Partial-only partitions beyond the cutoff are
+    /// dropped, exactly as in the paper.
+    PaperEq19,
+    /// Extended summation: keep adding partitions while *any* (complete or
+    /// partial) jump hit has positive probability, clamping every
+    /// integration range to `[0, l]`. This is the natural completion of the
+    /// derivation and what a simulator measures; the `fig_ablation_eq19`
+    /// bench quantifies the (small) difference.
+    #[default]
+    Extended,
+}
+
+/// Numerical options for model evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelOptions {
+    /// Jump-summation range policy.
+    pub boundary: BoundaryMode,
+    /// Absolute tolerance handed to the quadrature routines. The default
+    /// `1e-9` keeps model error far below simulation noise.
+    pub tol: f64,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        Self {
+            boundary: BoundaryMode::default(),
+            tol: 1e-9,
+        }
+    }
+}
+
+impl ModelOptions {
+    /// Options reproducing the paper's equations literally.
+    pub fn paper() -> Self {
+        Self {
+            boundary: BoundaryMode::PaperEq19,
+            ..Self::default()
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Expected dedicated-stream hold time after a miss, with and without
+//! piggyback merge-back.
+//!
+//! The paper's phase-2 story: a viewer whose resume *misses* every
+//! partition keeps his dedicated I/O stream "until he can join a
+//! partition, for instance, using the piggybacking technique [1, 7, 9]".
+//! This module quantifies that residual hold, the missing input to
+//! reserve sizing (`vod_sizing::VcrLoad::mean_miss_hold`):
+//!
+//! * **Without piggybacking** the stream is held until the movie ends:
+//!   with the resume position `p ~ U[0, l]`, `E[hold] = l/2` real minutes.
+//! * **With piggybacking** at display rate `(1 + δ)·R_PB`, the viewer
+//!   gains on the co-moving pattern at `δ` movie minutes per real minute.
+//!   A missed position sits a forward distance `d ~ U[0, w]` from the
+//!   trailing edge of the next window (gaps have length `w` and misses
+//!   are uniform over them), so the merge takes `d/δ` real minutes —
+//!   capped by the movie end, reached after `(l − p)/(1 + δ)` real
+//!   minutes.
+//!
+//! The model ignores a further VCR operation arriving before the merge
+//! (which would only shorten the hold) and the sliver of probability that
+//! the gap ahead is truncated by the movie end — both conservative.
+
+use crate::SystemParams;
+
+/// Real minutes to close a forward distance of `gap` movie minutes at a
+/// piggyback display-rate surplus of `delta` (fraction of playback rate).
+pub fn merge_time(gap: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0, "piggyback surplus must be positive");
+    assert!(gap >= 0.0, "gap cannot be negative");
+    gap / delta
+}
+
+/// Expected dedicated-stream hold after a miss, in real minutes,
+/// *without* piggybacking: the stream is held until the movie ends.
+pub fn expected_miss_hold_plain(params: &SystemParams) -> f64 {
+    params.movie_len() / 2.0
+}
+
+/// Expected dedicated-stream hold after a miss, in real minutes, with
+/// piggybacking at rate surplus `delta` (e.g. 0.05 for +5% display rate,
+/// the threshold the piggybacking literature (the paper's ref. \[7\]) treats as
+/// imperceptible).
+///
+/// Averages `min(d/δ, (l − p)/(1 + δ))` over `d ~ U[0, w]`,
+/// `p ~ U[0, l]`:
+///
+/// ```text
+/// E = (1/(l·w)) ∫₀^l ∫₀^w min(d/δ, (l − p)/(1+δ)) dd dp
+/// ```
+///
+/// evaluated in closed form by splitting at `d* = δ(l−p)/(1+δ)`.
+pub fn expected_miss_hold_piggyback(params: &SystemParams, delta: f64) -> f64 {
+    assert!(delta > 0.0, "piggyback surplus must be positive");
+    let l = params.movie_len();
+    let w = params.max_wait();
+    if w <= 0.0 {
+        // No gaps: a miss can only be the movie-end sliver; the hold is
+        // the remaining playback at the faster rate.
+        return l / (2.0 * (1.0 + delta));
+    }
+    // Inner integral over d for fixed remaining time r = (l−p)/(1+δ):
+    //   d* = min(w, δ·r)
+    //   ∫₀^w min(d/δ, r) dd = d*²/(2δ) + (w − d*)·r.
+    // Outer average over p — equivalently r uniform on [0, l/(1+δ)].
+    integrate_uniform(l / (1.0 + delta), w, delta)
+}
+
+/// `(1/r_max) ∫₀^{r_max} [ d*²/(2δ) + (w − d*) r ] dr`, `d* = min(w, δr)`.
+fn integrate_uniform(r_max: f64, w: f64, delta: f64) -> f64 {
+    let r_w = (w / delta).min(r_max); // below r_w: d* = δr; above: d* = w
+    // Piece 1: r ∈ [0, r_w], d* = δr:
+    //   value(r) = δr²/2 + (w − δr)·r = wr − δr²/2.
+    //   ∫ = w r_w²/2 − δ r_w³/6.
+    let piece1 = w * r_w * r_w / 2.0 - delta * r_w.powi(3) / 6.0;
+    // Piece 2: r ∈ [r_w, r_max], d* = w: value = w²/(2δ).
+    let piece2 = (r_max - r_w).max(0.0) * w * w / (2.0 * delta);
+    ((piece1 + piece2) / r_max) / w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rates;
+    use vod_dist::rng::{seeded, u01};
+
+    fn params(l: f64, b: f64, n: u32) -> SystemParams {
+        SystemParams::new(l, b, n, Rates::paper()).unwrap()
+    }
+
+    #[test]
+    fn merge_time_linear() {
+        assert_eq!(merge_time(5.0, 0.05), 100.0);
+        assert_eq!(merge_time(0.0, 0.05), 0.0);
+    }
+
+    #[test]
+    fn plain_hold_is_half_movie() {
+        assert_eq!(expected_miss_hold_plain(&params(120.0, 60.0, 20)), 60.0);
+    }
+
+    #[test]
+    fn piggyback_slashes_holds() {
+        // l = 120, n = 20, B = 60 → w = 3. At +5%, merging a ≤3-minute
+        // gap takes ≤ 60 real minutes and on average far less.
+        let p = params(120.0, 60.0, 20);
+        let pb = expected_miss_hold_piggyback(&p, 0.05);
+        let plain = expected_miss_hold_plain(&p);
+        assert!(pb < plain, "{pb} vs {plain}");
+        // The uncapped average merge would be E[d]/δ = 1.5/0.05 = 30;
+        // the movie-end cap only lowers it.
+        assert!(pb <= 30.0 + 1e-9, "pb {pb}");
+        assert!(pb > 10.0, "pb {pb} suspiciously small");
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        let p = params(120.0, 60.0, 20);
+        for &delta in &[0.05, 0.1, 0.3] {
+            let analytic = expected_miss_hold_piggyback(&p, delta);
+            let mut rng = seeded(33);
+            let n = 400_000;
+            let mut acc = 0.0;
+            for _ in 0..n {
+                let d = p.max_wait() * u01(&mut rng);
+                let pos = p.movie_len() * u01(&mut rng);
+                let r = (p.movie_len() - pos) / (1.0 + delta);
+                acc += (d / delta).min(r);
+            }
+            let mc = acc / n as f64;
+            assert!(
+                (analytic - mc).abs() < 0.01 * mc.max(1.0),
+                "delta={delta}: analytic {analytic} vs MC {mc}"
+            );
+        }
+    }
+
+    #[test]
+    fn faster_piggyback_shorter_holds() {
+        let p = params(120.0, 60.0, 20);
+        let slow = expected_miss_hold_piggyback(&p, 0.02);
+        let fast = expected_miss_hold_piggyback(&p, 0.10);
+        assert!(fast < slow, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn zero_gap_configuration() {
+        // w = 0 (full buffering): only the end sliver can miss.
+        let p = params(120.0, 120.0, 20);
+        let h = expected_miss_hold_piggyback(&p, 0.05);
+        assert!((h - 120.0 / (2.0 * 1.05)).abs() < 1e-9);
+    }
+}

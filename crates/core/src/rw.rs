@@ -1,0 +1,270 @@
+//! Rewind hit probability `P(hit|RW)`.
+//!
+//! The paper derives `P(hit|FF)` in full and defers RW to technical report
+//! CS-TR-96-03; this module reconstructs the derivation with the same
+//! structure and assumptions (uniform `s = V_f − V_c` in `[0, B/n]`,
+//! uniform `V_c` in `[0, l]`).
+//!
+//! Geometry: a rewind that sweeps `x` movie minutes takes `x/R_RW` real
+//! minutes, during which every partition advances by `x·R_PB/R_RW`; the
+//! viewer's displacement *relative to the co-moving partition pattern* is
+//! therefore `x/γ` backwards, with `γ = R_RW/(R_PB + R_RW)` (Eq. 1).
+//!
+//! * **Within-partition** (`hit_w`): the viewer exits his window through
+//!   the trailing edge after a relative displacement of `V_c − V_l =
+//!   B/n − s`, i.e. stays inside iff `x ≤ γ(B/n − s)`.
+//! * **Jump to the i-th partition behind** (`hit_j^i`): the window spans
+//!   relative displacements `[γ(il/n − s), γ(il/n − s) + γB/n]`. Because
+//!   restarts are perpetual, trailing partitions always exist.
+//! * **Movie-start boundary**: the viewer cannot rewind below position 0;
+//!   a sweep that would reach the start before the catch-up point is a
+//!   *miss* (`x ≤ V_c` required). This is exactly the convention §4 of the
+//!   paper attributes to its model ("we assume that a miss occurs in this
+//!   case"), and is why the model slightly underestimates the simulated RW
+//!   hit rate near the beginning of the movie. There is no analogue of the
+//!   FF `P(end)` bonus term.
+
+use vod_dist::quad::adaptive_simpson;
+use vod_dist::DurationDist;
+
+use crate::{ModelOptions, SystemParams};
+
+/// Decomposed RW hit probability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RwHit {
+    /// Resume within the partition that issued the RW.
+    pub within: f64,
+    /// Resume in the i-th partition *behind*, `i = 1, 2, …`.
+    pub jumps: Vec<f64>,
+}
+
+impl RwHit {
+    /// `P(hit|RW)`: within + Σ jumps.
+    pub fn total(&self) -> f64 {
+        self.within + self.jumps.iter().sum::<f64>()
+    }
+}
+
+/// `P(hit|RW)` via the closed-form decomposition.
+pub fn p_hit_rw(params: &SystemParams, dist: &dyn DurationDist, opts: &ModelOptions) -> RwHit {
+    let l = params.movie_len();
+    let n = params.n();
+    let b = params.partition_len();
+    let gamma = params.rates().gamma();
+
+    if b <= 0.0 {
+        return RwHit {
+            within: 0.0,
+            jumps: Vec::new(),
+        };
+    }
+
+    let f = |x: f64| if x <= 0.0 { 0.0 } else { dist.cdf(x) };
+    let h = |y: f64| if y <= 0.0 { 0.0 } else { dist.cdf_integral(y) };
+
+    // ---- Within-partition -----------------------------------------------
+    // P(hit_w|RW, V_c, s) = F(min(γ(b − s), V_c)). Unconditioning over
+    // s ~ U[0,b] (substituting r = b − s) and then V_c ~ U[0,l]:
+    //   for V_c ≥ γb the s-average is H(γb)/(γb);
+    //   for V_c < γb it is (H(V_c)/γ + (b − V_c/γ) F(V_c))/b.
+    let within = ((l - gamma * b).max(0.0) * h(gamma * b) / gamma
+        + adaptive_simpson(
+            |v| h(v) / gamma + (b - v / gamma) * f(v),
+            0.0,
+            l.min(gamma * b),
+            opts.tol,
+        ))
+        / (b * l);
+
+    // ---- Jumps to partitions behind ---------------------------------------
+    // For the i-th partition behind (phase c = il/n), conditional on s the
+    // sweep must land in [lb, lb + γb] with lb = γ(c − s), and the movie
+    // start clamps everything at V_c:
+    //   ∫₀^l [F(min(lb+γb, V_c)) − F(min(lb, V_c))] dV_c = J(lb+γb) − J(lb),
+    //   J(K) = H(min(K, l)) + (l − K)₊ F(K).
+    let j = |kk: f64| h(kk.min(l)) + (l - kk).max(0.0) * f(kk);
+    let mut jumps = Vec::new();
+    let mut i = 1u32;
+    loop {
+        let c = i as f64 * l / n;
+        // Smallest lb over s∈[0,b] is γ(c−b); once it reaches l no viewer
+        // position allows the catch-up.
+        if gamma * (c - b) >= l {
+            break;
+        }
+        let term = adaptive_simpson(
+            |s| {
+                let lb = gamma * (c - s);
+                j(lb + gamma * b) - j(lb)
+            },
+            0.0,
+            b,
+            opts.tol,
+        ) / (b * l);
+        jumps.push(term);
+        i += 1;
+        if i > 2 * params.n_streams() + 8 {
+            debug_assert!(false, "RW jump summation failed to terminate");
+            break;
+        }
+    }
+
+    RwHit { within, jumps }
+}
+
+/// Brute-force 2-D oracle for `P(hit|RW)`; equals [`p_hit_rw`] up to
+/// quadrature error. Used by tests and the ablation bench.
+pub fn p_hit_rw_direct(
+    params: &SystemParams,
+    dist: &dyn DurationDist,
+    opts: &ModelOptions,
+) -> f64 {
+    let l = params.movie_len();
+    let n = params.n();
+    let b = params.partition_len();
+    let gamma = params.rates().gamma();
+    if b <= 0.0 {
+        return 0.0;
+    }
+    let f = |x: f64| if x <= 0.0 { 0.0 } else { dist.cdf(x) };
+
+    let conditional = |vc: f64, s: f64| -> f64 {
+        let mut total = f((gamma * (b - s)).min(vc));
+        let mut i = 1u32;
+        loop {
+            let c = i as f64 * l / n;
+            let lb = gamma * (c - s);
+            if lb >= vc {
+                break;
+            }
+            total += f((lb + gamma * b).min(vc)) - f(lb);
+            i += 1;
+            if i > 2 * params.n_streams() + 8 {
+                break;
+            }
+        }
+        total
+    };
+
+    adaptive_simpson(
+        |vc| adaptive_simpson(|s| conditional(vc, s), 0.0, b, opts.tol * b / l) / b,
+        0.0,
+        l,
+        opts.tol,
+    ) / l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rates;
+    use vod_dist::kinds::{Deterministic, Exponential, Gamma, Uniform};
+
+    fn params(l: f64, b: f64, n: u32) -> SystemParams {
+        SystemParams::new(l, b, n, Rates::paper()).unwrap()
+    }
+
+    #[test]
+    fn pure_batching_is_zero() {
+        let p = params(120.0, 0.0, 10);
+        let hit = p_hit_rw(&p, &Gamma::paper_fig7(), &ModelOptions::default());
+        assert_eq!(hit.total(), 0.0);
+    }
+
+    #[test]
+    fn total_is_probability() {
+        for (l, b, n) in [
+            (120.0, 30.0, 10),
+            (120.0, 90.0, 30),
+            (120.0, 119.0, 60),
+            (60.0, 30.0, 2),
+            (90.0, 45.0, 1),
+        ] {
+            let p = params(l, b, n);
+            let t = p_hit_rw(&p, &Gamma::paper_fig7(), &ModelOptions::default()).total();
+            assert!((0.0..=1.0 + 1e-7).contains(&t), "l={l} B={b} n={n}: {t}");
+        }
+    }
+
+    #[test]
+    fn decomposition_matches_direct_oracle() {
+        let opts = ModelOptions::default();
+        for (l, b, n) in [
+            (120.0, 30.0, 10),
+            (120.0, 60.0, 20),
+            (75.0, 39.0, 25),
+            (60.0, 30.0, 6),
+        ] {
+            let p = params(l, b, n);
+            for d in [
+                Box::new(Gamma::paper_fig7()) as Box<dyn DurationDist>,
+                Box::new(Exponential::with_mean(5.0).unwrap()),
+                Box::new(Uniform::new(0.0, 16.0).unwrap()),
+            ] {
+                let dec = p_hit_rw(&p, d.as_ref(), &opts).total();
+                let dir = p_hit_rw_direct(&p, d.as_ref(), &opts);
+                assert!(
+                    (dec - dir).abs() < 5e-4,
+                    "l={l} B={b} n={n} {d:?}: decomposed {dec} vs direct {dir}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_buffer_means_more_hits() {
+        let d = Exponential::with_mean(5.0).unwrap();
+        let opts = ModelOptions::default();
+        let mut prev = 0.0;
+        for b in [0.0, 12.0, 30.0, 60.0, 90.0, 118.0] {
+            let t = p_hit_rw(&params(120.0, b, 12), &d, &opts).total();
+            assert!(t >= prev - 1e-7, "B={b}: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn full_buffer_rewind_hits_almost_surely() {
+        // With w = 0 the windows tile the whole movie, so only the
+        // movie-start boundary produces misses. Short deterministic
+        // rewinds then hit unless V_c < x.
+        let p = params(120.0, 120.0, 10);
+        let d = Deterministic::new(1.0).unwrap();
+        let t = p_hit_rw(&p, &d, &ModelOptions::default()).total();
+        // Exact: miss iff V_c < 1 → P(hit) = 1 − 1/120 ≈ 0.99167.
+        assert!((t - (1.0 - 1.0 / 120.0)).abs() < 1e-6, "total {t}");
+    }
+
+    #[test]
+    fn short_rewinds_mostly_stay_within() {
+        // Sweeping 1 minute with b = 12, γ = 0.75: stays within iff
+        // s ≤ b − x/γ = 12 − 4/3, plus V_c ≥ 1.
+        let p = params(120.0, 120.0, 10);
+        let d = Deterministic::new(1.0).unwrap();
+        let hit = p_hit_rw(&p, &d, &ModelOptions::default());
+        // min(γ(b−s), V_c) ≥ 1 iff both factors are ≥ 1, and s, V_c are
+        // independent: P[s ≤ 12 − 4/3] · P[V_c ≥ 1].
+        let ideal = (1.0 - (4.0 / 3.0) / 12.0) * (119.0 / 120.0);
+        assert!(
+            (hit.within - ideal).abs() < 1e-6,
+            "within {} vs {ideal}",
+            hit.within
+        );
+        assert!(hit.total() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rewind_rate_direction() {
+        // Faster rewind ⇒ γ closer to 1 ⇒ at fixed swept distance the
+        // relative backwards drift x/γ is *smaller* ⇒ more within-hits.
+        let d = Exponential::with_mean(8.0).unwrap();
+        let opts = ModelOptions::default();
+        let slow = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 3.0, 1.0).unwrap())
+            .unwrap();
+        let fast = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 3.0, 9.0).unwrap())
+            .unwrap();
+        let w_slow = p_hit_rw(&slow, &d, &opts).within;
+        let w_fast = p_hit_rw(&fast, &d, &opts).within;
+        assert!(w_fast > w_slow, "fast {w_fast} <= slow {w_slow}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the analytic model: probability bounds,
+//! monotonicity, decomposition-vs-oracle agreement, and degenerate-case
+//! behavior under arbitrary valid configurations.
+
+use proptest::prelude::*;
+
+use vod_dist::kinds::{Exponential, Gamma, Uniform};
+use vod_dist::DurationDist;
+use vod_model::{
+    p_hit_ff, p_hit_ff_direct, p_hit_pause, p_hit_rw, p_hit_single_dist, ModelOptions, Rates,
+    SystemParams, VcrMix,
+};
+
+fn any_dist() -> impl Strategy<Value = Box<dyn DurationDist>> {
+    prop_oneof![
+        (0.5f64..30.0).prop_map(|m| Box::new(Exponential::with_mean(m).unwrap())
+            as Box<dyn DurationDist>),
+        ((0.5f64..6.0), (0.5f64..10.0))
+            .prop_map(|(k, s)| Box::new(Gamma::new(k, s).unwrap()) as Box<dyn DurationDist>),
+        (1.0f64..40.0)
+            .prop_map(|hi| Box::new(Uniform::new(0.0, hi).unwrap()) as Box<dyn DurationDist>),
+    ]
+}
+
+fn any_params() -> impl Strategy<Value = SystemParams> {
+    // l ∈ [30, 180], B as a fraction of l, n small enough to keep each
+    // evaluation cheap, rates with FF strictly above playback.
+    (
+        30.0f64..180.0,
+        0.0f64..=1.0,
+        1u32..40,
+        1.2f64..8.0,
+        0.3f64..8.0,
+    )
+        .prop_map(|(l, bfrac, n, ff, rw)| {
+            SystemParams::new(l, bfrac * l, n, Rates::new(1.0, ff, rw).unwrap()).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn every_component_is_a_probability(params in any_params(), d in any_dist()) {
+        let opts = ModelOptions::default();
+        let ff = p_hit_ff(&params, d.as_ref(), &opts);
+        prop_assert!(ff.within >= -1e-9, "within {}", ff.within);
+        prop_assert!(ff.end >= -1e-9 && ff.end <= 1.0 + 1e-9);
+        for (i, j) in ff.jumps.iter().enumerate() {
+            prop_assert!(*j >= -1e-7, "jump {i} = {j} ({params:?})");
+        }
+        let t = ff.total();
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&t), "FF total {t} ({params:?}, {d:?})");
+
+        let rw = p_hit_rw(&params, d.as_ref(), &opts).total();
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&rw), "RW total {rw}");
+
+        let pau = p_hit_pause(&params, d.as_ref(), &opts);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&pau), "PAU total {pau}");
+    }
+
+    #[test]
+    fn mixed_total_is_convex_combination(params in any_params(), d in any_dist(),
+                                         ff_w in 0.0f64..1.0, rw_frac in 0.0f64..1.0) {
+        let rw_w = (1.0 - ff_w) * rw_frac;
+        let pau_w = 1.0 - ff_w - rw_w;
+        let mix = VcrMix::new(ff_w, rw_w, pau_w).unwrap();
+        let opts = ModelOptions::default();
+        let mixed = p_hit_single_dist(&params, d.as_ref(), &mix, &opts).total;
+        let ff = p_hit_single_dist(&params, d.as_ref(), &VcrMix::ff_only(), &opts).total;
+        let rw = p_hit_single_dist(&params, d.as_ref(), &VcrMix::rw_only(), &opts).total;
+        let pau = p_hit_single_dist(&params, d.as_ref(), &VcrMix::pause_only(), &opts).total;
+        let lo = ff.min(rw).min(pau) - 1e-9;
+        let hi = ff.max(rw).max(pau) + 1e-9;
+        prop_assert!((lo..=hi).contains(&mixed), "mixed {mixed} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn more_buffer_never_hurts(l in 60.0f64..150.0, n in 2u32..30,
+                               b1 in 0.0f64..0.5, extra in 0.0f64..0.5,
+                               d in any_dist()) {
+        let opts = ModelOptions::default();
+        let rates = Rates::paper();
+        let small = SystemParams::new(l, b1 * l, n, rates).unwrap();
+        let large = SystemParams::new(l, (b1 + extra).min(1.0) * l, n, rates).unwrap();
+        let mix = VcrMix::paper_fig7d();
+        let p_small = p_hit_single_dist(&small, d.as_ref(), &mix, &opts).total;
+        let p_large = p_hit_single_dist(&large, d.as_ref(), &mix, &opts).total;
+        prop_assert!(p_large >= p_small - 1e-6, "B↑ lowered P(hit): {p_small} -> {p_large}");
+    }
+
+    #[test]
+    fn ff_decomposition_equals_direct_oracle(l in 60.0f64..150.0, n in 2u32..16,
+                                             bfrac in 0.05f64..0.95, d in any_dist()) {
+        let params = SystemParams::new(l, bfrac * l, n, Rates::paper()).unwrap();
+        let opts = ModelOptions::default();
+        let dec = p_hit_ff(&params, d.as_ref(), &opts).total();
+        let dir = p_hit_ff_direct(&params, d.as_ref(), &opts);
+        prop_assert!((dec - dir).abs() < 2e-3,
+            "l={l} B={} n={n} {d:?}: {dec} vs {dir}", params.buffer());
+    }
+
+    #[test]
+    fn pure_batching_only_end_hits(l in 60.0f64..150.0, n in 1u32..40, d in any_dist()) {
+        let params = SystemParams::new(l, 0.0, n, Rates::paper()).unwrap();
+        let opts = ModelOptions::default();
+        let ff = p_hit_ff(&params, d.as_ref(), &opts);
+        prop_assert_eq!(ff.within, 0.0);
+        prop_assert!(ff.jumps.is_empty());
+        prop_assert_eq!(p_hit_rw(&params, d.as_ref(), &opts).total(), 0.0);
+        prop_assert_eq!(p_hit_pause(&params, d.as_ref(), &opts), 0.0);
+    }
+
+    #[test]
+    fn tiny_sweeps_hit_up_to_the_end_boundary(l in 60.0f64..150.0, n in 2u32..20) {
+        // With full buffering and sweeps far smaller than a partition,
+        // FF/RW hits are near-certain; PAU loses exactly the end-of-movie
+        // sliver: for x→0, P(hit|PAU) → 1 − b/(2l) (a viewer whose V_f
+        // overruns the movie end has no live trailing window). Mixed with
+        // the Figure-7d weights the total approaches 1 − 0.6·b/(2l).
+        let params = SystemParams::new(l, l, n, Rates::paper()).unwrap();
+        let d = Exponential::with_mean(0.01).unwrap();
+        let opts = ModelOptions::default();
+        let mix = VcrMix::paper_fig7d();
+        let p = p_hit_single_dist(&params, &d, &mix, &opts).total;
+        let b_over_l = params.partition_len() / l;
+        let asymptote = 1.0 - 0.6 * b_over_l / 2.0;
+        prop_assert!(
+            (p - asymptote).abs() < 0.02,
+            "tiny sweeps: P(hit) = {p}, asymptote {asymptote}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! The [`DurationDist`] trait: what the analytic model needs to know about
+//! the distribution of VCR-operation durations.
+//!
+//! The paper (§3.1) deliberately keeps the VCR-duration distribution
+//! general: "we assume that the VCR behavior has a general distribution and
+//! construct a model which is able to handle a general probability
+//! distribution". Every probability in the model reduces to evaluations of
+//! the cdf `F` and of its running integral `H(y) = ∫₀^y F(u) du`, so the
+//! trait exposes both, along with sampling (for the simulator) and moments
+//! (for workload construction and tests).
+
+use rand::RngCore;
+
+use crate::quad::adaptive_simpson;
+use crate::root::brent;
+
+/// A probability distribution over non-negative VCR-operation durations,
+/// measured in movie minutes (see DESIGN.md §3 for the unit convention).
+///
+/// Implementations must satisfy, for all `x ≤ y`:
+/// * `0 ≤ cdf(x) ≤ cdf(y) ≤ 1`, with `cdf(x) = 0` for `x ≤ 0`;
+/// * `cdf_integral(y) − cdf_integral(x) ∈ [0, y − x]` (it integrates a
+///   function bounded by 1);
+/// * `sample` draws from the same law as `cdf` describes.
+///
+/// The trait is object-safe: the model and the simulator both work with
+/// `&dyn DurationDist`.
+pub trait DurationDist: std::fmt::Debug + Send + Sync {
+    /// Probability density at `x` (0 for `x < 0`). Distributions with atoms
+    /// (e.g. [`crate::kinds::Deterministic`]) return 0 everywhere and are
+    /// described entirely by their cdf.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative distribution function `F(x) = P[X ≤ x]`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// `H(y) = ∫₀^y F(u) du`, the running integral of the cdf.
+    ///
+    /// For `y ≤ 0` this is 0. Every built-in distribution implements this
+    /// in closed form; external implementations may fall back to
+    /// [`numeric_cdf_integral`].
+    fn cdf_integral(&self, y: f64) -> f64;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+
+    /// Variance of the distribution.
+    fn variance(&self) -> f64;
+
+    /// Draw one variate.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// An interval `[lo, hi]` outside of which the distribution has
+    /// (essentially) no mass; used to bracket quantile searches and to
+    /// bound numeric integration. The default covers heavy-tailed
+    /// distributions via the mean.
+    fn support_hint(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+
+    /// `p`-quantile (generalized inverse cdf). The default implementation
+    /// brackets using [`DurationDist::support_hint`] and solves with
+    /// Brent's method; distributions with a closed-form inverse override
+    /// this.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile domain: p in [0,1]");
+        if p == 0.0 {
+            return 0.0;
+        }
+        let (lo, hint_hi) = self.support_hint();
+        // Expand the upper bracket geometrically until it covers p.
+        let mut hi = if hint_hi.is_finite() {
+            hint_hi
+        } else {
+            (self.mean() + 4.0 * self.variance().sqrt()).max(1.0)
+        };
+        let mut guard = 0;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            guard += 1;
+            if guard > 200 {
+                return hi; // p is (numerically) 1; return the far tail.
+            }
+        }
+        brent(|x| self.cdf(x) - p, lo, hi, 1e-12 * (1.0 + hi))
+            .unwrap_or(0.5 * (lo + hi))
+    }
+}
+
+/// Numeric fallback for [`DurationDist::cdf_integral`]: adaptive Simpson on
+/// the cdf. Cost is a few hundred cdf evaluations at `tol = 1e-10`; fine
+/// for one-off use, but model sweeps should prefer closed forms.
+pub fn numeric_cdf_integral(dist: &dyn DurationDist, y: f64) -> f64 {
+    if y <= 0.0 {
+        return 0.0;
+    }
+    adaptive_simpson(|u| dist.cdf(u), 0.0, y, 1e-10)
+}
+
+/// Shared validation helper: check that a would-be parameter is finite and
+/// strictly positive, returning a uniform error message.
+pub(crate) fn require_positive(name: &str, v: f64) -> Result<f64, crate::DistError> {
+    if v.is_finite() && v > 0.0 {
+        Ok(v)
+    } else {
+        Err(crate::DistError::InvalidParameter {
+            name: name.to_string(),
+            value: v,
+            requirement: "finite and > 0",
+        })
+    }
+}
+
+/// Shared validation helper for non-negative parameters.
+pub(crate) fn require_non_negative(name: &str, v: f64) -> Result<f64, crate::DistError> {
+    if v.is_finite() && v >= 0.0 {
+        Ok(v)
+    } else {
+        Err(crate::DistError::InvalidParameter {
+            name: name.to_string(),
+            value: v,
+            requirement: "finite and >= 0",
+        })
+    }
+}

@@ -1,0 +1,239 @@
+//! Fitting duration distributions to observed samples.
+//!
+//! §2.1 of the paper: "The pdf of VCR requests can be obtained by
+//! statistics while the movie is displayed." [`kinds::Empirical`] ingests
+//! raw samples directly; this module adds the parametric route — fit the
+//! classical families by the method of moments and rank candidates with a
+//! Kolmogorov–Smirnov statistic — so an operator can trade the empirical
+//! law's fidelity for a smooth, extrapolating model.
+
+use crate::kinds::{Exponential, Gamma, LogNormal, Weibull};
+use crate::root::brent;
+use crate::{DistError, DurationDist};
+
+/// Sample mean and (unbiased) variance, the inputs to every
+/// method-of-moments fit. Errors on fewer than 2 samples or non-finite
+/// values.
+pub fn sample_moments(samples: &[f64]) -> Result<(f64, f64), DistError> {
+    if samples.len() < 2 {
+        return Err(DistError::Empty("samples (need at least 2)"));
+    }
+    let n = samples.len() as f64;
+    let mut sum = 0.0;
+    for &x in samples {
+        if !x.is_finite() || x < 0.0 {
+            return Err(DistError::InvalidParameter {
+                name: "sample".into(),
+                value: x,
+                requirement: "finite and >= 0",
+            });
+        }
+        sum += x;
+    }
+    let mean = sum / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    Ok((mean, var))
+}
+
+/// Fit an exponential by matching the mean.
+pub fn fit_exponential(samples: &[f64]) -> Result<Exponential, DistError> {
+    let (mean, _) = sample_moments(samples)?;
+    Exponential::with_mean(mean)
+}
+
+/// Fit a gamma by the method of moments: `shape = mean²/var`,
+/// `scale = var/mean`.
+pub fn fit_gamma(samples: &[f64]) -> Result<Gamma, DistError> {
+    let (mean, var) = sample_moments(samples)?;
+    if var <= 0.0 {
+        return Err(DistError::InvalidParameter {
+            name: "variance".into(),
+            value: var,
+            requirement: "> 0 (samples must vary)",
+        });
+    }
+    Gamma::new(mean * mean / var, var / mean)
+}
+
+/// Fit a lognormal by matching mean and coefficient of variation.
+pub fn fit_lognormal(samples: &[f64]) -> Result<LogNormal, DistError> {
+    let (mean, var) = sample_moments(samples)?;
+    if var <= 0.0 || mean <= 0.0 {
+        return Err(DistError::InvalidParameter {
+            name: "variance".into(),
+            value: var,
+            requirement: "> 0 (samples must vary)",
+        });
+    }
+    LogNormal::with_mean_cv(mean, var.sqrt() / mean)
+}
+
+/// Fit a Weibull by the method of moments. The shape solves
+/// `Γ(1+2/k)/Γ(1+1/k)² = 1 + cv²` (monotone in `k`), found by Brent on
+/// `k ∈ [0.08, 80]`; the scale then matches the mean.
+pub fn fit_weibull(samples: &[f64]) -> Result<Weibull, DistError> {
+    use crate::special::ln_gamma;
+    let (mean, var) = sample_moments(samples)?;
+    if var <= 0.0 || mean <= 0.0 {
+        return Err(DistError::InvalidParameter {
+            name: "variance".into(),
+            value: var,
+            requirement: "> 0 (samples must vary)",
+        });
+    }
+    let target = 1.0 + var / (mean * mean);
+    let ratio = |k: f64| (ln_gamma(1.0 + 2.0 / k) - 2.0 * ln_gamma(1.0 + 1.0 / k)).exp();
+    let shape = brent(|k| ratio(k) - target, 0.08, 80.0, 1e-10).map_err(|_| {
+        DistError::InvalidParameter {
+            name: "cv".into(),
+            value: (var.sqrt() / mean),
+            requirement: "within the Weibull-representable range",
+        }
+    })?;
+    let scale = mean / (ln_gamma(1.0 + 1.0 / shape)).exp();
+    Weibull::new(shape, scale)
+}
+
+/// Kolmogorov–Smirnov statistic `D_n = sup_x |F_n(x) − F(x)|` of samples
+/// against a candidate distribution. Lower is better; for n samples from
+/// the true law, `D_n ≈ 1.36/√n` at the 5% level.
+pub fn ks_statistic(dist: &dyn DurationDist, samples: &[f64]) -> f64 {
+    assert!(!samples.is_empty(), "need samples");
+    let mut xs: Vec<f64> = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// A ranked fit candidate.
+#[derive(Debug)]
+pub struct FitCandidate {
+    /// Family name.
+    pub family: &'static str,
+    /// The fitted distribution.
+    pub dist: Box<dyn DurationDist>,
+    /// KS statistic against the input samples.
+    pub ks: f64,
+}
+
+/// Fit every parametric family this crate supports and rank by KS
+/// statistic (best first). Families whose fit fails (e.g. zero variance)
+/// are skipped.
+pub fn fit_all(samples: &[f64]) -> Result<Vec<FitCandidate>, DistError> {
+    // Validate inputs once through sample_moments.
+    sample_moments(samples)?;
+    let mut out: Vec<FitCandidate> = Vec::new();
+    if let Ok(d) = fit_exponential(samples) {
+        out.push(candidate("exponential", Box::new(d), samples));
+    }
+    if let Ok(d) = fit_gamma(samples) {
+        out.push(candidate("gamma", Box::new(d), samples));
+    }
+    if let Ok(d) = fit_lognormal(samples) {
+        out.push(candidate("lognormal", Box::new(d), samples));
+    }
+    if let Ok(d) = fit_weibull(samples) {
+        out.push(candidate("weibull", Box::new(d), samples));
+    }
+    if out.is_empty() {
+        return Err(DistError::Empty("fit candidates"));
+    }
+    out.sort_by(|a, b| a.ks.partial_cmp(&b.ks).expect("finite KS"));
+    Ok(out)
+}
+
+fn candidate(
+    family: &'static str,
+    dist: Box<dyn DurationDist>,
+    samples: &[f64],
+) -> FitCandidate {
+    let ks = ks_statistic(dist.as_ref(), samples);
+    FitCandidate { family, dist, ks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn draws(d: &dyn DurationDist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = seeded(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn moments_basic() {
+        let (m, v) = sample_moments(&[2.0, 4.0, 6.0]).unwrap();
+        assert!((m - 4.0).abs() < 1e-12);
+        assert!((v - 4.0).abs() < 1e-12);
+        assert!(sample_moments(&[1.0]).is_err());
+        assert!(sample_moments(&[1.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn gamma_recovers_parameters() {
+        let truth = Gamma::paper_fig7();
+        let xs = draws(&truth, 60_000, 1);
+        let fit = fit_gamma(&xs).unwrap();
+        assert!((fit.shape() - 2.0).abs() < 0.1, "shape {}", fit.shape());
+        assert!((fit.scale() - 4.0).abs() < 0.2, "scale {}", fit.scale());
+    }
+
+    #[test]
+    fn weibull_recovers_parameters() {
+        let truth = Weibull::new(1.7, 6.0).unwrap();
+        let xs = draws(&truth, 60_000, 2);
+        let fit = fit_weibull(&xs).unwrap();
+        assert!((fit.shape() - 1.7).abs() < 0.08, "shape {}", fit.shape());
+        assert!((fit.scale() - 6.0).abs() < 0.2, "scale {}", fit.scale());
+    }
+
+    #[test]
+    fn ks_small_for_true_family_large_for_wrong() {
+        let truth = Gamma::paper_fig7();
+        let xs = draws(&truth, 20_000, 3);
+        let good = ks_statistic(&fit_gamma(&xs).unwrap(), &xs);
+        let bad = ks_statistic(&Exponential::with_mean(8.0).unwrap(), &xs);
+        assert!(good < 0.02, "good fit KS {good}");
+        assert!(bad > 3.0 * good, "exp KS {bad} vs gamma KS {good}");
+    }
+
+    #[test]
+    fn fit_all_ranks_true_family_first_or_close() {
+        let truth = Gamma::new(2.0, 4.0).unwrap();
+        let xs = draws(&truth, 30_000, 4);
+        let ranked = fit_all(&xs).unwrap();
+        assert!(ranked.len() >= 3);
+        // Gamma or its close cousins (Weibull/lognormal can mimic) must
+        // beat the exponential, whose cv = 1 ≠ 1/√2.
+        let exp_rank = ranked
+            .iter()
+            .position(|c| c.family == "exponential")
+            .expect("exponential fitted");
+        let gamma_rank = ranked
+            .iter()
+            .position(|c| c.family == "gamma")
+            .expect("gamma fitted");
+        assert!(gamma_rank < exp_rank, "{ranked:?}");
+        // Ranking is sorted.
+        for w in ranked.windows(2) {
+            assert!(w[0].ks <= w[1].ks);
+        }
+    }
+
+    #[test]
+    fn ks_detects_scale_errors() {
+        let xs = draws(&Exponential::with_mean(5.0).unwrap(), 5_000, 5);
+        let right = ks_statistic(&Exponential::with_mean(5.0).unwrap(), &xs);
+        let wrong = ks_statistic(&Exponential::with_mean(10.0).unwrap(), &xs);
+        assert!(right < 0.03);
+        assert!(wrong > 0.15);
+    }
+}

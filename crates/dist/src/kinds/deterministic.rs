@@ -1,0 +1,113 @@
+//! Deterministic (point-mass) distribution: every VCR operation sweeps the
+//! same distance. Valuable as an analytic edge case — the hit probability
+//! becomes a piecewise-linear function of the system geometry, so model
+//! results can be verified by hand.
+
+use rand::RngCore;
+
+use crate::duration::{require_non_negative, DurationDist};
+use crate::DistError;
+
+/// Point mass at `value`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Construct a point mass at `value ≥ 0`.
+    pub fn new(value: f64) -> Result<Self, DistError> {
+        Ok(Self {
+            value: require_non_negative("value", value)?,
+        })
+    }
+
+    /// The constant value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl DurationDist for Deterministic {
+    fn pdf(&self, _x: f64) -> f64 {
+        // The law has an atom; it admits no density. Model code never
+        // integrates pdf directly (it uses the cdf), so 0 is the honest
+        // answer.
+        0.0
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn cdf_integral(&self, y: f64) -> f64 {
+        (y - self.value).max(0.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn variance(&self) -> f64 {
+        0.0
+    }
+
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.value
+    }
+
+    fn support_hint(&self) -> (f64, f64) {
+        (0.0, self.value)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile domain: p in [0,1]");
+        if p == 0.0 {
+            0.0
+        } else {
+            self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    #[test]
+    fn step_cdf() {
+        let d = Deterministic::new(3.0).unwrap();
+        assert_eq!(d.cdf(2.999), 0.0);
+        assert_eq!(d.cdf(3.0), 1.0);
+        assert_eq!(d.cdf(4.0), 1.0);
+    }
+
+    #[test]
+    fn ramp_cdf_integral() {
+        let d = Deterministic::new(3.0).unwrap();
+        assert_eq!(d.cdf_integral(2.0), 0.0);
+        assert_eq!(d.cdf_integral(3.0), 0.0);
+        assert_eq!(d.cdf_integral(5.0), 2.0);
+    }
+
+    #[test]
+    fn sampling_is_constant() {
+        let d = Deterministic::new(1.5).unwrap();
+        let mut rng = seeded(0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 1.5);
+        }
+    }
+
+    #[test]
+    fn zero_point_mass_is_valid() {
+        let d = Deterministic::new(0.0).unwrap();
+        assert_eq!(d.cdf(0.0), 1.0);
+        assert_eq!(d.cdf_integral(4.0), 4.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Exponential distribution — used by the paper (§4, §5 Example 1) for VCR
+//! durations of movies 2 and 3 (means 5 and 2 minutes).
+
+use rand::RngCore;
+
+use crate::duration::{require_positive, DurationDist};
+use crate::rng::u01_open;
+use crate::DistError;
+
+/// Exponential distribution with the given mean (`rate = 1/mean`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+    rate: f64,
+}
+
+impl Exponential {
+    /// Construct from the mean duration in movie minutes.
+    pub fn with_mean(mean: f64) -> Result<Self, DistError> {
+        let mean = require_positive("mean", mean)?;
+        Ok(Self {
+            mean,
+            rate: 1.0 / mean,
+        })
+    }
+
+    /// Construct from the rate `λ` (events per minute).
+    pub fn with_rate(rate: f64) -> Result<Self, DistError> {
+        let rate = require_positive("rate", rate)?;
+        Ok(Self {
+            mean: 1.0 / rate,
+            rate,
+        })
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl DurationDist for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            // expm1 avoids cancellation for small rate*x.
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn cdf_integral(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            return 0.0;
+        }
+        // ∫₀^y (1 − e^{−λu}) du = y − (1 − e^{−λy})/λ
+        y - self.cdf(y) / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.mean * self.mean
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        -self.mean * u01_open(rng).ln()
+    }
+
+    fn support_hint(&self) -> (f64, f64) {
+        // 50 means cover 1 − e^{−50} ≈ 1 − 2e-22 of the mass.
+        (0.0, 50.0 * self.mean)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile domain: p in [0,1]");
+        if p >= 1.0 {
+            f64::INFINITY
+        } else {
+            -self.mean * (1.0 - p).ln()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duration::numeric_cdf_integral;
+    use crate::rng::seeded;
+
+    #[test]
+    fn rejects_bad_mean() {
+        assert!(Exponential::with_mean(0.0).is_err());
+        assert!(Exponential::with_mean(-1.0).is_err());
+        assert!(Exponential::with_mean(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cdf_basic_shape() {
+        let d = Exponential::with_mean(5.0).unwrap();
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert!((d.cdf(5.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-14);
+        assert!(d.cdf(1e6) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn cdf_integral_matches_numeric() {
+        let d = Exponential::with_mean(8.0).unwrap();
+        for &y in &[0.5, 1.0, 7.7, 30.0, 120.0] {
+            let analytic = d.cdf_integral(y);
+            let numeric = numeric_cdf_integral(&d, y);
+            assert!(
+                (analytic - numeric).abs() < 1e-7,
+                "y={y}: {analytic} vs {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Exponential::with_mean(2.0).unwrap();
+        for &p in &[0.01, 0.25, 0.5, 0.9, 0.999] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-12, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sample_mean_and_variance() {
+        let d = Exponential::with_mean(5.0).unwrap();
+        let mut rng = seeded(99);
+        let n = 100_000;
+        let (mut s, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(x >= 0.0);
+            s += x;
+            s2 += x * x;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 25.0).abs() < 1.0, "var {var}");
+    }
+}

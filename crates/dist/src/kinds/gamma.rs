@@ -1,0 +1,224 @@
+//! Gamma distribution — the paper's "skewed gamma" VCR-duration model.
+//!
+//! Figure 7 uses a gamma with mean 8 minutes and the parameter pair the
+//! paper writes as `(α = 2, γ = 4)`, i.e. shape 2 and scale 4 in modern
+//! notation ([`Gamma::paper_fig7`]).
+
+use rand::RngCore;
+
+use crate::duration::{require_positive, DurationDist};
+use crate::rng::{std_normal, u01_open};
+use crate::special::{gamma_p, ln_gamma};
+use crate::DistError;
+
+/// Gamma distribution with shape `k` and scale `θ` (mean `kθ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Construct from shape `k > 0` and scale `θ > 0`.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        Ok(Self {
+            shape: require_positive("shape", shape)?,
+            scale: require_positive("scale", scale)?,
+        })
+    }
+
+    /// Construct from shape and *mean* (`θ = mean / k`).
+    pub fn with_shape_mean(shape: f64, mean: f64) -> Result<Self, DistError> {
+        let shape = require_positive("shape", shape)?;
+        let mean = require_positive("mean", mean)?;
+        Self::new(shape, mean / shape)
+    }
+
+    /// The skewed gamma used throughout the paper's §4 experiments:
+    /// shape 2, scale 4 — mean 8 minutes.
+    pub fn paper_fig7() -> Self {
+        Self::new(2.0, 4.0).expect("constants are valid")
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl DurationDist for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let k = self.shape;
+        // f(x) = x^{k−1} e^{−x/θ} / (θ^k Γ(k)), evaluated in log space.
+        let log_pdf =
+            (k - 1.0) * x.ln() - x / self.scale - k * self.scale.ln() - ln_gamma(k);
+        log_pdf.exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale)
+        }
+    }
+
+    fn cdf_integral(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            return 0.0;
+        }
+        // Integration by parts:
+        //   ∫₀^y F(u) du = y·F(y) − ∫₀^y u f(u) du
+        // and for Gamma(k, θ): ∫₀^y u f(u) du = kθ · P(k+1, y/θ).
+        let t = y / self.scale;
+        y * gamma_p(self.shape, t) - self.shape * self.scale * gamma_p(self.shape + 1.0, t)
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.scale * sample_standard_gamma(self.shape, rng)
+    }
+
+    fn support_hint(&self) -> (f64, f64) {
+        (0.0, self.mean() + 40.0 * self.variance().sqrt())
+    }
+}
+
+/// Marsaglia–Tsang sampling of a standard Gamma(shape, 1) variate.
+///
+/// For `shape < 1` the Johnk-style boost `Gamma(k) = Gamma(k+1) · U^{1/k}`
+/// is applied.
+fn sample_standard_gamma(shape: f64, rng: &mut dyn RngCore) -> f64 {
+    if shape < 1.0 {
+        let boost = u01_open(rng).powf(1.0 / shape);
+        return boost * sample_standard_gamma(shape + 1.0, rng);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = std_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u = u01_open(rng);
+        let x2 = x * x;
+        // Squeeze test first (cheap), then the full log test.
+        if u < 1.0 - 0.0331 * x2 * x2 {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x2 + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duration::numeric_cdf_integral;
+    use crate::rng::seeded;
+
+    #[test]
+    fn paper_parameters() {
+        let d = Gamma::paper_fig7();
+        assert_eq!(d.shape(), 2.0);
+        assert_eq!(d.scale(), 4.0);
+        assert_eq!(d.mean(), 8.0);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let d = Gamma::new(2.0, 4.0).unwrap();
+        for &y in &[1.0, 4.0, 8.0, 20.0, 60.0] {
+            let by_pdf = crate::quad::adaptive_simpson(|x| d.pdf(x), 0.0, y, 1e-11);
+            assert!(
+                (by_pdf - d.cdf(y)).abs() < 1e-8,
+                "y={y}: ∫pdf={by_pdf} cdf={}",
+                d.cdf(y)
+            );
+        }
+    }
+
+    #[test]
+    fn erlang2_closed_form() {
+        // Gamma(2, θ) cdf = 1 − (1 + x/θ) e^{−x/θ}.
+        let d = Gamma::new(2.0, 4.0).unwrap();
+        for &x in &[0.5, 2.0, 8.0, 25.0] {
+            let t: f64 = x / 4.0;
+            let want = 1.0 - (1.0 + t) * (-t).exp();
+            assert!((d.cdf(x) - want).abs() < 1e-12, "x={x}");
+        }
+    }
+
+    #[test]
+    fn cdf_integral_matches_numeric() {
+        for dist in [
+            Gamma::new(2.0, 4.0).unwrap(),
+            Gamma::new(0.7, 3.0).unwrap(),
+            Gamma::new(5.0, 1.5).unwrap(),
+        ] {
+            for &y in &[0.5, 2.0, 8.0, 40.0, 120.0] {
+                let analytic = dist.cdf_integral(y);
+                let numeric = numeric_cdf_integral(&dist, y);
+                assert!(
+                    (analytic - numeric).abs() < 1e-6,
+                    "{dist:?} y={y}: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sample_moments() {
+        for (shape, scale) in [(2.0, 4.0), (0.5, 2.0), (9.0, 0.5)] {
+            let d = Gamma::new(shape, scale).unwrap();
+            let mut rng = seeded(2024);
+            let n = 200_000;
+            let (mut s, mut s2) = (0.0, 0.0);
+            for _ in 0..n {
+                let x = d.sample(&mut rng);
+                assert!(x >= 0.0);
+                s += x;
+                s2 += x * x;
+            }
+            let mean = s / n as f64;
+            let var = s2 / n as f64 - mean * mean;
+            assert!(
+                (mean - d.mean()).abs() < 0.05 * d.mean().max(1.0),
+                "shape={shape} mean {mean} want {}",
+                d.mean()
+            );
+            assert!(
+                (var - d.variance()).abs() < 0.08 * d.variance().max(1.0),
+                "shape={shape} var {var} want {}",
+                d.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_round_trip() {
+        let d = Gamma::paper_fig7();
+        for &p in &[0.05, 0.5, 0.95] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-9, "p={p} x={x}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Concrete duration-distribution implementations.
+
+mod deterministic;
+mod empirical;
+mod exponential;
+mod gamma;
+mod lognormal;
+mod mixture;
+mod pareto;
+mod truncated;
+mod uniform;
+mod weibull;
+
+pub use deterministic::Deterministic;
+pub use empirical::Empirical;
+pub use exponential::Exponential;
+pub use gamma::Gamma;
+pub use lognormal::LogNormal;
+pub use mixture::Mixture;
+pub use pareto::Pareto;
+pub use truncated::Truncated;
+pub use uniform::Uniform;
+pub use weibull::Weibull;

@@ -1,0 +1,206 @@
+//! Textual distribution specs.
+//!
+//! Experiment configuration (bench binaries, workload files) names
+//! distributions as compact strings, e.g.:
+//!
+//! ```text
+//! exp:mean=5
+//! gamma:shape=2,scale=4
+//! gamma:shape=2,mean=8
+//! uniform:lo=0,hi=16
+//! det:value=8
+//! weibull:shape=2,scale=9
+//! lognormal:mean=8,cv=0.5
+//! ```
+//!
+//! [`parse_spec`] turns such a string into a boxed [`DurationDist`];
+//! [`DistSpec`] is the parsed intermediate for callers that want to
+//! inspect or re-render it.
+
+use std::collections::BTreeMap;
+
+use crate::kinds::{Deterministic, Exponential, Gamma, LogNormal, Pareto, Uniform, Weibull};
+use crate::{DistError, DurationDist};
+
+/// A parsed distribution spec: kind name plus key=value parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistSpec {
+    /// Lowercased kind name, e.g. `"gamma"`.
+    pub kind: String,
+    /// Parameter map in input order-independent (sorted) form.
+    pub params: BTreeMap<String, f64>,
+}
+
+impl DistSpec {
+    /// Parse the textual form `kind:key=value,key=value`.
+    pub fn parse(s: &str) -> Result<Self, DistError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(DistError::ParseError("empty spec".into()));
+        }
+        let (kind, rest) = match s.split_once(':') {
+            Some((k, r)) => (k, r),
+            None => (s, ""),
+        };
+        let kind = kind.trim().to_ascii_lowercase();
+        if kind.is_empty() {
+            return Err(DistError::ParseError(format!("missing kind in `{s}`")));
+        }
+        let mut params = BTreeMap::new();
+        for part in rest.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                DistError::ParseError(format!("expected key=value, got `{part}`"))
+            })?;
+            let value: f64 = value.trim().parse().map_err(|_| {
+                DistError::ParseError(format!("bad number `{}` for `{}`", value.trim(), key))
+            })?;
+            if params
+                .insert(key.trim().to_ascii_lowercase(), value)
+                .is_some()
+            {
+                return Err(DistError::ParseError(format!(
+                    "duplicate parameter `{}`",
+                    key.trim()
+                )));
+            }
+        }
+        Ok(Self { kind, params })
+    }
+
+    /// Instantiate the distribution this spec describes.
+    pub fn build(&self) -> Result<Box<dyn DurationDist>, DistError> {
+        let get = |key: &str| -> Result<f64, DistError> {
+            self.params.get(key).copied().ok_or_else(|| {
+                DistError::ParseError(format!(
+                    "`{}` requires parameter `{key}`",
+                    self.kind
+                ))
+            })
+        };
+        let expect_keys = |allowed: &[&str]| -> Result<(), DistError> {
+            for k in self.params.keys() {
+                if !allowed.contains(&k.as_str()) {
+                    return Err(DistError::ParseError(format!(
+                        "`{}` does not take parameter `{k}`",
+                        self.kind
+                    )));
+                }
+            }
+            Ok(())
+        };
+        match self.kind.as_str() {
+            "exp" | "exponential" => {
+                expect_keys(&["mean", "rate"])?;
+                if let Some(&mean) = self.params.get("mean") {
+                    Ok(Box::new(Exponential::with_mean(mean)?))
+                } else {
+                    Ok(Box::new(Exponential::with_rate(get("rate")?)?))
+                }
+            }
+            "gamma" => {
+                expect_keys(&["shape", "scale", "mean"])?;
+                let shape = get("shape")?;
+                if let Some(&scale) = self.params.get("scale") {
+                    Ok(Box::new(Gamma::new(shape, scale)?))
+                } else {
+                    Ok(Box::new(Gamma::with_shape_mean(shape, get("mean")?)?))
+                }
+            }
+            "uniform" => {
+                expect_keys(&["lo", "hi"])?;
+                Ok(Box::new(Uniform::new(get("lo")?, get("hi")?)?))
+            }
+            "det" | "deterministic" | "const" => {
+                expect_keys(&["value"])?;
+                Ok(Box::new(Deterministic::new(get("value")?)?))
+            }
+            "weibull" => {
+                expect_keys(&["shape", "scale"])?;
+                Ok(Box::new(Weibull::new(get("shape")?, get("scale")?)?))
+            }
+            "pareto" | "lomax" => {
+                expect_keys(&["shape", "scale", "mean"])?;
+                let shape = get("shape")?;
+                if let Some(&scale) = self.params.get("scale") {
+                    Ok(Box::new(Pareto::new(shape, scale)?))
+                } else {
+                    Ok(Box::new(Pareto::with_shape_mean(shape, get("mean")?)?))
+                }
+            }
+            "lognormal" | "lognorm" => {
+                expect_keys(&["mean", "cv", "mu", "sigma"])?;
+                if self.params.contains_key("mu") || self.params.contains_key("sigma") {
+                    Ok(Box::new(LogNormal::new(get("mu")?, get("sigma")?)?))
+                } else {
+                    Ok(Box::new(LogNormal::with_mean_cv(get("mean")?, get("cv")?)?))
+                }
+            }
+            other => Err(DistError::ParseError(format!(
+                "unknown distribution kind `{other}` \
+                 (known: exp, gamma, uniform, det, weibull, lognormal, pareto)"
+            ))),
+        }
+    }
+}
+
+/// Convenience: parse and build in one step.
+pub fn parse_spec(s: &str) -> Result<Box<dyn DurationDist>, DistError> {
+    DistSpec::parse(s)?.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_distributions() {
+        let g = parse_spec("gamma:shape=2,scale=4").unwrap();
+        assert!((g.mean() - 8.0).abs() < 1e-12);
+        let g2 = parse_spec("gamma:shape=2,mean=8").unwrap();
+        assert!((g2.cdf(8.0) - g.cdf(8.0)).abs() < 1e-12);
+        let e = parse_spec("exp:mean=5").unwrap();
+        assert!((e.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_every_kind() {
+        for s in [
+            "exp:rate=0.2",
+            "uniform:lo=1,hi=9",
+            "det:value=8",
+            "weibull:shape=2,scale=9",
+            "pareto:shape=2.5,mean=8",
+            "pareto:shape=2,scale=6",
+            "lognormal:mean=8,cv=0.5",
+            "lognormal:mu=1.5,sigma=0.4",
+        ] {
+            let d = parse_spec(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(d.mean() > 0.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let d = parse_spec(" gamma : shape = 2 , scale = 4 ").unwrap();
+        assert!((d.mean() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_spec("").is_err());
+        assert!(parse_spec("zeta:mean=3").is_err());
+        assert!(parse_spec("gamma:shape=2").is_err()); // missing scale/mean
+        assert!(parse_spec("exp:mean=abc").is_err());
+        assert!(parse_spec("exp:mean=5,mean=6").is_err());
+        assert!(parse_spec("exp:mean=5,bogus=1").is_err());
+        assert!(parse_spec("uniform:lo=5,hi=2").is_err());
+    }
+
+    #[test]
+    fn spec_is_inspectable() {
+        let spec = DistSpec::parse("gamma:shape=2,scale=4").unwrap();
+        assert_eq!(spec.kind, "gamma");
+        assert_eq!(spec.params.get("shape"), Some(&2.0));
+        assert_eq!(spec.params.get("scale"), Some(&4.0));
+    }
+}

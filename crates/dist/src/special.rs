@@ -1,0 +1,279 @@
+//! Special functions needed by the analytic model: log-gamma, the
+//! regularized incomplete gamma functions, and the error function family.
+//!
+//! All routines are implemented from scratch (Lanczos approximation, series
+//! expansion, and modified Lentz continued fractions) with absolute accuracy
+//! around `1e-13` on the parameter ranges the model exercises (shape
+//! parameters well below 1e3, arguments below 1e6).
+
+/// Machine-level floor used to keep continued-fraction denominators away
+/// from zero (modified Lentz algorithm).
+const TINY: f64 = 1e-300;
+
+/// Relative tolerance for the incomplete-gamma series / continued fraction.
+const EPS: f64 = 1e-15;
+
+/// Maximum iterations for iterative expansions. The expansions converge in
+/// tens of iterations for all sane inputs; hitting this cap indicates a
+/// pathological argument and the best current estimate is returned.
+const MAX_ITER: usize = 500;
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with `g = 7` and 9 coefficients, giving
+/// close to machine precision over the positive real axis.
+///
+/// # Panics
+/// Panics in debug builds if `x` is not finite and positive.
+pub fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(x.is_finite() && x > 0.0, "ln_gamma domain: x > 0, got {x}");
+    // Lanczos (g = 7, n = 9) coefficients.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma function
+/// `P(a, x) = γ(a, x) / Γ(a)` for `a > 0`, `x ≥ 0`.
+///
+/// `P(a, ·)` is the cdf of a Gamma(shape `a`, scale 1) random variable.
+/// Chooses between the power series (fast for `x < a + 1`) and the
+/// continued-fraction complement (for `x ≥ a + 1`).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0, "gamma_p domain: a > 0, got {a}");
+    debug_assert!(x >= 0.0, "gamma_p domain: x >= 0, got {x}");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_contfrac(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    debug_assert!(a > 0.0, "gamma_q domain: a > 0, got {a}");
+    debug_assert!(x >= 0.0, "gamma_q domain: x >= 0, got {x}");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+/// Series expansion of P(a, x): `γ(a,x) = x^a e^{-x} Σ_{n≥0} x^n Γ(a)/Γ(a+1+n)`.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    let log_prefix = a * x.ln() - x - ln_gamma(a);
+    (sum * log_prefix.exp()).clamp(0.0, 1.0)
+}
+
+/// Continued fraction for Q(a, x) via the modified Lentz algorithm.
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b.max(TINY);
+    let mut h = d;
+    for i in 1..MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    let log_prefix = a * x.ln() - x - ln_gamma(a);
+    (h * log_prefix.exp()).clamp(0.0, 1.0)
+}
+
+/// Error function `erf(x)`, accurate to ~1e-13, via the incomplete gamma
+/// identity `erf(x) = sgn(x) · P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else if x > 0.0 {
+        gamma_p(0.5, x * x)
+    } else {
+        -gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`, computed without
+/// cancellation for large positive `x`.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x * std::f64::consts::FRAC_1_SQRT_2)
+}
+
+/// Standard normal probability density function `φ(x)`.
+pub fn std_normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn ln_gamma_integers_match_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..=20u32 {
+            assert!(
+                close(ln_gamma(n as f64), fact.ln(), 1e-12),
+                "ln_gamma({n}) = {} want {}",
+                ln_gamma(n as f64),
+                fact.ln()
+            );
+            fact *= n as f64;
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-13
+        ));
+        // Γ(3/2) = √π / 2
+        assert!(close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-13
+        ));
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // Γ(x+1) = x Γ(x)
+        for &x in &[0.1, 0.7, 1.3, 2.9, 7.5, 33.3, 101.25] {
+            assert!(
+                close(ln_gamma(x + 1.0), x.ln() + ln_gamma(x), 1e-12),
+                "recurrence failed at x={x}"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 - e^{-x} (exponential cdf).
+        for &x in &[0.0f64, 0.1, 1.0, 2.5, 10.0, 50.0] {
+            let want = 1.0 - (-x).exp();
+            assert!(close(gamma_p(1.0, x), want, 1e-13), "P(1,{x})");
+        }
+        // P(2, x) = 1 - (1+x) e^{-x} (Erlang-2 cdf).
+        for &x in &[0.5f64, 1.0, 4.0, 12.0] {
+            let want = 1.0 - (1.0 + x) * (-x).exp();
+            assert!(close(gamma_p(2.0, x), want, 1e-12), "P(2,{x})");
+        }
+    }
+
+    #[test]
+    fn gamma_p_q_complementary() {
+        for &a in &[0.3, 1.0, 2.0, 5.5, 40.0] {
+            for &x in &[0.01, 0.5, 1.0, 3.0, 10.0, 80.0] {
+                let s = gamma_p(a, x) + gamma_q(a, x);
+                assert!(close(s, 1.0, 1e-12), "P+Q != 1 at a={a}, x={x}: {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x() {
+        for &a in &[0.5, 2.0, 8.0] {
+            let mut prev = 0.0;
+            for i in 0..200 {
+                let x = i as f64 * 0.25;
+                let p = gamma_p(a, x);
+                assert!(p >= prev - 1e-14, "P({a},·) not monotone at x={x}");
+                assert!((0.0..=1.0).contains(&p));
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        // Abramowitz & Stegun reference values.
+        assert!(close(erf(0.5), 0.520_499_877_813_046_5, 1e-10));
+        assert!(close(erf(1.0), 0.842_700_792_949_714_9, 1e-10));
+        assert!(close(erf(2.0), 0.995_322_265_018_952_7, 1e-10));
+        assert!(close(erf(-1.0), -0.842_700_792_949_714_9, 1e-10));
+    }
+
+    #[test]
+    fn normal_cdf_symmetry_and_tails() {
+        assert!(close(std_normal_cdf(0.0), 0.5, 1e-14));
+        for &x in &[0.5, 1.0, 2.0, 5.0] {
+            let s = std_normal_cdf(x) + std_normal_cdf(-x);
+            assert!(close(s, 1.0, 1e-12));
+        }
+        assert!(std_normal_cdf(-10.0) < 1e-20);
+        // 1 − Φ(10) ≈ 7.6e-24 underflows against 1.0 in f64; equality with
+        // 1.0 (not an approach to it) is the correct double-precision
+        // answer here.
+        assert_eq!(std_normal_cdf(10.0), 1.0);
+        // Φ(1.96) ≈ 0.975 (the classic 95% two-sided z).
+        assert!((std_normal_cdf(1.959_963_984_540_054) - 0.975).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,119 @@
+//! Bridging the sizing model to server provisioning.
+//!
+//! `vod-sizing` answers *how many streams and buffer minutes each popular
+//! movie should get*; this module turns such a [`ResourcePlan`] into a
+//! runnable [`ServerConfig`], adding the VCR reserve the plan's hit
+//! probability makes affordable.
+
+use vod_sizing::ResourcePlan;
+
+use crate::content::MovieId;
+use crate::server::{HostedMovie, ServerConfig};
+
+/// Size a VCR stream reserve from the plan: with hit probability `p_hit`
+/// each VCR operation holds a dedicated stream only briefly, and (1 −
+/// p_hit) of them hold it until the end of the movie. A crude Little's-law
+/// bound on concurrent holds is
+///
+/// ```text
+/// reserve ≈ ops_per_min · (E[phase1] + (1 − p_hit) · E[residual movie])
+/// ```
+///
+/// The default helper uses the conservative per-movie worst hit
+/// probability from the plan.
+pub fn vcr_reserve_estimate(
+    plan: &ResourcePlan,
+    vcr_ops_per_minute: f64,
+    mean_phase1_minutes: f64,
+    mean_residual_minutes: f64,
+) -> u32 {
+    let worst_hit = plan
+        .allocations
+        .iter()
+        .map(|a| a.p_hit)
+        .fold(1.0f64, f64::min);
+    let holds = vcr_ops_per_minute
+        * (mean_phase1_minutes + (1.0 - worst_hit) * mean_residual_minutes);
+    holds.ceil().max(1.0) as u32
+}
+
+/// Build a provisioned [`ServerConfig`] from a sizing plan.
+///
+/// `lengths[i]` is the movie length in minutes for `plan.allocations[i]`;
+/// movies are assigned ids `0, 1, …` in plan order.
+///
+/// # Panics
+/// Panics when `lengths` and the plan disagree in length — the two come
+/// from the same catalog and diverging them is a programming error.
+pub fn config_from_plan(plan: &ResourcePlan, lengths: &[u32], vcr_reserve: u32) -> ServerConfig {
+    assert_eq!(
+        plan.allocations.len(),
+        lengths.len(),
+        "one length per planned movie"
+    );
+    let movies = plan
+        .allocations
+        .iter()
+        .zip(lengths)
+        .enumerate()
+        .map(|(i, (alloc, &len))| {
+            HostedMovie::from_allocation(MovieId(i as u32), len, alloc.n_streams, alloc.buffer)
+        })
+        .collect();
+    ServerConfig::provisioned(movies, vcr_reserve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_sizing::MovieAllocation;
+
+    fn plan() -> ResourcePlan {
+        ResourcePlan {
+            allocations: vec![
+                MovieAllocation {
+                    movie: "a".into(),
+                    n_streams: 10,
+                    buffer: 30.0,
+                    p_hit: 0.6,
+                },
+                MovieAllocation {
+                    movie: "b".into(),
+                    n_streams: 5,
+                    buffer: 20.0,
+                    p_hit: 0.8,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn reserve_scales_with_miss_rate() {
+        let p = plan();
+        let low = vcr_reserve_estimate(&p, 1.0, 3.0, 0.0);
+        let high = vcr_reserve_estimate(&p, 1.0, 3.0, 60.0);
+        assert!(high > low);
+        // Worst hit probability is 0.6: residual term = 0.4 · 60 = 24.
+        assert_eq!(high, (3.0f64 + 24.0).ceil() as u32);
+    }
+
+    #[test]
+    fn config_mirrors_plan() {
+        let p = plan();
+        let cfg = config_from_plan(&p, &[120, 60], 8);
+        assert_eq!(cfg.movies.len(), 2);
+        assert_eq!(cfg.movies[0].restart_interval, 12); // 120/10
+        assert_eq!(cfg.movies[0].partition_capacity, 3); // 30/10
+        assert_eq!(cfg.movies[1].restart_interval, 12); // 60/5
+        assert_eq!(cfg.movies[1].partition_capacity, 4); // 20/5
+        // Provisioning covers every live stream plus the reserve.
+        let need: u32 = cfg.movies.iter().map(|m| m.max_live_streams()).sum();
+        assert_eq!(cfg.disk_streams, need + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "one length per planned movie")]
+    fn mismatched_lengths_panic() {
+        config_from_plan(&plan(), &[120], 1);
+    }
+}

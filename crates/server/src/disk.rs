@@ -1,0 +1,200 @@
+//! Simulated disk subsystem: a bounded pool of concurrent I/O streams.
+//!
+//! Stands in for the paper's SCSI disk farm (Example 2: a $700 2 GB disk
+//! sustains 10 concurrent 4 Mb/s streams). Capacity is expressed directly
+//! in *streams*, the unit every result in the paper uses. Reads require a
+//! stream lease, so exceeding provisioned bandwidth is a programming
+//! error surfaced at the call site rather than silent oversubscription.
+
+use crate::content::{generate_segment, MovieId, Segment};
+
+/// Lease on one disk I/O stream.
+#[derive(Debug, PartialEq, Eq)]
+pub struct StreamLease {
+    id: u64,
+}
+
+impl StreamLease {
+    /// Opaque lease id (diagnostics only).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Errors from the disk subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskError {
+    /// All provisioned streams are in use.
+    Saturated {
+        /// Provisioned capacity.
+        capacity: u32,
+    },
+    /// A read past the end of the movie.
+    OutOfRange {
+        /// Requested minute.
+        index: u32,
+        /// Movie length in minutes.
+        length: u32,
+    },
+    /// Read attempted with a stale (already released) lease.
+    StaleLease,
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::Saturated { capacity } => {
+                write!(f, "disk saturated: all {capacity} streams leased")
+            }
+            DiskError::OutOfRange { index, length } => {
+                write!(f, "segment {index} out of range (movie length {length})")
+            }
+            DiskError::StaleLease => write!(f, "read through a released lease"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// The disk subsystem.
+#[derive(Debug)]
+pub struct DiskSubsystem {
+    capacity: u32,
+    active: Vec<u64>,
+    next_lease: u64,
+    reads: u64,
+    /// Known movie lengths for bounds checking, indexed by `MovieId`.
+    lengths: std::collections::HashMap<MovieId, u32>,
+}
+
+impl DiskSubsystem {
+    /// Provision `capacity` concurrent streams.
+    pub fn new(capacity: u32) -> Self {
+        Self {
+            capacity,
+            active: Vec::new(),
+            next_lease: 0,
+            reads: 0,
+            lengths: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Register a movie (its length bounds reads).
+    pub fn register_movie(&mut self, movie: MovieId, length_minutes: u32) {
+        self.lengths.insert(movie, length_minutes);
+    }
+
+    /// Provisioned stream capacity.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Streams currently leased.
+    pub fn in_use(&self) -> u32 {
+        self.active.len() as u32
+    }
+
+    /// Streams currently free.
+    pub fn available(&self) -> u32 {
+        self.capacity - self.in_use()
+    }
+
+    /// Total segment reads served (for throughput accounting).
+    pub fn total_reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Acquire a stream lease.
+    pub fn acquire(&mut self) -> Result<StreamLease, DiskError> {
+        if self.in_use() >= self.capacity {
+            return Err(DiskError::Saturated {
+                capacity: self.capacity,
+            });
+        }
+        self.next_lease += 1;
+        self.active.push(self.next_lease);
+        Ok(StreamLease {
+            id: self.next_lease,
+        })
+    }
+
+    /// Release a lease.
+    pub fn release(&mut self, lease: StreamLease) {
+        if let Some(pos) = self.active.iter().position(|&id| id == lease.id) {
+            self.active.swap_remove(pos);
+        }
+    }
+
+    /// Read one segment through a lease.
+    pub fn read(
+        &mut self,
+        lease: &StreamLease,
+        movie: MovieId,
+        index: u32,
+    ) -> Result<Segment, DiskError> {
+        if !self.active.contains(&lease.id) {
+            return Err(DiskError::StaleLease);
+        }
+        if let Some(&len) = self.lengths.get(&movie) {
+            if index >= len {
+                return Err(DiskError::OutOfRange { index, length: len });
+            }
+        }
+        self.reads += 1;
+        Ok(generate_segment(movie, index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::verify_segment;
+
+    #[test]
+    fn capacity_enforced() {
+        let mut d = DiskSubsystem::new(2);
+        let a = d.acquire().unwrap();
+        let _b = d.acquire().unwrap();
+        assert!(matches!(d.acquire(), Err(DiskError::Saturated { .. })));
+        assert_eq!(d.in_use(), 2);
+        d.release(a);
+        assert_eq!(d.available(), 1);
+        assert!(d.acquire().is_ok());
+    }
+
+    #[test]
+    fn reads_serve_canonical_bytes() {
+        let mut d = DiskSubsystem::new(1);
+        d.register_movie(MovieId(7), 120);
+        let lease = d.acquire().unwrap();
+        let seg = d.read(&lease, MovieId(7), 55).unwrap();
+        assert!(verify_segment(&seg));
+        assert_eq!(seg.movie, MovieId(7));
+        assert_eq!(seg.index, 55);
+        assert_eq!(d.total_reads(), 1);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut d = DiskSubsystem::new(1);
+        d.register_movie(MovieId(7), 120);
+        let lease = d.acquire().unwrap();
+        assert!(matches!(
+            d.read(&lease, MovieId(7), 120),
+            Err(DiskError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_lease_rejected() {
+        let mut d = DiskSubsystem::new(2);
+        d.register_movie(MovieId(1), 10);
+        let a = d.acquire().unwrap();
+        let id_copy = StreamLease { id: a.id() };
+        d.release(a);
+        assert!(matches!(
+            d.read(&id_copy, MovieId(1), 0),
+            Err(DiskError::StaleLease)
+        ));
+    }
+}

@@ -1,0 +1,915 @@
+//! The virtual-time VOD server: batching scheduler, partitioned buffer
+//! service, dedicated-stream VCR service, and piggyback merge-back.
+//!
+//! Time advances in integer minutes via [`VodServer::tick`]; one tick
+//! displays one segment at normal playback rate. Restart intervals are
+//! quantized to whole minutes (the analytic model and `vod-sim` cover the
+//! continuous-time behavior; this crate's job is a byte-exact data path
+//! with honest resource accounting).
+//!
+//! Semantics per tick `t` (then the clock becomes `t + 1`):
+//! 1. retire streams that finished displaying and whose partitions have
+//!    no enrolled readers left;
+//! 2. start streams scheduled at `t` (each acquires a disk lease and a
+//!    partition reservation);
+//! 3. every playing stream reads its next segment from disk into its
+//!    partition;
+//! 4. every session consumes: enrolled sessions read from their
+//!    partition, dedicated sessions read through their own lease,
+//!    VCR-active sessions sweep at the configured rate, paused sessions
+//!    count down; resumes are classified hit/miss against live windows.
+
+use std::collections::HashMap;
+
+use vod_workload::VcrKind;
+
+use crate::buffer::{BufferPool, Partition};
+use crate::content::{verify_segment, MovieId};
+use crate::disk::{DiskSubsystem, StreamLease};
+use crate::metrics::ServerMetrics;
+use crate::session::{DeliveryStats, SessionId, SessionState, SessionStatus, StreamId};
+use crate::{BufferError, DiskError};
+
+/// One movie hosted under static partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostedMovie {
+    /// Movie identity.
+    pub movie: MovieId,
+    /// Length in minutes (== segments).
+    pub length: u32,
+    /// Restart interval `T` in minutes (quantized `l/n`).
+    pub restart_interval: u32,
+    /// Partition window `b` in segments (quantized `B/n`), at least 1 —
+    /// the final segment doubles as the paper's `δ` hand-off reserve for
+    /// batched viewers.
+    pub partition_capacity: u32,
+}
+
+impl HostedMovie {
+    /// Derive hosting parameters from the paper's `(l, B, n)` triple.
+    pub fn from_allocation(movie: MovieId, length: u32, n_streams: u32, buffer_minutes: f64) -> Self {
+        assert!(n_streams >= 1, "need at least one stream");
+        assert!(length >= 1, "empty movie");
+        let t = ((length as f64 / n_streams as f64).round() as u32)
+            .clamp(1, length);
+        let b = ((buffer_minutes / n_streams as f64).round() as u32).clamp(1, t);
+        Self {
+            movie,
+            length,
+            restart_interval: t,
+            partition_capacity: b,
+        }
+    }
+
+    /// Maximum batching wait in minutes: `w = T − b`.
+    pub fn max_wait(&self) -> u32 {
+        self.restart_interval - self.partition_capacity
+    }
+
+    /// Upper bound on simultaneously live streams (including partitions
+    /// lingering for trailing readers).
+    pub fn max_live_streams(&self) -> u32 {
+        (self.length + self.partition_capacity) / self.restart_interval + 2
+    }
+}
+
+/// Piggybacking configuration (the paper's phase-2 fallback, after
+/// [1, 7, 9]): a dedicated post-miss session displays slightly faster,
+/// gaining one segment every `catchup_period` ticks until it re-enters a
+/// partition window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PiggybackConfig {
+    /// Ticks between catch-up segments; 20 ≈ a 5% display-rate increase,
+    /// the range the piggybacking literature considers imperceptible.
+    pub catchup_period: u32,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Total concurrent disk streams provisioned.
+    pub disk_streams: u32,
+    /// Total buffer budget in segments.
+    pub buffer_budget: usize,
+    /// Hosted movies.
+    pub movies: Vec<HostedMovie>,
+    /// Display rate of FF and RW in segments per tick.
+    pub vcr_rate: u32,
+    /// Piggyback merge-back; `None` disables it.
+    pub piggyback: Option<PiggybackConfig>,
+}
+
+impl ServerConfig {
+    /// Provision disk and buffer generously enough that scheduled
+    /// restarts can never fail, leaving `vcr_reserve` streams for VCR
+    /// service.
+    pub fn provisioned(movies: Vec<HostedMovie>, vcr_reserve: u32) -> Self {
+        let disk: u32 = movies.iter().map(|m| m.max_live_streams()).sum::<u32>() + vcr_reserve;
+        let buffer: usize = movies
+            .iter()
+            .map(|m| (m.max_live_streams() * m.partition_capacity) as usize)
+            .sum();
+        Self {
+            disk_streams: disk,
+            buffer_budget: buffer,
+            movies,
+            vcr_rate: 3,
+            piggyback: Some(PiggybackConfig { catchup_period: 20 }),
+        }
+    }
+}
+
+/// Errors surfaced by the server API.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The movie is not hosted.
+    UnknownMovie(MovieId),
+    /// No such session (or already closed).
+    UnknownSession(SessionId),
+    /// The session cannot accept this request in its current state.
+    InvalidState {
+        /// What was attempted.
+        operation: &'static str,
+    },
+    /// No disk stream available for the request.
+    VcrDenied,
+    /// Underlying disk failure (indicates a server bug).
+    Disk(DiskError),
+    /// Underlying buffer failure (indicates under-provisioning).
+    Buffer(BufferError),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::UnknownMovie(m) => write!(f, "movie {m:?} is not hosted"),
+            ServerError::UnknownSession(s) => write!(f, "no such session {s:?}"),
+            ServerError::InvalidState { operation } => {
+                write!(f, "session state does not allow `{operation}`")
+            }
+            ServerError::VcrDenied => write!(f, "no I/O stream available for VCR service"),
+            ServerError::Disk(e) => write!(f, "disk: {e}"),
+            ServerError::Buffer(e) => write!(f, "buffer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<DiskError> for ServerError {
+    fn from(e: DiskError) -> Self {
+        ServerError::Disk(e)
+    }
+}
+impl From<BufferError> for ServerError {
+    fn from(e: BufferError) -> Self {
+        ServerError::Buffer(e)
+    }
+}
+
+struct ActiveStream {
+    movie_idx: usize,
+    started: u64,
+    /// Disk lease; dropped (released) once the stream finishes displaying.
+    lease: Option<StreamLease>,
+    partition: Partition,
+    enrolled: u32,
+}
+
+struct Session {
+    movie_idx: usize,
+    /// Next segment to consume.
+    position: u32,
+    state: SessionState,
+    /// Dedicated disk lease, when holding one.
+    lease: Option<StreamLease>,
+    stats: DeliveryStats,
+    piggyback_phase: u32,
+}
+
+/// The server.
+pub struct VodServer {
+    now: u64,
+    config: ServerConfig,
+    disk: DiskSubsystem,
+    pool: BufferPool,
+    streams: Vec<Option<ActiveStream>>,
+    sessions: Vec<Option<Session>>,
+    metrics: ServerMetrics,
+    movie_index: HashMap<MovieId, usize>,
+    /// Disk streams the restart schedule may need at once; VCR service is
+    /// never allowed to eat into this headroom, so a correctly sized
+    /// server cannot miss a scheduled restart (the paper's separation of
+    /// pre-allocated playback resources from the VCR reserve).
+    playback_reserved: u32,
+    /// Playback leases currently held by scheduled streams.
+    playback_in_use: u32,
+}
+
+impl VodServer {
+    /// Build a server from a configuration.
+    pub fn new(config: ServerConfig) -> Self {
+        let mut disk = DiskSubsystem::new(config.disk_streams);
+        let mut movie_index = HashMap::new();
+        for (i, m) in config.movies.iter().enumerate() {
+            disk.register_movie(m.movie, m.length);
+            movie_index.insert(m.movie, i);
+        }
+        let pool = BufferPool::new(config.buffer_budget);
+        let playback_reserved = config
+            .movies
+            .iter()
+            .map(|m| m.max_live_streams())
+            .sum::<u32>()
+            .min(config.disk_streams);
+        Self {
+            now: 0,
+            config,
+            disk,
+            pool,
+            streams: Vec::new(),
+            sessions: Vec::new(),
+            metrics: ServerMetrics::new(),
+            movie_index,
+            playback_reserved,
+            playback_in_use: 0,
+        }
+    }
+
+    /// Acquire a disk lease for VCR/dedicated service without dipping
+    /// into the headroom the restart schedule still needs.
+    fn acquire_vcr_lease(&mut self) -> Option<StreamLease> {
+        let headroom = self.playback_reserved.saturating_sub(self.playback_in_use);
+        if self.disk.available() <= headroom {
+            return None;
+        }
+        self.disk.acquire().ok()
+    }
+
+    /// Current virtual time in minutes.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Server metrics so far.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    /// Disk subsystem state (for capacity assertions in tests).
+    pub fn disk(&self) -> &DiskSubsystem {
+        &self.disk
+    }
+
+    /// Buffer pool state.
+    pub fn buffer_pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Open a session for `movie`. Joins the newest open enrollment window
+    /// (type-2 viewer) or queues for the next restart (type-1).
+    pub fn open_session(&mut self, movie: MovieId) -> Result<SessionId, ServerError> {
+        let movie_idx = *self
+            .movie_index
+            .get(&movie)
+            .ok_or(ServerError::UnknownMovie(movie))?;
+        let hosted = self.config.movies[movie_idx];
+        // A stream whose window will cover position 0 when this session
+        // first consumes (the enrollment window of the paper's Figure 1).
+        let join = self.joinable_stream(movie_idx, 0);
+        let state = match join {
+            Some(stream_idx) => {
+                self.streams[stream_idx]
+                    .as_mut()
+                    .expect("stream checked live")
+                    .enrolled += 1;
+                SessionState::Enrolled {
+                    stream: StreamId(stream_idx),
+                }
+            }
+            None => {
+                // The next restart instant ≥ now. A stream scheduled at
+                // `now` has not started yet (ticks process start-of-minute
+                // events), so `start_at == now` is valid and the session
+                // enrolls during the coming tick.
+                let t = hosted.restart_interval as u64;
+                SessionState::Waiting {
+                    start_at: self.now.div_ceil(t) * t,
+                }
+            }
+        };
+        let id = SessionId(self.sessions.len());
+        self.sessions.push(Some(Session {
+            movie_idx,
+            position: 0,
+            state,
+            lease: None,
+            stats: DeliveryStats::default(),
+            piggyback_phase: 0,
+        }));
+        Ok(id)
+    }
+
+    /// Issue a VCR operation on a playing session. `magnitude` is the
+    /// movie minutes to sweep (FF/RW) or the pause duration in minutes.
+    pub fn request_vcr(
+        &mut self,
+        id: SessionId,
+        kind: VcrKind,
+        magnitude: u32,
+    ) -> Result<(), ServerError> {
+        let sess = self
+            .sessions
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(ServerError::UnknownSession(id))?;
+        match sess.state {
+            SessionState::Enrolled { .. } | SessionState::Dedicated => {}
+            _ => return Err(ServerError::InvalidState { operation: "vcr" }),
+        }
+        // FF/RW with viewing need a dedicated stream for phase 1.
+        let needs_lease = matches!(kind, VcrKind::FastForward | VcrKind::Rewind);
+        if needs_lease && sess.lease.is_none() {
+            // Re-borrow pattern: the guarded acquisition needs &mut self.
+            let id_ok = {
+                let headroom = self.playback_reserved.saturating_sub(self.playback_in_use);
+                self.disk.available() > headroom
+            };
+            if !id_ok {
+                self.metrics.vcr_denied += 1;
+                return Err(ServerError::VcrDenied);
+            }
+            match self.disk.acquire() {
+                Ok(lease) => sess.lease = Some(lease),
+                Err(_) => {
+                    self.metrics.vcr_denied += 1;
+                    return Err(ServerError::VcrDenied);
+                }
+            }
+            self.metrics.dedicated.add(self.now as f64, 1.0);
+        }
+        // A paused viewer consumes nothing: release any dedicated stream.
+        if matches!(kind, VcrKind::Pause) {
+            if let Some(lease) = sess.lease.take() {
+                self.disk.release(lease);
+                self.metrics.dedicated.add(self.now as f64, -1.0);
+            }
+        }
+        // Leave the partition, if enrolled.
+        if let SessionState::Enrolled { stream } = sess.state {
+            if let Some(s) = self.streams[stream.0].as_mut() {
+                s.enrolled -= 1;
+            }
+        }
+        let remaining = match kind {
+            VcrKind::FastForward => magnitude.min(self.config.movies[sess.movie_idx].length - sess.position),
+            VcrKind::Rewind => magnitude.min(sess.position),
+            VcrKind::Pause => magnitude,
+        };
+        sess.state = SessionState::VcrActive { kind, remaining };
+        Ok(())
+    }
+
+    /// Close a session early (the viewer quits). Releases any dedicated
+    /// lease, leaves the enrolled partition, and freezes the delivery
+    /// statistics, which remain queryable. Closing an already-finished
+    /// session is a no-op; closing an unknown id is an error.
+    pub fn close_session(&mut self, id: SessionId) -> Result<DeliveryStats, ServerError> {
+        let idx = id.0;
+        let stats = {
+            let sess = self
+                .sessions
+                .get(idx)
+                .and_then(Option::as_ref)
+                .ok_or(ServerError::UnknownSession(id))?;
+            sess.stats
+        };
+        let already_done = matches!(
+            self.sessions[idx].as_ref().expect("checked above").state,
+            SessionState::Done
+        );
+        if !already_done {
+            let sess = self.sessions[idx].as_mut().expect("checked above");
+            if let SessionState::Enrolled { stream } = sess.state {
+                if let Some(st) = self.streams[stream.0].as_mut() {
+                    st.enrolled -= 1;
+                }
+            }
+            let lease = self.sessions[idx]
+                .as_mut()
+                .expect("checked above")
+                .lease
+                .take();
+            if let Some(lease) = lease {
+                self.disk.release(lease);
+                self.metrics.dedicated.add(self.now as f64, -1.0);
+            }
+            self.sessions[idx].as_mut().expect("checked above").state = SessionState::Done;
+            self.metrics.sessions_closed_early += 1;
+        }
+        Ok(stats)
+    }
+
+    /// Status snapshot of a session.
+    pub fn session_status(&self, id: SessionId) -> Result<SessionStatus, ServerError> {
+        let sess = self
+            .sessions
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .ok_or(ServerError::UnknownSession(id))?;
+        Ok(match &sess.state {
+            SessionState::Waiting { start_at } => SessionStatus::Waiting(*start_at),
+            SessionState::Enrolled { .. } => SessionStatus::Shared,
+            SessionState::Dedicated => SessionStatus::Dedicated,
+            SessionState::VcrActive { .. } => SessionStatus::InVcr,
+            SessionState::Done => SessionStatus::Done,
+        })
+    }
+
+    /// Delivery statistics of a session (available after completion too).
+    pub fn session_stats(&self, id: SessionId) -> Result<DeliveryStats, ServerError> {
+        self.sessions
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .map(|s| s.stats)
+            .ok_or(ServerError::UnknownSession(id))
+    }
+
+    /// Session playback position (next segment to consume).
+    pub fn session_position(&self, id: SessionId) -> Result<u32, ServerError> {
+        self.sessions
+            .get(id.0)
+            .and_then(Option::as_ref)
+            .map(|s| s.position)
+            .ok_or(ServerError::UnknownSession(id))
+    }
+
+    /// Advance one virtual minute.
+    pub fn tick(&mut self) {
+        let t = self.now;
+        self.retire_streams();
+        self.start_due_streams(t);
+        self.advance_streams(t);
+        self.advance_sessions(t);
+        self.now = t + 1;
+    }
+
+    /// Run `minutes` ticks.
+    pub fn run(&mut self, minutes: u64) {
+        for _ in 0..minutes {
+            self.tick();
+        }
+    }
+
+    // ---- streams -----------------------------------------------------------
+
+    fn retire_streams(&mut self) {
+        for slot in &mut self.streams {
+            let retire = match slot {
+                Some(s) => {
+                    let hosted = self.config.movies[s.movie_idx];
+                    let age = self.now - s.started;
+                    // Release the disk lease as soon as displaying ends.
+                    if age >= hosted.length as u64 {
+                        if let Some(lease) = s.lease.take() {
+                            self.disk.release(lease);
+                            self.metrics.playback.add(self.now as f64, -1.0);
+                            self.playback_in_use -= 1;
+                        }
+                        // Keep the frozen partition until its trailing
+                        // readers finish.
+                        s.enrolled == 0
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            };
+            if retire {
+                let s = slot.take().expect("checked above");
+                self.pool.release(s.partition.capacity());
+            }
+        }
+    }
+
+    fn start_due_streams(&mut self, t: u64) {
+        for movie_idx in 0..self.config.movies.len() {
+            let hosted = self.config.movies[movie_idx];
+            if !t.is_multiple_of(hosted.restart_interval as u64) {
+                continue;
+            }
+            let lease = match self.disk.acquire() {
+                Ok(l) => l,
+                Err(_) => {
+                    self.metrics.restart_failures += 1;
+                    continue;
+                }
+            };
+            if self
+                .pool
+                .reserve(hosted.partition_capacity as usize)
+                .is_err()
+            {
+                self.disk.release(lease);
+                self.metrics.restart_failures += 1;
+                continue;
+            }
+            self.metrics.playback.add(t as f64, 1.0);
+            self.playback_in_use += 1;
+            let stream = ActiveStream {
+                movie_idx,
+                started: t,
+                lease: Some(lease),
+                partition: Partition::new(hosted.movie, hosted.partition_capacity as usize),
+                enrolled: 0,
+            };
+            if let Some(free) = self.streams.iter_mut().find(|s| s.is_none()) {
+                *free = Some(stream);
+            } else {
+                self.streams.push(Some(stream));
+            }
+        }
+    }
+
+    fn advance_streams(&mut self, t: u64) {
+        for slot in &mut self.streams {
+            let Some(s) = slot else { continue };
+            let hosted = self.config.movies[s.movie_idx];
+            let age = t - s.started;
+            if age >= hosted.length as u64 {
+                continue;
+            }
+            let lease = s.lease.as_ref().expect("playing stream holds a lease");
+            let seg = self
+                .disk
+                .read(lease, hosted.movie, age as u32)
+                .expect("scheduled read is in range");
+            s.partition.advance(seg);
+        }
+    }
+
+    // ---- sessions ----------------------------------------------------------
+
+    fn advance_sessions(&mut self, t: u64) {
+        for idx in 0..self.sessions.len() {
+            self.advance_session(t, idx);
+        }
+    }
+
+    fn advance_session(&mut self, t: u64, idx: usize) {
+        enum Act {
+            Nothing,
+            StartWaiting,
+            Enrolled,
+            Dedicated,
+            Vcr(VcrKind),
+        }
+        let act = {
+            let Some(sess) = self.sessions[idx].as_ref() else {
+                return;
+            };
+            match sess.state {
+                SessionState::Done => Act::Nothing,
+                SessionState::Waiting { start_at } if start_at == t => Act::StartWaiting,
+                SessionState::Waiting { .. } => Act::Nothing,
+                SessionState::Enrolled { .. } => Act::Enrolled,
+                SessionState::Dedicated => Act::Dedicated,
+                SessionState::VcrActive { kind, .. } => Act::Vcr(kind),
+            }
+        };
+        match act {
+            Act::Nothing => {}
+            Act::StartWaiting => {
+                // The restart happened earlier in this tick; enroll in the
+                // stream that just started.
+                let movie_idx = self.sessions[idx].as_ref().expect("live session").movie_idx;
+                let stream_idx = self
+                    .streams
+                    .iter()
+                    .position(|s| {
+                        s.as_ref()
+                            .is_some_and(|s| s.movie_idx == movie_idx && s.started == t)
+                    })
+                    .expect("restart is scheduled every T minutes");
+                self.sessions[idx].as_mut().expect("live session").state =
+                    SessionState::Enrolled {
+                        stream: StreamId(stream_idx),
+                    };
+                self.streams[stream_idx]
+                    .as_mut()
+                    .expect("stream just found")
+                    .enrolled += 1;
+                self.consume_enrolled(t, idx);
+            }
+            Act::Enrolled => self.consume_enrolled(t, idx),
+            Act::Dedicated => self.consume_dedicated(t, idx),
+            Act::Vcr(VcrKind::FastForward) => self.sweep_forward(t, idx),
+            Act::Vcr(VcrKind::Rewind) => self.sweep_backward(t, idx),
+            Act::Vcr(VcrKind::Pause) => self.pause_countdown(t, idx),
+        }
+    }
+
+    /// Consume the next segment from the enrolled partition.
+    fn consume_enrolled(&mut self, t: u64, idx: usize) {
+        let (stream_idx, position, movie_idx) = {
+            let sess = self.sessions[idx].as_ref().expect("live session");
+            let SessionState::Enrolled { stream } = sess.state else {
+                unreachable!("caller checked state")
+            };
+            (stream.0, sess.position, sess.movie_idx)
+        };
+        let hosted = self.config.movies[movie_idx];
+        let verified = {
+            let stream = self.streams[stream_idx]
+                .as_ref()
+                .expect("enrolled stream is alive");
+            let seg = stream.partition.get(position).unwrap_or_else(|| {
+                panic!(
+                    "buffer underrun: session at {position} not covered by \
+                     partition [{:?}, {:?}] (enrollment invariant broken)",
+                    stream.partition.tail_index(),
+                    stream.partition.front_index()
+                )
+            });
+            verify_segment(seg)
+        };
+        let sess = self.sessions[idx].as_mut().expect("live session");
+        sess.stats.from_buffer += 1;
+        if !verified {
+            sess.stats.verify_failures += 1;
+            self.metrics.verify_failures += 1;
+        }
+        self.metrics.buffer_segments += 1;
+        sess.position += 1;
+        if sess.position >= hosted.length {
+            self.finish_session(t, idx);
+        }
+    }
+
+    /// Consume via the session's dedicated lease; piggyback toward the
+    /// preceding partition when enabled.
+    fn consume_dedicated(&mut self, t: u64, idx: usize) {
+        let hosted = {
+            let sess = self.sessions[idx].as_ref().expect("live session");
+            self.config.movies[sess.movie_idx]
+        };
+        self.read_via_lease(idx);
+        // Optional piggyback catch-up segment.
+        if let Some(pb) = self.config.piggyback {
+            let due = {
+                let sess = self.sessions[idx].as_mut().expect("live session");
+                sess.piggyback_phase += 1;
+                sess.piggyback_phase >= pb.catchup_period
+                    && sess.position < hosted.length
+                    && matches!(sess.state, SessionState::Dedicated)
+            };
+            if due {
+                let sess = self.sessions[idx].as_mut().expect("live session");
+                sess.piggyback_phase = 0;
+                self.read_via_lease(idx);
+            }
+        }
+        let (movie_idx, position) = {
+            let sess = self.sessions[idx].as_ref().expect("live session");
+            (sess.movie_idx, sess.position)
+        };
+        if position >= hosted.length {
+            self.finish_session(t, idx);
+            return;
+        }
+        // Merge back if a window now covers us (piggyback payoff).
+        if let Some(stream_idx) = self.joinable_stream(movie_idx, position) {
+            let sess = self.sessions[idx].as_mut().expect("live session");
+            if let Some(lease) = sess.lease.take() {
+                self.disk.release(lease);
+                self.metrics.dedicated.add(t as f64, -1.0);
+                self.metrics.piggyback_merges += 1;
+            }
+            sess.state = SessionState::Enrolled {
+                stream: StreamId(stream_idx),
+            };
+            self.streams[stream_idx]
+                .as_mut()
+                .expect("covering stream is alive")
+                .enrolled += 1;
+        }
+    }
+
+    /// Read `position` via the session's own lease and advance.
+    fn read_via_lease(&mut self, idx: usize) {
+        let (movie, position) = {
+            let sess = self.sessions[idx].as_ref().expect("live session");
+            (self.config.movies[sess.movie_idx].movie, sess.position)
+        };
+        let seg = {
+            let sess = self.sessions[idx].as_ref().expect("live session");
+            let lease = sess.lease.as_ref().expect("dedicated session holds a lease");
+            self.disk
+                .read(lease, movie, position)
+                .expect("dedicated read in range")
+        };
+        let ok = verify_segment(&seg);
+        let sess = self.sessions[idx].as_mut().expect("live session");
+        sess.stats.from_disk += 1;
+        if !ok {
+            sess.stats.verify_failures += 1;
+            self.metrics.verify_failures += 1;
+        }
+        self.metrics.disk_segments += 1;
+        sess.position += 1;
+    }
+
+    fn sweep_forward(&mut self, t: u64, idx: usize) {
+        let hosted = {
+            let sess = self.sessions[idx].as_ref().expect("live session");
+            self.config.movies[sess.movie_idx]
+        };
+        let steps = {
+            let sess = self.sessions[idx].as_mut().expect("live session");
+            let SessionState::VcrActive { remaining, .. } = &mut sess.state else {
+                unreachable!("caller checked state")
+            };
+            let steps = (*remaining).min(self.config.vcr_rate);
+            *remaining -= steps;
+            steps
+        };
+        for _ in 0..steps {
+            self.read_via_lease(idx);
+        }
+        let sess = self.sessions[idx].as_mut().expect("live session");
+        if sess.position >= hosted.length {
+            // FF ran to the end: the viewing is over (the model's P(end)).
+            self.finish_session(t, idx);
+            return;
+        }
+        if matches!(sess.state, SessionState::VcrActive { remaining: 0, .. }) {
+            self.resume(t, idx, true);
+        }
+    }
+
+    fn sweep_backward(&mut self, t: u64, idx: usize) {
+        let steps = {
+            let sess = self.sessions[idx].as_mut().expect("live session");
+            let SessionState::VcrActive { remaining, .. } = &mut sess.state else {
+                unreachable!("caller checked state")
+            };
+            let steps = (*remaining).min(self.config.vcr_rate).min(sess.position);
+            *remaining = remaining.saturating_sub(steps).min(sess.position - steps);
+            steps
+        };
+        // Rewind with viewing displays segments in reverse order; each is
+        // read through the dedicated lease.
+        for _ in 0..steps {
+            let (movie, target) = {
+                let sess = self.sessions[idx].as_ref().expect("live session");
+                (self.config.movies[sess.movie_idx].movie, sess.position - 1)
+            };
+            let seg = {
+                let sess = self.sessions[idx].as_ref().expect("live session");
+                let lease = sess.lease.as_ref().expect("rewinding session holds a lease");
+                self.disk.read(lease, movie, target).expect("in range")
+            };
+            let ok = verify_segment(&seg);
+            let sess = self.sessions[idx].as_mut().expect("live session");
+            sess.stats.from_disk += 1;
+            if !ok {
+                sess.stats.verify_failures += 1;
+                self.metrics.verify_failures += 1;
+            }
+            self.metrics.disk_segments += 1;
+            sess.position -= 1;
+        }
+        let sess = self.sessions[idx].as_mut().expect("live session");
+        let done = matches!(sess.state, SessionState::VcrActive { remaining: 0, .. })
+            || sess.position == 0;
+        if done {
+            self.resume(t, idx, true);
+        }
+    }
+
+    fn pause_countdown(&mut self, t: u64, idx: usize) {
+        let resume_now = {
+            let sess = self.sessions[idx].as_mut().expect("live session");
+            let SessionState::VcrActive { remaining, .. } = &mut sess.state else {
+                unreachable!("caller checked state")
+            };
+            if *remaining == 0 {
+                // The full pause elapsed on previous ticks; resume now so
+                // a pause of d minutes really shifts the pattern by d.
+                true
+            } else {
+                *remaining -= 1;
+                false
+            }
+        };
+        if resume_now {
+            self.resume(t, idx, false);
+        }
+    }
+
+    /// Resume to normal playback: join a covering partition (hit) or fall
+    /// back to a dedicated stream (miss).
+    fn resume(&mut self, t: u64, idx: usize, holds_lease: bool) {
+        let (movie_idx, position) = {
+            let sess = self.sessions[idx].as_ref().expect("live session");
+            (sess.movie_idx, sess.position)
+        };
+        if let Some(stream_idx) = self.joinable_stream(movie_idx, position) {
+            self.metrics.resume_hits.push(true);
+            let sess = self.sessions[idx].as_mut().expect("live session");
+            if let Some(lease) = sess.lease.take() {
+                self.disk.release(lease);
+                self.metrics.dedicated.add(t as f64, -1.0);
+            }
+            sess.state = SessionState::Enrolled {
+                stream: StreamId(stream_idx),
+            };
+            self.streams[stream_idx]
+                .as_mut()
+                .expect("covering stream is alive")
+                .enrolled += 1;
+            return;
+        }
+        // Miss: continue on a dedicated stream.
+        self.metrics.resume_hits.push(false);
+        if holds_lease {
+            let sess = self.sessions[idx].as_mut().expect("live session");
+            debug_assert!(sess.lease.is_some());
+            sess.state = SessionState::Dedicated;
+            sess.piggyback_phase = 0;
+            return;
+        }
+        // Paused viewer resuming on a miss must acquire a stream now; if
+        // none is free it stays paused and retries next tick.
+        match self.acquire_vcr_lease().ok_or(()) {
+            Ok(lease) => {
+                let sess = self.sessions[idx].as_mut().expect("live session");
+                sess.lease = Some(lease);
+                sess.state = SessionState::Dedicated;
+                sess.piggyback_phase = 0;
+                self.metrics.dedicated.add(t as f64, 1.0);
+            }
+            Err(_) => {
+                self.metrics.vcr_denied += 1;
+                let sess = self.sessions[idx].as_mut().expect("live session");
+                sess.state = SessionState::VcrActive {
+                    kind: VcrKind::Pause,
+                    remaining: 1,
+                };
+            }
+        }
+    }
+
+    /// Any live stream of `movie_idx` a session at `position` can join.
+    ///
+    /// Joining means the session consumes `position` *after the stream's
+    /// next advance*, so membership is checked against the window one
+    /// advance ahead: a still-displaying stream's window shifts forward by
+    /// one (possibly evicting its tail); a finished stream's window is
+    /// frozen. Checking the current window instead would let a session
+    /// join exactly at the trailing edge and underrun one tick later.
+    fn joinable_stream(&self, movie_idx: usize, position: u32) -> Option<usize> {
+        let hosted = self.config.movies[movie_idx];
+        self.streams
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
+            .find(|(_, s)| {
+                if s.movie_idx != movie_idx {
+                    return false;
+                }
+                let (Some(tail), Some(front)) =
+                    (s.partition.tail_index(), s.partition.front_index())
+                else {
+                    return false;
+                };
+                let will_advance = front < hosted.length - 1;
+                if will_advance {
+                    let next_tail = if s.partition.len() == s.partition.capacity() {
+                        tail + 1
+                    } else {
+                        tail
+                    };
+                    (next_tail..=front + 1).contains(&position)
+                } else {
+                    (tail..=front).contains(&position)
+                }
+            })
+            .map(|(i, _)| i)
+    }
+
+    fn finish_session(&mut self, t: u64, idx: usize) {
+        let sess = self.sessions[idx].as_mut().expect("live session");
+        if let SessionState::Enrolled { stream } = sess.state {
+            if let Some(s) = self.streams[stream.0].as_mut() {
+                s.enrolled -= 1;
+            }
+        }
+        if let Some(lease) = sess.lease.take() {
+            self.disk.release(lease);
+            self.metrics.dedicated.add(t as f64, -1.0);
+        }
+        sess.state = SessionState::Done;
+        self.metrics.sessions_done += 1;
+    }
+}

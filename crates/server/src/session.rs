@@ -1,0 +1,84 @@
+//! Viewer sessions: state machine types.
+//!
+//! The server (`crate::server`) drives these states tick by tick. Time is
+//! integer minutes; one tick displays one segment at normal playback.
+//!
+//! ```text
+//! Waiting ──restart──▶ Enrolled(stream) ──VCR──▶ VcrActive ──resume hit──▶ Enrolled
+//!                         │                        │
+//!                         │                        └─resume miss──▶ Dedicated ──piggyback──▶ Enrolled
+//!                         └──────────── end of movie ──▶ Done
+//! ```
+
+use vod_workload::VcrKind;
+
+/// Session identifier (index into the server's session table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub usize);
+
+/// Identifier of an active stream within the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub usize);
+
+/// Where a session currently gets its frames.
+#[derive(Debug)]
+pub enum SessionState {
+    /// Queued for the next restart of the movie (type-1 viewer).
+    Waiting {
+        /// Tick at which the session will start.
+        start_at: u64,
+    },
+    /// Reading from a stream's buffer partition (type-2 viewer or a
+    /// post-resume hit).
+    Enrolled {
+        /// The stream whose partition serves this session.
+        stream: StreamId,
+    },
+    /// Holding a dedicated disk stream (post-miss playback, possibly
+    /// piggybacking its way back into a partition).
+    Dedicated,
+    /// Mid-VCR operation.
+    VcrActive {
+        /// Operation kind.
+        kind: VcrKind,
+        /// Segments still to sweep (FF/RW) or ticks still to wait (PAU).
+        remaining: u32,
+    },
+    /// Finished (reached the end of the movie).
+    Done,
+}
+
+/// Per-session delivery accounting; the integration tests assert
+/// `verify_failures == 0` — the data path must deliver byte-exact
+/// segments no matter which source served them.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Segments served from a buffer partition.
+    pub from_buffer: u64,
+    /// Segments served from a dedicated disk stream.
+    pub from_disk: u64,
+    /// Segments whose bytes did not match the canonical content.
+    pub verify_failures: u64,
+}
+
+impl DeliveryStats {
+    /// All segments delivered.
+    pub fn total(&self) -> u64 {
+        self.from_buffer + self.from_disk
+    }
+}
+
+/// Public status snapshot of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Waiting for the next restart (tick at which it starts).
+    Waiting(u64),
+    /// Playing from a shared partition.
+    Shared,
+    /// Playing from a dedicated stream.
+    Dedicated,
+    /// Mid-VCR operation.
+    InVcr,
+    /// Completed.
+    Done,
+}

@@ -1,0 +1,526 @@
+//! The discrete-event engine.
+//!
+//! Models the *real* static-partitioning system of the paper's §2 —
+//! including the boundary behaviors §4 lists as the sources of
+//! model-vs-simulation discrepancy:
+//!
+//! * arrivals after the enrollment window closes coalesce into the "first
+//!   viewer" of the next restart (type-1 viewers);
+//! * a rewind truncated at the movie start *may* still hit (the latest
+//!   stream's enrollment window), whereas the model counts it as a miss;
+//! * viewer positions are whatever the dynamics produce — the model's
+//!   uniformity assumptions are not imposed.
+//!
+//! Because streams restart every `T = l/n` minutes forever, the partition
+//! pattern never needs explicit stream objects: position `p` is buffered
+//! at time `t` iff some integer `k ≥ 0` satisfies
+//! `t − kT ∈ [p, min(p + B/n, l)]` — an O(1) membership test.
+//!
+//! The engine natively simulates a *catalog* of movies sharing one
+//! dedicated-stream reserve (the coupling §5's multi-movie sizing
+//! creates); the single-movie entry points are thin wrappers.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use vod_dist::rng::{exponential, seeded, SeededRng};
+use vod_workload::{TimeWeighted, VcrKind, VcrTraceRecord, Welford};
+
+use crate::{CatalogConfig, CatalogReport, SimConfig, SimReport};
+
+/// Scheduled event. Ordered by time then sequence number (FIFO ties).
+struct Ev {
+    time: f64,
+    seq: u64,
+    kind: EvKind,
+}
+
+enum EvKind {
+    /// A new viewer for `movie` arrives (the next arrival of that movie
+    /// is scheduled on pop).
+    Arrival { movie: usize },
+    /// A queued (type-1) viewer starts at a restart instant.
+    Start { viewer: usize },
+    /// A playing viewer issues a VCR operation.
+    Vcr { viewer: usize },
+    /// A VCR operation completes; the viewer resumes at `end_pos`.
+    VcrEnd {
+        viewer: usize,
+        kind: VcrKind,
+        magnitude: f64,
+        issued_at: f64,
+        issued_pos: f64,
+        end_pos: f64,
+        /// FF ran off the end of the movie.
+        reached_end: bool,
+        /// RW was truncated at the movie start.
+        truncated_start: bool,
+    },
+    /// A viewer reaches the end of the movie in normal playback.
+    Finish { viewer: usize },
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so earliest time pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Per-viewer playback state. While playing, the position at time `t` is
+/// `pos_base + (t − t_base)`.
+struct Viewer {
+    movie: usize,
+    pos_base: f64,
+    t_base: f64,
+    holds_dedicated: bool,
+}
+
+struct Engine<'a> {
+    cfg: &'a CatalogConfig,
+    rng: SeededRng,
+    heap: BinaryHeap<Ev>,
+    seq: u64,
+    viewers: Vec<Option<Viewer>>,
+    dedicated: TimeWeighted,
+    warmed: bool,
+    report: CatalogReport,
+}
+
+impl<'a> Engine<'a> {
+    fn new(cfg: &'a CatalogConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            rng: seeded(seed),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            viewers: Vec::new(),
+            dedicated: TimeWeighted::new(0.0, 0.0),
+            warmed: false,
+            report: CatalogReport::with_movies(cfg.movies.len()),
+        }
+    }
+
+    fn push(&mut self, time: f64, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn run(mut self) -> CatalogReport {
+        let horizon = self.cfg.horizon;
+        for movie in 0..self.cfg.movies.len() {
+            self.push(0.0, EvKind::Arrival { movie });
+        }
+        while let Some(ev) = self.heap.pop() {
+            if ev.time > horizon {
+                break;
+            }
+            self.ensure_warm(ev.time);
+            match ev.kind {
+                EvKind::Arrival { movie } => self.on_arrival(ev.time, movie),
+                EvKind::Start { viewer } => self.on_start(ev.time, viewer),
+                EvKind::Vcr { viewer } => self.on_vcr(ev.time, viewer),
+                EvKind::VcrEnd {
+                    viewer,
+                    kind,
+                    magnitude,
+                    issued_at,
+                    issued_pos,
+                    end_pos,
+                    reached_end,
+                    truncated_start,
+                } => self.on_vcr_end(
+                    ev.time,
+                    viewer,
+                    kind,
+                    magnitude,
+                    issued_at,
+                    issued_pos,
+                    end_pos,
+                    reached_end,
+                    truncated_start,
+                ),
+                EvKind::Finish { viewer } => self.on_finish(ev.time, viewer),
+            }
+        }
+        self.report.dedicated_avg = self
+            .dedicated
+            .average(horizon, if self.warmed { self.cfg.warmup } else { 0.0 });
+        self.report.dedicated_peak = self.dedicated.peak();
+        let measured = horizon - self.cfg.warmup;
+        for m in &mut self.report.per_movie {
+            m.measured_minutes = measured;
+        }
+        self.report
+    }
+
+    /// Reset measurement baselines the first time the clock passes warmup.
+    fn ensure_warm(&mut self, t: f64) {
+        if !self.warmed && t >= self.cfg.warmup {
+            self.warmed = true;
+            let current = self.dedicated.current();
+            self.dedicated = TimeWeighted::new(self.cfg.warmup, current);
+        }
+    }
+
+    fn measuring(&self) -> bool {
+        self.warmed
+    }
+
+    // ---- partition geometry ------------------------------------------------
+
+    /// Is position `p` inside some live partition window of `movie` at
+    /// time `t`?
+    fn partition_hit(&self, movie: usize, t: f64, p: f64) -> bool {
+        let params = &self.cfg.movies[movie].params;
+        let b = params.partition_len();
+        if b <= 0.0 {
+            return false;
+        }
+        let l = params.movie_len();
+        let tt = params.restart_interval();
+        let hi_a = (p + b).min(l);
+        if hi_a < p {
+            return false;
+        }
+        // Need integer k ≥ 0 with stream age a = t − kT in [p, hi_a].
+        let k_min = ((t - hi_a) / tt - 1e-9).ceil().max(0.0);
+        let k_max = ((t - p) / tt + 1e-9).floor();
+        k_min <= k_max
+    }
+
+    /// Stream age of the most recent restart of `movie` at time `t`.
+    fn latest_age(&self, movie: usize, t: f64) -> f64 {
+        let tt = self.cfg.movies[movie].params.restart_interval();
+        t - (t / tt).floor() * tt
+    }
+
+    // ---- dedicated stream accounting ---------------------------------------
+
+    /// Try to take a dedicated stream for `viewer` from the shared
+    /// reserve. Returns `false` when the configured reserve is exhausted
+    /// (the caller decides whether the operation is denied or the viewer
+    /// abandons). Viewers already holding a stream always succeed.
+    fn acquire_dedicated(&mut self, t: f64, viewer: usize) -> bool {
+        let holds = self.viewers[viewer]
+            .as_ref()
+            .expect("live viewer")
+            .holds_dedicated;
+        if holds {
+            return true;
+        }
+        if self.measuring() {
+            self.report.acquisition_attempts += 1;
+        }
+        if let Some(cap) = self.cfg.dedicated_capacity {
+            if self.dedicated.current() >= cap as f64 - 0.5 {
+                return false;
+            }
+        }
+        let v = self.viewers[viewer].as_mut().expect("live viewer");
+        v.holds_dedicated = true;
+        self.dedicated.add(t, 1.0);
+        true
+    }
+
+    fn release_dedicated(&mut self, t: f64, viewer: usize) {
+        let v = self.viewers[viewer].as_mut().expect("live viewer");
+        if v.holds_dedicated {
+            v.holds_dedicated = false;
+            self.dedicated.add(t, -1.0);
+        }
+    }
+
+    // ---- event handlers ----------------------------------------------------
+
+    fn movie_report(&mut self, movie: usize) -> &mut SimReport {
+        &mut self.report.per_movie[movie]
+    }
+
+    fn on_arrival(&mut self, t: f64, movie: usize) {
+        // Schedule the next arrival first (Poisson process).
+        let next = t + exponential(&mut self.rng, self.cfg.movies[movie].mean_interarrival);
+        self.push(next, EvKind::Arrival { movie });
+
+        if self.measuring() {
+            self.movie_report(movie).viewers_arrived += 1;
+        }
+        let id = self.viewers.len();
+        self.viewers.push(Some(Viewer {
+            movie,
+            pos_base: 0.0,
+            t_base: t,
+            holds_dedicated: false,
+        }));
+
+        let age = self.latest_age(movie, t);
+        let params = &self.cfg.movies[movie].params;
+        let b = params.partition_len();
+        let restart = params.restart_interval();
+        if age <= b + 1e-12 {
+            // Type-2: the enrollment window is open; start immediately,
+            // reading position 0 from the buffer partition.
+            if self.measuring() {
+                let r = self.movie_report(movie);
+                r.type2_fraction.push(true);
+                r.wait.push(0.0);
+            }
+            self.begin_playback(t, id, 0.0);
+        } else {
+            // Type-1: queue for the next restart.
+            let start = t - age + restart;
+            if self.measuring() {
+                let r = self.movie_report(movie);
+                r.type2_fraction.push(false);
+                r.wait.push(start - t);
+            }
+            self.push(start, EvKind::Start { viewer: id });
+        }
+    }
+
+    fn on_start(&mut self, t: f64, viewer: usize) {
+        self.begin_playback(t, viewer, 0.0);
+    }
+
+    /// (Re)enter normal playback at position `p`, scheduling the next
+    /// interaction or the finish, whichever comes first.
+    fn begin_playback(&mut self, t: f64, viewer: usize, p: f64) {
+        let movie = {
+            let v = self.viewers[viewer].as_mut().expect("live viewer");
+            v.pos_base = p;
+            v.t_base = t;
+            v.movie
+        };
+        let spec = &self.cfg.movies[movie];
+        let remaining = spec.params.movie_len() - p;
+        let gap = spec.behavior.next_interaction_gap(&mut self.rng);
+        if gap < remaining {
+            self.push(t + gap, EvKind::Vcr { viewer });
+        } else {
+            self.push(t + remaining, EvKind::Finish { viewer });
+        }
+    }
+
+    fn on_vcr(&mut self, t: f64, viewer: usize) {
+        let (movie, p) = {
+            let v = self.viewers[viewer].as_ref().expect("live viewer");
+            (v.movie, v.pos_base + (t - v.t_base))
+        };
+        let spec = &self.cfg.movies[movie];
+        let l = spec.params.movie_len();
+        let req = spec.behavior.sample_request(&mut self.rng);
+        let rates = spec.params.rates();
+        let (duration, end_pos, reached_end, truncated_start) = match req.kind {
+            VcrKind::FastForward => {
+                let sweep = req.magnitude.min(l - p);
+                (
+                    sweep / rates.fast_forward(),
+                    p + sweep,
+                    req.magnitude >= l - p,
+                    false,
+                )
+            }
+            VcrKind::Rewind => {
+                let sweep = req.magnitude.min(p);
+                (
+                    sweep / rates.rewind(),
+                    p - sweep,
+                    false,
+                    req.magnitude >= p,
+                )
+            }
+            // A pause consumes no display bandwidth; its duration is the
+            // pause length itself (converted by the playback rate so that
+            // duration distributions stay in movie-minute units).
+            VcrKind::Pause => (req.magnitude / rates.playback(), p, false, false),
+        };
+        // FF/RW with viewing consume a dedicated stream during phase 1;
+        // a paused viewer consumes nothing until resume.
+        if matches!(req.kind, VcrKind::FastForward | VcrKind::Rewind)
+            && !self.acquire_dedicated(t, viewer)
+        {
+            // Reserve exhausted: the request is denied and the viewer
+            // stays in his batch (Erlang loss semantics).
+            if self.measuring() {
+                self.report.vcr_denied += 1;
+            }
+            self.begin_playback(t, viewer, p);
+            return;
+        }
+        self.push(
+            t + duration,
+            EvKind::VcrEnd {
+                viewer,
+                kind: req.kind,
+                magnitude: req.magnitude,
+                issued_at: t,
+                issued_pos: p,
+                end_pos,
+                reached_end,
+                truncated_start,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_vcr_end(
+        &mut self,
+        t: f64,
+        viewer: usize,
+        kind: VcrKind,
+        magnitude: f64,
+        issued_at: f64,
+        issued_pos: f64,
+        end_pos: f64,
+        reached_end: bool,
+        truncated_start: bool,
+    ) {
+        let movie = self.viewers[viewer].as_ref().expect("live viewer").movie;
+        if reached_end {
+            // FF ran to the end: the viewing is over and phase-1 resources
+            // are released (the model's P(end) path).
+            self.release_dedicated(t, viewer);
+            if self.measuring() {
+                let hit = self.cfg.count_ff_end_as_hit;
+                let r = self.movie_report(movie);
+                r.ff_end_count += 1;
+                r.overall.push(hit);
+                r.hit_ratio_mut(kind).push(hit);
+                r.viewers_completed += 1;
+                self.record_trace(movie, issued_at, issued_pos, kind, magnitude, hit);
+            }
+            self.viewers[viewer] = None;
+            return;
+        }
+
+        // Real-system resume: a hit iff the resume position is inside any
+        // live window — including position 0 after a truncated rewind,
+        // where the latest stream's enrollment window may still be open
+        // (the model counts those as misses; see §4 of the paper).
+        let hit = self.partition_hit(movie, t, end_pos);
+        if truncated_start && self.measuring() {
+            self.movie_report(movie).rw_start_count += 1;
+        }
+        if hit {
+            self.release_dedicated(t, viewer);
+        } else if !self.acquire_dedicated(t, viewer) {
+            // A missed pause-resume with no free stream: the viewer is
+            // cleared from the system (blocked customers cleared).
+            if self.measuring() {
+                let r = self.movie_report(movie);
+                r.overall.push(false);
+                r.hit_ratio_mut(kind).push(false);
+                self.report.abandoned += 1;
+                self.record_trace(movie, issued_at, issued_pos, kind, magnitude, false);
+            }
+            self.viewers[viewer] = None;
+            return;
+        }
+        if self.measuring() {
+            let r = self.movie_report(movie);
+            r.overall.push(hit);
+            r.hit_ratio_mut(kind).push(hit);
+            self.record_trace(movie, issued_at, issued_pos, kind, magnitude, hit);
+        }
+        self.begin_playback(t, viewer, end_pos);
+    }
+
+    fn on_finish(&mut self, t: f64, viewer: usize) {
+        let movie = self.viewers[viewer].as_ref().expect("live viewer").movie;
+        self.release_dedicated(t, viewer);
+        if self.measuring() {
+            self.movie_report(movie).viewers_completed += 1;
+        }
+        self.viewers[viewer] = None;
+    }
+
+    fn record_trace(
+        &mut self,
+        movie: usize,
+        issued_at: f64,
+        position: f64,
+        kind: VcrKind,
+        magnitude: f64,
+        hit: bool,
+    ) {
+        if self.cfg.collect_trace {
+            self.report.per_movie[movie].trace.push(VcrTraceRecord {
+                issued_at,
+                position,
+                kind,
+                magnitude,
+                hit,
+            });
+        }
+    }
+}
+
+/// Run a catalog simulation with an explicit seed.
+pub fn run_catalog_seeded(cfg: &CatalogConfig, seed: u64) -> CatalogReport {
+    cfg.validate().expect("invalid simulation configuration");
+    Engine::new(cfg, seed).run()
+}
+
+/// Run one single-movie simulation (deterministic default seed 0).
+pub fn run(cfg: &SimConfig) -> SimReport {
+    run_seeded(cfg, 0)
+}
+
+/// Run one single-movie simulation with an explicit seed.
+pub fn run_seeded(cfg: &SimConfig, seed: u64) -> SimReport {
+    let catalog: CatalogConfig = cfg.clone().into();
+    let mut report = run_catalog_seeded(&catalog, seed);
+    let mut movie = report.per_movie.pop().expect("one movie");
+    movie.dedicated_avg = report.dedicated_avg;
+    movie.dedicated_peak = report.dedicated_peak;
+    movie.acquisition_attempts = report.acquisition_attempts;
+    movie.vcr_denied = report.vcr_denied;
+    movie.abandoned = report.abandoned;
+    movie
+}
+
+/// Run `replications` independent simulations (seeds `base_seed..`) and
+/// aggregate.
+pub fn run_replications(
+    cfg: &SimConfig,
+    base_seed: u64,
+    replications: u32,
+) -> crate::ReplicatedReport {
+    let mut agg = crate::ReplicatedReport::default();
+    for r in 0..replications {
+        let report = run_seeded(cfg, base_seed.wrapping_add(r as u64));
+        agg.push(&report);
+    }
+    agg
+}
+
+/// Convenience: a [`Welford`] of per-replication overall hit ratios.
+pub fn hit_ratio_over_replications(cfg: &SimConfig, base_seed: u64, replications: u32) -> Welford {
+    run_replications(cfg, base_seed, replications).overall
+}
+
+/// Expose the O(1) membership test for property tests.
+#[doc(hidden)]
+pub fn partition_hit_for_tests(cfg: &SimConfig, t: f64, p: f64) -> bool {
+    let catalog: CatalogConfig = cfg.clone().into();
+    Engine::new(&catalog, 0).partition_hit(0, t, p)
+}

@@ -1,0 +1,39 @@
+//! # vod-sim — discrete-event validation simulator
+//!
+//! Simulates the *actual* static-partitioning VOD system of the paper's
+//! §2 (periodic stream restarts, enrollment windows, type-1/type-2
+//! viewers, VCR phase-1/phase-2 resource lifecycle, movie start/end
+//! boundary behavior) and measures the hit probability the analytic model
+//! (`vod-model`) predicts — reproducing the paper's §4 model-verification
+//! methodology (Figure 7).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use vod_dist::kinds::Gamma;
+//! use vod_model::{Rates, SystemParams};
+//! use vod_sim::{run_seeded, SimConfig};
+//! use vod_workload::BehaviorModel;
+//!
+//! let params = SystemParams::new(120.0, 60.0, 20, Rates::paper()).unwrap();
+//! let behavior = BehaviorModel::uniform_dist(
+//!     (0.2, 0.2, 0.6),
+//!     30.0,
+//!     Arc::new(Gamma::paper_fig7()),
+//! );
+//! let report = run_seeded(&SimConfig::new(params, behavior), 42);
+//! println!("simulated P(hit) = {:.3}", report.overall.value());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod engine;
+mod report;
+
+pub use config::{CatalogConfig, MovieLoad, SimConfig};
+pub use engine::{
+    hit_ratio_over_replications, partition_hit_for_tests, run, run_catalog_seeded,
+    run_replications, run_seeded,
+};
+pub use report::{CatalogReport, ReplicatedReport, SimReport};

@@ -1,0 +1,153 @@
+//! System cost model — the paper's §5 Eq. 23 and Example 2.
+//!
+//! `C = C_b Σ B_i + C_n Σ n_i = C_n (φ Σ B_i + Σ n_i)` with `φ = C_b/C_n`,
+//! where `C_b` prices one movie-minute of buffer memory and `C_n` one I/O
+//! stream. Example 2 derives the 1997 prices `C_b = $750/min`,
+//! `C_n = $70/stream` (`φ ≈ 11`) from a $700 2 GB SCSI disk at 5 MB/s,
+//! 4 Mb/s MPEG-2 video, and $25/MB DRAM.
+
+use crate::SizingError;
+
+/// Prices for the two resources the model trades against each other.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceCost {
+    buffer_per_minute: f64,
+    per_stream: f64,
+}
+
+impl ResourceCost {
+    /// Construct from explicit prices (both must be positive and finite).
+    pub fn new(buffer_per_minute: f64, per_stream: f64) -> Result<Self, SizingError> {
+        for (name, v) in [
+            ("buffer_per_minute", buffer_per_minute),
+            ("per_stream", per_stream),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(SizingError::InvalidCost {
+                    name,
+                    value: v,
+                });
+            }
+        }
+        Ok(Self {
+            buffer_per_minute,
+            per_stream,
+        })
+    }
+
+    /// Construct from a cost *ratio* `φ = C_b/C_n`, normalizing
+    /// `C_n = 1` — Figure 9 sweeps φ ∈ {3, 4, 6, 10, 11, 16}.
+    pub fn from_phi(phi: f64) -> Result<Self, SizingError> {
+        Self::new(phi, 1.0)
+    }
+
+    /// `C_b`: cost of buffering one movie minute.
+    pub fn buffer_per_minute(&self) -> f64 {
+        self.buffer_per_minute
+    }
+
+    /// `C_n`: cost of one I/O stream.
+    pub fn per_stream(&self) -> f64 {
+        self.per_stream
+    }
+
+    /// `φ = C_b / C_n` (Eq. 23).
+    pub fn phi(&self) -> f64 {
+        self.buffer_per_minute / self.per_stream
+    }
+
+    /// Total system cost `C_b·B + C_n·n` for `B` buffer minutes and `n`
+    /// streams.
+    pub fn total(&self, buffer_minutes: f64, streams: u32) -> f64 {
+        self.buffer_per_minute * buffer_minutes + self.per_stream * streams as f64
+    }
+}
+
+/// Hardware price list from which [`ResourceCost`] is derived the way the
+/// paper's Example 2 does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HardwareSpec {
+    /// Cost of one disk in dollars (Example 2: $700 for a 2 GB SCSI disk).
+    pub disk_cost: f64,
+    /// Disk storage capacity in GB (Example 2: 2 GB).
+    pub disk_capacity_gb: f64,
+    /// Sustained disk transfer rate in MB/s (Example 2: 5 MB/s).
+    pub disk_bandwidth_mb_s: f64,
+    /// Video bit rate in Mb/s (Example 2: 4 Mb/s MPEG-2).
+    pub video_rate_mbit_s: f64,
+    /// Memory price in dollars per MB (Example 2: $25/MB).
+    pub memory_cost_per_mb: f64,
+}
+
+impl HardwareSpec {
+    /// The paper's Example 2 price list (1997 hardware).
+    pub fn paper_example2() -> Self {
+        Self {
+            disk_cost: 700.0,
+            disk_capacity_gb: 2.0,
+            disk_bandwidth_mb_s: 5.0,
+            video_rate_mbit_s: 4.0,
+            memory_cost_per_mb: 25.0,
+        }
+    }
+
+    /// Megabytes needed to buffer one minute of video:
+    /// `60 s · rate/8` MB (Example 2: 30 MB/min).
+    pub fn mb_per_movie_minute(&self) -> f64 {
+        60.0 * self.video_rate_mbit_s / 8.0
+    }
+
+    /// Concurrent streams one disk sustains: `bandwidth / (rate/8)`
+    /// (Example 2: 10 streams/disk).
+    pub fn streams_per_disk(&self) -> f64 {
+        self.disk_bandwidth_mb_s / (self.video_rate_mbit_s / 8.0)
+    }
+
+    /// Derive `(C_b, C_n)` as in Example 2:
+    /// `C_b = mb_per_minute · $/MB`, `C_n = disk_cost / streams_per_disk`.
+    pub fn resource_cost(&self) -> Result<ResourceCost, SizingError> {
+        ResourceCost::new(
+            self.mb_per_movie_minute() * self.memory_cost_per_mb,
+            self.disk_cost / self.streams_per_disk(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example2_prices() {
+        // The paper: C_b = $750, C_n = $70, φ ≈ 11.
+        let hw = HardwareSpec::paper_example2();
+        assert!((hw.mb_per_movie_minute() - 30.0).abs() < 1e-12);
+        assert!((hw.streams_per_disk() - 10.0).abs() < 1e-12);
+        let rc = hw.resource_cost().unwrap();
+        assert!((rc.buffer_per_minute() - 750.0).abs() < 1e-9);
+        assert!((rc.per_stream() - 70.0).abs() < 1e-9);
+        assert!((rc.phi() - 750.0 / 70.0).abs() < 1e-12);
+        assert!(rc.phi() > 10.0 && rc.phi() < 11.0, "φ ≈ 10.7 (paper: ~11)");
+    }
+
+    #[test]
+    fn total_cost_linear() {
+        let rc = ResourceCost::new(750.0, 70.0).unwrap();
+        assert!((rc.total(113.5, 602) - (750.0 * 113.5 + 70.0 * 602.0)).abs() < 1e-9);
+        assert_eq!(rc.total(0.0, 0), 0.0);
+    }
+
+    #[test]
+    fn phi_constructor() {
+        let rc = ResourceCost::from_phi(11.0).unwrap();
+        assert_eq!(rc.phi(), 11.0);
+        assert_eq!(rc.per_stream(), 1.0);
+    }
+
+    #[test]
+    fn invalid_prices_rejected() {
+        assert!(ResourceCost::new(0.0, 1.0).is_err());
+        assert!(ResourceCost::new(1.0, -2.0).is_err());
+        assert!(ResourceCost::new(f64::NAN, 1.0).is_err());
+    }
+}

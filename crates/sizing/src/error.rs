@@ -1,0 +1,78 @@
+//! Error type for sizing and allocation.
+
+use vod_model::ModelError;
+
+/// Errors produced by the sizing machinery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SizingError {
+    /// An underlying model-parameter error.
+    Model(ModelError),
+    /// The allocation problem contains no movies.
+    NoMovies,
+    /// A movie cannot reach its target hit probability even with maximum
+    /// buffer (`n = 1`).
+    UnsatisfiableMovie {
+        /// Name of the offending movie.
+        movie: String,
+    },
+    /// Fewer streams than movies: every movie needs at least one stream.
+    StreamBudgetTooSmall {
+        /// Minimum streams needed (the movie count).
+        needed: u32,
+        /// Streams available.
+        available: u32,
+    },
+    /// The minimum feasible total buffer exceeds the buffer budget.
+    BufferBudgetTooSmall {
+        /// Minimum buffer minutes needed.
+        needed: f64,
+        /// Buffer minutes available.
+        available: f64,
+    },
+    /// A cost parameter violated its domain.
+    InvalidCost {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for SizingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SizingError::Model(e) => write!(f, "model error: {e}"),
+            SizingError::NoMovies => write!(f, "allocation problem has no movies"),
+            SizingError::UnsatisfiableMovie { movie } => write!(
+                f,
+                "movie `{movie}` cannot meet its hit-probability target at any stream count"
+            ),
+            SizingError::StreamBudgetTooSmall { needed, available } => write!(
+                f,
+                "stream budget {available} below minimum {needed} (one per movie)"
+            ),
+            SizingError::BufferBudgetTooSmall { needed, available } => write!(
+                f,
+                "buffer budget {available} min below minimum feasible {needed} min"
+            ),
+            SizingError::InvalidCost { name, value } => {
+                write!(f, "cost parameter `{name}` = {value} must be finite and > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SizingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SizingError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SizingError {
+    fn from(e: ModelError) -> Self {
+        SizingError::Model(e)
+    }
+}

@@ -1,0 +1,196 @@
+//! Feasible `(B, n)` sets per movie — the paper's §5 Steps 1–2 and
+//! Figure 8.
+//!
+//! For a movie with wait bound `w`, every stream count `n ∈ [1, l/w]`
+//! implies a buffer `B = l − n·w` (Eq. 2); the pair is *feasible* when the
+//! model's `P(hit) ≥ P*`. Because the buffered fraction `B/l = 1 − wn/l`
+//! falls with `n`, `P(hit)` is decreasing in `n` along the wait-bound line
+//! and the feasible set is (numerically verified in tests) a prefix
+//! `n ≤ n_max`; [`max_feasible_streams`] finds the boundary by bisection.
+
+use vod_model::{ModelError, ModelOptions};
+
+use crate::MovieSpec;
+
+/// One point of a feasible-set scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasiblePoint {
+    /// Stream count `n`.
+    pub n_streams: u32,
+    /// Buffer minutes `B = l − n·w`.
+    pub buffer: f64,
+    /// Modelled hit probability at this point.
+    pub p_hit: f64,
+    /// Whether `p_hit ≥ P*`.
+    pub feasible: bool,
+}
+
+/// Scan the feasible frontier in steps of `buffer_step` minutes of buffer
+/// (Figure 8 uses 5-minute steps). Points whose implied `n` is not a
+/// positive integer are snapped to the nearest integer `n` (the paper's
+/// `w` values are chosen so 5-minute steps give integral `n`).
+pub fn scan_by_buffer_step(
+    movie: &MovieSpec,
+    buffer_step: f64,
+    opts: &ModelOptions,
+) -> Result<Vec<FeasiblePoint>, ModelError> {
+    assert!(buffer_step > 0.0, "buffer_step must be positive");
+    let mut out = Vec::new();
+    let mut buffer = 0.0;
+    while buffer < movie.length {
+        let n_exact = (movie.length - buffer) / movie.max_wait;
+        let n = n_exact.round().max(1.0) as u32;
+        out.push(evaluate(movie, n, opts)?);
+        buffer += buffer_step;
+    }
+    // Always include the n = 1 endpoint (maximum buffer).
+    if out.last().map(|p| p.n_streams) != Some(1) {
+        out.push(evaluate(movie, 1, opts)?);
+    }
+    Ok(out)
+}
+
+/// Scan every integer `n` in `[n_lo, n_hi]`.
+pub fn scan_by_streams(
+    movie: &MovieSpec,
+    n_lo: u32,
+    n_hi: u32,
+    opts: &ModelOptions,
+) -> Result<Vec<FeasiblePoint>, ModelError> {
+    (n_lo.max(1)..=n_hi.min(movie.max_streams()))
+        .map(|n| evaluate(movie, n, opts))
+        .collect()
+}
+
+fn evaluate(movie: &MovieSpec, n: u32, opts: &ModelOptions) -> Result<FeasiblePoint, ModelError> {
+    let p = movie.hit_probability(n, opts)?;
+    Ok(FeasiblePoint {
+        n_streams: n,
+        buffer: movie.buffer_for_streams(n),
+        p_hit: p,
+        feasible: p >= movie.target_hit,
+    })
+}
+
+/// Largest `n` with `P(hit) ≥ P*` (the minimum-buffer feasible point),
+/// found by bisection over the integer range `[1, l/w]`.
+///
+/// Returns `None` when even `n = 1` (maximum buffer) misses the target —
+/// the movie's QoS pair `(w, P*)` is unsatisfiable with this behavior.
+pub fn max_feasible_streams(
+    movie: &MovieSpec,
+    opts: &ModelOptions,
+) -> Result<Option<u32>, ModelError> {
+    let mut lo = 1u32;
+    let mut hi = movie.max_streams();
+    if movie.hit_probability(lo, opts)? < movie.target_hit {
+        return Ok(None);
+    }
+    if movie.hit_probability(hi, opts)? >= movie.target_hit {
+        return Ok(Some(hi));
+    }
+    // Invariant: P(lo) ≥ P*, P(hi) < P*.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if movie.hit_probability(mid, opts)? >= movie.target_hit {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(Some(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movie::example1_movies;
+    use std::sync::Arc;
+    use vod_dist::kinds::Exponential;
+    use vod_model::{Rates, VcrMix};
+
+    fn small_movie() -> MovieSpec {
+        MovieSpec::new(
+            "m",
+            60.0,
+            0.5,
+            0.5,
+            VcrMix::paper_fig7d(),
+            Arc::new(Exponential::with_mean(5.0).unwrap()),
+            Rates::paper(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn feasible_set_is_a_prefix_in_n() {
+        // Validates the monotonicity the bisection relies on.
+        let m = small_movie();
+        let pts = scan_by_streams(&m, 1, m.max_streams(), &ModelOptions::default()).unwrap();
+        let mut seen_infeasible = false;
+        for p in &pts {
+            if !p.feasible {
+                seen_infeasible = true;
+            } else {
+                assert!(
+                    !seen_infeasible,
+                    "feasibility regained at n={} after losing it",
+                    p.n_streams
+                );
+            }
+        }
+        assert!(seen_infeasible, "target never binds — test is vacuous");
+    }
+
+    #[test]
+    fn bisection_matches_scan() {
+        let m = small_movie();
+        let opts = ModelOptions::default();
+        let scan_max = scan_by_streams(&m, 1, m.max_streams(), &opts)
+            .unwrap()
+            .iter()
+            .filter(|p| p.feasible)
+            .map(|p| p.n_streams)
+            .max()
+            .unwrap();
+        let bisect_max = max_feasible_streams(&m, &opts).unwrap().unwrap();
+        assert_eq!(scan_max, bisect_max);
+    }
+
+    #[test]
+    fn unsatisfiable_target_detected() {
+        let mut m = small_movie();
+        m.target_hit = 0.9999;
+        assert_eq!(max_feasible_streams(&m, &ModelOptions::default()).unwrap(), None);
+    }
+
+    #[test]
+    fn buffer_step_scan_covers_range() {
+        let m = small_movie();
+        let pts = scan_by_buffer_step(&m, 5.0, &ModelOptions::default()).unwrap();
+        // 60/5 = 12 steps plus the n=1 endpoint.
+        assert!(pts.len() >= 12);
+        assert_eq!(pts[0].buffer, 0.0);
+        assert_eq!(pts.last().unwrap().n_streams, 1);
+        // Buffer increases along the scan, n decreases.
+        for w in pts.windows(2) {
+            assert!(w[1].buffer >= w[0].buffer);
+            assert!(w[1].n_streams <= w[0].n_streams);
+        }
+    }
+
+    #[test]
+    fn example1_movie2_has_sizable_feasible_range() {
+        // Movie 2 (l=60, w=0.5, exp mean 5): the paper reports (30, 60) as
+        // its optimum, i.e. its feasible range should extend to dozens of
+        // streams with P* = 0.5.
+        let movies = example1_movies(VcrMix::paper_fig7d());
+        let n_max = max_feasible_streams(&movies[1], &ModelOptions::default())
+            .unwrap()
+            .expect("movie 2 must be satisfiable");
+        assert!(
+            (20..=119).contains(&n_max),
+            "movie-2 max feasible n = {n_max}"
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! Procurement: turn a resource plan into hardware to buy.
+//!
+//! §5's purpose is "system sizing decisions" — ultimately a purchase
+//! order. Given a plan (playback streams + buffer minutes), a VCR
+//! reserve, and the hardware price list of Example 2, compute how many
+//! disks and how much memory the server needs, respecting *both* disk
+//! constraints:
+//!
+//! * **bandwidth** — each disk sustains `streams_per_disk` concurrent
+//!   streams;
+//! * **capacity** — the catalog's bytes must fit (Example 2's disk holds
+//!   2 GB ≈ 66 movie minutes of 4 Mb/s video, so long movies span disks).
+
+use crate::{HardwareSpec, ResourcePlan, SizingError};
+
+/// A hardware shopping list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Procurement {
+    /// Disks needed (max of the bandwidth and capacity requirements).
+    pub disks: u32,
+    /// Disks needed for stream bandwidth alone.
+    pub disks_for_bandwidth: u32,
+    /// Disks needed for storage capacity alone.
+    pub disks_for_capacity: u32,
+    /// Buffer memory in MB.
+    pub memory_mb: f64,
+    /// Disk cost in dollars.
+    pub disk_dollars: f64,
+    /// Memory cost in dollars.
+    pub memory_dollars: f64,
+}
+
+impl Procurement {
+    /// Total dollars.
+    pub fn total_dollars(&self) -> f64 {
+        self.disk_dollars + self.memory_dollars
+    }
+}
+
+/// Compute the shopping list for `plan` plus `vcr_reserve` streams, with
+/// `catalog_minutes` of stored video (Σ lᵢ, possibly with replicas).
+pub fn procurement(
+    plan: &ResourcePlan,
+    vcr_reserve: u32,
+    catalog_minutes: f64,
+    hw: &HardwareSpec,
+) -> Result<Procurement, SizingError> {
+    if !(catalog_minutes.is_finite() && catalog_minutes >= 0.0) {
+        return Err(SizingError::InvalidCost {
+            name: "catalog_minutes",
+            value: catalog_minutes,
+        });
+    }
+    let streams = plan.total_streams() + vcr_reserve;
+    let per_disk = hw.streams_per_disk();
+    if per_disk <= 0.0 {
+        return Err(SizingError::InvalidCost {
+            name: "streams_per_disk",
+            value: per_disk,
+        });
+    }
+    let disks_for_bandwidth = (streams as f64 / per_disk).ceil() as u32;
+    let storage_mb = catalog_minutes * hw.mb_per_movie_minute();
+    let disk_mb = hw.disk_capacity_gb * 1024.0;
+    if disk_mb <= 0.0 {
+        return Err(SizingError::InvalidCost {
+            name: "disk_capacity_gb",
+            value: hw.disk_capacity_gb,
+        });
+    }
+    let disks_for_capacity = (storage_mb / disk_mb).ceil() as u32;
+    let disks = disks_for_bandwidth.max(disks_for_capacity);
+    let memory_mb = plan.total_buffer() * hw.mb_per_movie_minute();
+    Ok(Procurement {
+        disks,
+        disks_for_bandwidth,
+        disks_for_capacity,
+        memory_mb,
+        disk_dollars: disks as f64 * hw.disk_cost,
+        memory_dollars: memory_mb * hw.memory_cost_per_mb,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MovieAllocation;
+
+    fn plan() -> ResourcePlan {
+        ResourcePlan {
+            allocations: vec![
+                MovieAllocation {
+                    movie: "a".into(),
+                    n_streams: 95,
+                    buffer: 60.0,
+                    p_hit: 0.6,
+                },
+                MovieAllocation {
+                    movie: "b".into(),
+                    n_streams: 45,
+                    buffer: 53.5,
+                    p_hit: 0.55,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn example2_arithmetic() {
+        let hw = HardwareSpec::paper_example2();
+        // 140 playback + 20 reserve = 160 streams at 10/disk → 16 disks
+        // for bandwidth; 210 catalog minutes × 30 MB = 6300 MB at 2048 MB
+        // per disk → 4 disks for capacity.
+        let p = procurement(&plan(), 20, 210.0, &hw).unwrap();
+        assert_eq!(p.disks_for_bandwidth, 16);
+        assert_eq!(p.disks_for_capacity, 4);
+        assert_eq!(p.disks, 16);
+        assert!((p.memory_mb - 113.5 * 30.0).abs() < 1e-9);
+        assert!((p.disk_dollars - 16.0 * 700.0).abs() < 1e-9);
+        assert!((p.memory_dollars - 113.5 * 30.0 * 25.0).abs() < 1e-9);
+        assert!((p.total_dollars() - (p.disk_dollars + p.memory_dollars)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_can_dominate() {
+        // A huge archival catalog with light load: capacity binds.
+        let hw = HardwareSpec::paper_example2();
+        let p = procurement(&plan(), 0, 50_000.0, &hw).unwrap();
+        assert!(p.disks_for_capacity > p.disks_for_bandwidth);
+        assert_eq!(p.disks, p.disks_for_capacity);
+    }
+
+    #[test]
+    fn bad_inputs() {
+        let hw = HardwareSpec::paper_example2();
+        assert!(procurement(&plan(), 0, f64::NAN, &hw).is_err());
+        assert!(procurement(&plan(), 0, -1.0, &hw).is_err());
+    }
+}

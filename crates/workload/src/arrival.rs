@@ -1,0 +1,166 @@
+//! Arrival processes.
+//!
+//! The paper models request arrivals for a popular movie as a Poisson
+//! process (§2.1: "reasonable … since we expect the VOD system to have a
+//! large user population"); §4 uses exponential inter-arrivals with
+//! `1/λ = 2` minutes. Deterministic and uniform processes are provided for
+//! stress tests and worst-case studies.
+
+use rand::RngCore;
+use vod_dist::rng::{exponential, u01};
+
+/// A stream of arrival instants (minutes, strictly increasing).
+pub trait ArrivalProcess: std::fmt::Debug + Send {
+    /// The next arrival strictly after `now`.
+    fn next_after(&mut self, now: f64, rng: &mut dyn RngCore) -> f64;
+
+    /// Mean arrival rate (arrivals per minute), if defined.
+    fn rate(&self) -> f64;
+}
+
+/// Poisson arrivals with rate `λ` per minute.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    rate: f64,
+}
+
+impl Poisson {
+    /// Construct with rate `λ > 0` (arrivals per minute).
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Self { rate }
+    }
+
+    /// Construct from the mean inter-arrival time `1/λ` (the paper's §4
+    /// uses 2 minutes).
+    pub fn with_mean_interarrival(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Self { rate: 1.0 / mean }
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_after(&mut self, now: f64, rng: &mut dyn RngCore) -> f64 {
+        now + exponential(rng, 1.0 / self.rate)
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Evenly spaced arrivals (worst case for batching studies: one arrival
+/// per slot, never bunched).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    interval: f64,
+}
+
+impl Deterministic {
+    /// One arrival every `interval` minutes.
+    pub fn every(interval: f64) -> Self {
+        assert!(interval.is_finite() && interval > 0.0);
+        Self { interval }
+    }
+}
+
+impl ArrivalProcess for Deterministic {
+    fn next_after(&mut self, now: f64, _rng: &mut dyn RngCore) -> f64 {
+        now + self.interval
+    }
+
+    fn rate(&self) -> f64 {
+        1.0 / self.interval
+    }
+}
+
+/// Uniformly jittered arrivals: inter-arrival `U[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformJitter {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformJitter {
+    /// Inter-arrival times uniform on `[lo, hi]`, `0 < lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo > 0.0 && hi > lo);
+        Self { lo, hi }
+    }
+}
+
+impl ArrivalProcess for UniformJitter {
+    fn next_after(&mut self, now: f64, rng: &mut dyn RngCore) -> f64 {
+        now + self.lo + (self.hi - self.lo) * u01(rng)
+    }
+
+    fn rate(&self) -> f64 {
+        2.0 / (self.lo + self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vod_dist::rng::seeded;
+
+    #[test]
+    fn poisson_rate_recovered() {
+        let mut p = Poisson::with_mean_interarrival(2.0);
+        assert!((p.rate() - 0.5).abs() < 1e-12);
+        let mut rng = seeded(9);
+        let mut now = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            let next = p.next_after(now, &mut rng);
+            assert!(next > now);
+            now = next;
+        }
+        let measured_rate = n as f64 / now;
+        assert!((measured_rate - 0.5).abs() < 0.01, "rate {measured_rate}");
+    }
+
+    #[test]
+    fn poisson_interarrival_cv_is_one() {
+        // Coefficient of variation 1 distinguishes Poisson from the other
+        // processes.
+        let mut p = Poisson::with_rate(1.0);
+        let mut rng = seeded(10);
+        let mut now = 0.0;
+        let (mut s, mut s2) = (0.0, 0.0);
+        let n = 100_000;
+        for _ in 0..n {
+            let next = p.next_after(now, &mut rng);
+            let dt = next - now;
+            s += dt;
+            s2 += dt * dt;
+            now = next;
+        }
+        let mean = s / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.02, "cv {cv}");
+    }
+
+    #[test]
+    fn deterministic_is_exact() {
+        let mut d = Deterministic::every(3.0);
+        let mut rng = seeded(0);
+        assert_eq!(d.next_after(1.0, &mut rng), 4.0);
+        assert_eq!(d.next_after(4.0, &mut rng), 7.0);
+    }
+
+    #[test]
+    fn uniform_jitter_in_bounds() {
+        let mut u = UniformJitter::new(1.0, 3.0);
+        let mut rng = seeded(3);
+        let mut now = 0.0;
+        for _ in 0..1000 {
+            let next = u.next_after(now, &mut rng);
+            let dt = next - now;
+            assert!((1.0..=3.0).contains(&dt), "dt {dt}");
+            now = next;
+        }
+        assert!((u.rate() - 0.5).abs() < 1e-12);
+    }
+}

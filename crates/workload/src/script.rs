@@ -1,0 +1,178 @@
+//! Scripted server load: a pre-generated, reproducible schedule of
+//! arrivals and VCR requests.
+//!
+//! The simulator (`vod-sim`) closes viewers' control loops internally,
+//! but the data-path server (`vod-server`) is driven from outside. This
+//! module turns the same workload primitives (arrival process, behavior
+//! model, catalog popularity) into an explicit event list, so server
+//! experiments are driven by the *same* statistical assumptions as the
+//! analytic model rather than ad-hoc randomness.
+
+use rand::RngCore;
+
+use crate::arrival::ArrivalProcess;
+use crate::behavior::{BehaviorModel, VcrKind};
+use crate::popularity::Zipf;
+
+/// One scheduled action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadAction {
+    /// Open a session for the movie with this catalog rank.
+    OpenSession {
+        /// Popularity rank (0-based) of the movie.
+        movie_rank: usize,
+    },
+    /// Issue a VCR request on the `session_seq`-th opened session.
+    Vcr {
+        /// Index of the target session in open order.
+        session_seq: usize,
+        /// Operation kind.
+        kind: VcrKind,
+        /// Sweep distance / pause duration in movie minutes.
+        magnitude: f64,
+    },
+}
+
+/// A timestamped action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScriptedEvent {
+    /// Minutes from the start of the experiment.
+    pub at: f64,
+    /// What happens.
+    pub action: LoadAction,
+}
+
+/// Generate a load script up to `horizon` minutes.
+///
+/// Each arrival opens a session on a Zipf-sampled movie and schedules
+/// VCR interactions at the behavior model's think-time cadence for up to
+/// `movie_len(rank)` playback minutes. Interaction *positions* are left
+/// to the receiving server (it knows the true session state and rejects
+/// requests that arrive after a session finished — the script
+/// intentionally over-approximates, mirroring real users pressing
+/// buttons whenever they like).
+pub fn generate_script(
+    horizon: f64,
+    arrivals: &mut dyn ArrivalProcess,
+    behavior: &BehaviorModel,
+    catalog: &Zipf,
+    movie_len: impl Fn(usize) -> f64,
+    rng: &mut dyn RngCore,
+) -> Vec<ScriptedEvent> {
+    assert!(horizon > 0.0, "horizon must be positive");
+    let mut events = Vec::new();
+    let mut t = 0.0;
+    let mut session_seq = 0usize;
+    loop {
+        t = arrivals.next_after(t, rng);
+        if t >= horizon {
+            break;
+        }
+        let movie_rank = catalog.sample(rng);
+        events.push(ScriptedEvent {
+            at: t,
+            action: LoadAction::OpenSession { movie_rank },
+        });
+        // Interactions over the nominal viewing span.
+        let span = movie_len(movie_rank);
+        let mut vt = t;
+        loop {
+            vt += behavior.next_interaction_gap(rng);
+            if vt >= t + span || vt >= horizon {
+                break;
+            }
+            let req = behavior.sample_request(rng);
+            events.push(ScriptedEvent {
+                at: vt,
+                action: LoadAction::Vcr {
+                    session_seq,
+                    kind: req.kind,
+                    magnitude: req.magnitude,
+                },
+            });
+        }
+        session_seq += 1;
+    }
+    events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrival::Poisson;
+    use crate::behavior::BehaviorModel;
+    use std::sync::Arc;
+    use vod_dist::kinds::Exponential;
+    use vod_dist::rng::seeded;
+
+    fn behavior() -> BehaviorModel {
+        BehaviorModel::uniform_dist(
+            (0.2, 0.2, 0.6),
+            30.0,
+            Arc::new(Exponential::with_mean(8.0).unwrap()),
+        )
+    }
+
+    #[test]
+    fn script_is_sorted_and_bounded() {
+        let mut rng = seeded(1);
+        let mut arr = Poisson::with_mean_interarrival(2.0);
+        let catalog = Zipf::new(3, 0.8);
+        let script = generate_script(600.0, &mut arr, &behavior(), &catalog, |_| 120.0, &mut rng);
+        assert!(script.len() > 200, "got {}", script.len());
+        for w in script.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        assert!(script.iter().all(|e| e.at < 600.0));
+    }
+
+    #[test]
+    fn vcr_targets_reference_opened_sessions() {
+        let mut rng = seeded(2);
+        let mut arr = Poisson::with_mean_interarrival(3.0);
+        let catalog = Zipf::new(2, 0.0);
+        let script = generate_script(400.0, &mut arr, &behavior(), &catalog, |_| 90.0, &mut rng);
+        let opens = script
+            .iter()
+            .filter(|e| matches!(e.action, LoadAction::OpenSession { .. }))
+            .count();
+        for e in &script {
+            if let LoadAction::Vcr { session_seq, magnitude, .. } = e.action {
+                assert!(session_seq < opens, "vcr for unopened session");
+                assert!(magnitude >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn vcr_events_follow_their_session_open() {
+        let mut rng = seeded(3);
+        let mut arr = Poisson::with_mean_interarrival(2.0);
+        let catalog = Zipf::new(3, 1.0);
+        let script = generate_script(300.0, &mut arr, &behavior(), &catalog, |_| 60.0, &mut rng);
+        let mut open_times = Vec::new();
+        for e in &script {
+            match e.action {
+                LoadAction::OpenSession { .. } => open_times.push(e.at),
+                LoadAction::Vcr { session_seq, .. } => {
+                    assert!(e.at >= open_times[session_seq]);
+                    // And within the nominal viewing span.
+                    assert!(e.at <= open_times[session_seq] + 60.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_by_seed() {
+        let catalog = Zipf::new(3, 0.5);
+        let make = |seed| {
+            let mut rng = seeded(seed);
+            let mut arr = Poisson::with_mean_interarrival(2.0);
+            generate_script(200.0, &mut arr, &behavior(), &catalog, |_| 120.0, &mut rng)
+        };
+        assert_eq!(make(7), make(7));
+        assert_ne!(make(7), make(8));
+    }
+}

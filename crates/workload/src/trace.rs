@@ -1,0 +1,237 @@
+//! VCR event traces and a minimal CSV codec.
+//!
+//! The paper assumes the VCR-duration pdf "can be obtained by statistics
+//! while the movie is displayed" (§2.1). The simulator emits
+//! [`VcrTraceRecord`]s; this module persists them as CSV so they can be
+//! re-ingested (e.g. fitted into `vod_dist::kinds::Empirical`) without any
+//! external serialization dependency — the format is a fixed, documented
+//! five-column table.
+
+use std::io::{BufRead, Write};
+
+use crate::behavior::VcrKind;
+
+/// One VCR interaction as observed by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcrTraceRecord {
+    /// Simulation time at which the operation was issued (minutes).
+    pub issued_at: f64,
+    /// Viewer position when the operation was issued (movie minutes).
+    pub position: f64,
+    /// Operation kind.
+    pub kind: VcrKind,
+    /// Magnitude: movie minutes swept (FF/RW) or pause duration (PAU).
+    pub magnitude: f64,
+    /// Whether the resume was a hit (dedicated resources released).
+    pub hit: bool,
+}
+
+/// CSV header line written by [`write_csv`].
+pub const CSV_HEADER: &str = "issued_at,position,kind,magnitude,hit";
+
+/// Errors from trace (de)serialization.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, message } => {
+                write!(f, "trace parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            TraceError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Write records as CSV (with header).
+pub fn write_csv<W: Write>(mut w: W, records: &[VcrTraceRecord]) -> Result<(), TraceError> {
+    writeln!(w, "{CSV_HEADER}")?;
+    for r in records {
+        writeln!(
+            w,
+            "{:.6},{:.6},{},{:.6},{}",
+            r.issued_at,
+            r.position,
+            r.kind.label(),
+            r.magnitude,
+            if r.hit { 1 } else { 0 }
+        )?;
+    }
+    Ok(())
+}
+
+/// Read records from CSV (header required).
+pub fn read_csv<R: BufRead>(r: R) -> Result<Vec<VcrTraceRecord>, TraceError> {
+    let mut out = Vec::new();
+    let mut lines = r.lines().enumerate();
+    match lines.next() {
+        Some((_, Ok(h))) if h.trim() == CSV_HEADER => {}
+        Some((_, Ok(h))) => {
+            return Err(TraceError::Parse {
+                line: 1,
+                message: format!("bad header `{h}`, expected `{CSV_HEADER}`"),
+            })
+        }
+        Some((_, Err(e))) => return Err(e.into()),
+        None => return Ok(out),
+    }
+    for (idx, line) in lines {
+        let line = line?;
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 5 {
+            return Err(TraceError::Parse {
+                line: lineno,
+                message: format!("expected 5 fields, got {}", fields.len()),
+            });
+        }
+        let num = |s: &str, what: &str| -> Result<f64, TraceError> {
+            s.trim().parse().map_err(|_| TraceError::Parse {
+                line: lineno,
+                message: format!("bad {what} `{s}`"),
+            })
+        };
+        let kind = match fields[2].trim() {
+            "FF" => VcrKind::FastForward,
+            "RW" => VcrKind::Rewind,
+            "PAU" => VcrKind::Pause,
+            other => {
+                return Err(TraceError::Parse {
+                    line: lineno,
+                    message: format!("unknown kind `{other}`"),
+                })
+            }
+        };
+        let hit = match fields[4].trim() {
+            "1" => true,
+            "0" => false,
+            other => {
+                return Err(TraceError::Parse {
+                    line: lineno,
+                    message: format!("bad hit flag `{other}`"),
+                })
+            }
+        };
+        out.push(VcrTraceRecord {
+            issued_at: num(fields[0], "issued_at")?,
+            position: num(fields[1], "position")?,
+            kind,
+            magnitude: num(fields[3], "magnitude")?,
+            hit,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<VcrTraceRecord> {
+        vec![
+            VcrTraceRecord {
+                issued_at: 12.5,
+                position: 40.25,
+                kind: VcrKind::FastForward,
+                magnitude: 8.0,
+                hit: true,
+            },
+            VcrTraceRecord {
+                issued_at: 90.0,
+                position: 3.0,
+                kind: VcrKind::Rewind,
+                magnitude: 2.125,
+                hit: false,
+            },
+            VcrTraceRecord {
+                issued_at: 100.0,
+                position: 55.0,
+                kind: VcrKind::Pause,
+                magnitude: 30.0,
+                hit: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let recs = sample_records();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &recs).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(recs.len(), back.len());
+        for (a, b) in recs.iter().zip(&back) {
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.hit, b.hit);
+            assert!((a.issued_at - b.issued_at).abs() < 1e-6);
+            assert!((a.magnitude - b.magnitude).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(read_csv(&b""[..]).unwrap().is_empty());
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &[]).unwrap();
+        assert!(read_csv(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_inputs_rejected_with_line_numbers() {
+        let bad_header = b"a,b,c\n1,2,FF,3,1\n";
+        assert!(matches!(
+            read_csv(&bad_header[..]),
+            Err(TraceError::Parse { line: 1, .. })
+        ));
+        let bad_kind = format!("{CSV_HEADER}\n1,2,XX,3,1\n");
+        assert!(matches!(
+            read_csv(bad_kind.as_bytes()),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+        let bad_fields = format!("{CSV_HEADER}\n1,2,FF\n");
+        assert!(matches!(
+            read_csv(bad_fields.as_bytes()),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+        let bad_flag = format!("{CSV_HEADER}\n1,2,FF,3,maybe\n");
+        assert!(matches!(
+            read_csv(bad_flag.as_bytes()),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = format!("{CSV_HEADER}\n\n1,2,FF,3,1\n\n");
+        assert_eq!(read_csv(text.as_bytes()).unwrap().len(), 1);
+    }
+}

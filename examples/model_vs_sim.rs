@@ -1,0 +1,52 @@
+//! A miniature of the paper's Figure 7: hit probability versus the number
+//! of partitions, analytic model against discrete-event simulation, for a
+//! chosen VCR mix and maximum wait.
+//!
+//! ```sh
+//! cargo run --release --example model_vs_sim -- [ff|rw|pau|mix]
+//! ```
+
+use std::sync::Arc;
+
+use vod_prealloc::dist::kinds::Gamma;
+use vod_prealloc::model::{p_hit_single_dist, ModelOptions, Rates, SystemParams, VcrMix};
+use vod_prealloc::sim::{run_replications, SimConfig};
+use vod_prealloc::workload::BehaviorModel;
+
+fn main() {
+    let panel = std::env::args().nth(1).unwrap_or_else(|| "mix".into());
+    let (mix_tuple, mix) = match panel.as_str() {
+        "ff" => ((1.0, 0.0, 0.0), VcrMix::ff_only()),
+        "rw" => ((0.0, 1.0, 0.0), VcrMix::rw_only()),
+        "pau" => ((0.0, 0.0, 1.0), VcrMix::pause_only()),
+        "mix" => ((0.2, 0.2, 0.6), VcrMix::paper_fig7d()),
+        other => {
+            eprintln!("unknown panel `{other}` (expected ff|rw|pau|mix)");
+            std::process::exit(2);
+        }
+    };
+
+    let l = 120.0;
+    let w = 1.0; // one-minute maximum wait
+    let dist = Gamma::paper_fig7();
+    let opts = ModelOptions::default();
+
+    println!("# panel = {panel}, l = {l}, w = {w}, durations ~ Gamma(2,4)");
+    println!("{:>4} {:>8} {:>10} {:>10} {:>8}", "n", "B", "model", "sim", "ci95");
+    for n in [10u32, 20, 40, 60, 80, 100] {
+        let Ok(params) = SystemParams::from_wait(l, w, n, Rates::paper()) else {
+            continue;
+        };
+        let model = p_hit_single_dist(&params, &dist, &mix, &opts).total;
+        let behavior = BehaviorModel::uniform_dist(mix_tuple, 30.0, Arc::new(dist));
+        let mut cfg = SimConfig::new(params, behavior);
+        cfg.horizon = 30.0 * l;
+        let agg = run_replications(&cfg, 42, 3);
+        println!(
+            "{n:>4} {:>8.1} {model:>10.4} {:>10.4} {:>8.4}",
+            params.buffer(),
+            agg.overall.mean(),
+            agg.overall.ci_half_width(1.96)
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Drive the byte-exact VOD server: size a catalog with the model, host
+//! it, subject it to interactive viewers, and report the data-path and
+//! resource outcomes.
+//!
+//! ```sh
+//! cargo run --release --example server_demo
+//! ```
+
+use rand::RngCore;
+use vod_prealloc::dist::rng::seeded;
+use vod_prealloc::model::{ModelOptions, VcrMix};
+use vod_prealloc::server::{config_from_plan, vcr_reserve_estimate, MovieId, VodServer};
+use vod_prealloc::sizing::{allocate_min_buffer, example1_movies, Budgets};
+use vod_prealloc::workload::VcrKind;
+
+fn main() {
+    // 1. Size the catalog with the analytic model (Example 1's movies).
+    let movies = example1_movies(VcrMix::paper_fig7d());
+    let plan = allocate_min_buffer(
+        &movies,
+        Budgets {
+            streams: 200,
+            buffer: None,
+        },
+        &ModelOptions::default(),
+    )
+    .expect("plan exists");
+    let lengths: Vec<u32> = movies.iter().map(|m| m.length as u32).collect();
+    let reserve = vcr_reserve_estimate(&plan, 0.5, 3.0, 20.0);
+    println!("sized plan: {} streams + {:.1} buffer minutes, VCR reserve {reserve}",
+        plan.total_streams(), plan.total_buffer());
+
+    // 2. Host it.
+    let config = config_from_plan(&plan, &lengths, reserve);
+    println!(
+        "server provisioned: {} disk streams, {} buffer segments, {} movies\n",
+        config.disk_streams,
+        config.buffer_budget,
+        config.movies.len()
+    );
+    let mut server = VodServer::new(config);
+
+    // 3. Interactive load: open sessions and fire random VCR operations.
+    let mut rng = seeded(2026);
+    let mut sessions = Vec::new();
+    for minute in 0..1200u64 {
+        if minute % 2 == 0 {
+            let movie = MovieId((rng.next_u64() % 3) as u32);
+            if let Ok(s) = server.open_session(movie) {
+                sessions.push(s);
+            }
+        }
+        if !sessions.is_empty() && rng.next_u64().is_multiple_of(10) {
+            let s = sessions[(rng.next_u64() as usize) % sessions.len()];
+            let kind = match rng.next_u64() % 5 {
+                0 => VcrKind::FastForward,
+                1 => VcrKind::Rewind,
+                _ => VcrKind::Pause,
+            };
+            let magnitude = 1 + (rng.next_u64() % 16) as u32;
+            let _ = server.request_vcr(s, kind, magnitude); // denials are data
+        }
+        server.tick();
+    }
+
+    // 4. Report.
+    let m = server.metrics();
+    println!("after {} simulated minutes:", server.now());
+    println!("  sessions completed        : {}", m.sessions_done);
+    println!("  segments from buffer      : {}", m.buffer_segments);
+    println!("  segments from disk        : {}", m.disk_segments);
+    println!("  buffer service fraction   : {:.1}%", 100.0 * m.buffer_service_fraction());
+    println!("  byte verification failures: {}", m.verify_failures);
+    println!(
+        "  VCR resume hit ratio      : {:.3} ({} of {})",
+        m.resume_hits.value(),
+        m.resume_hits.hits(),
+        m.resume_hits.trials()
+    );
+    println!("  piggyback merges          : {}", m.piggyback_merges);
+    println!("  VCR denials               : {}", m.vcr_denied);
+    println!("  restart failures          : {}", m.restart_failures);
+    println!(
+        "  avg dedicated streams     : {:.2} (peak {:.0})",
+        m.dedicated.average(server.now() as f64, 0.0),
+        m.dedicated.peak()
+    );
+    assert_eq!(m.verify_failures, 0, "data path must be byte-exact");
+    assert_eq!(m.restart_failures, 0, "provisioning must cover the schedule");
+}

@@ -1,0 +1,84 @@
+//! System sizing across a catalog — the paper's §5 worked end to end
+//! (Examples 1 and 2, Figures 8 and 9).
+//!
+//! ```sh
+//! cargo run --release --example system_sizing
+//! ```
+
+use vod_prealloc::model::{ModelOptions, VcrMix};
+use vod_prealloc::sizing::{
+    allocate_min_buffer, cost_curve_with_catalog, example1_movies, Budgets, Catalog,
+    HardwareSpec, ResourceCost,
+};
+
+fn main() {
+    let opts = ModelOptions::default();
+    let movies = example1_movies(VcrMix::paper_fig7d());
+
+    // ---- Example 1: minimum-buffer allocation -------------------------
+    let pure: u32 = movies.iter().map(|m| m.pure_batching_streams()).sum();
+    println!("Example 1 — three popular movies, P* = 0.5 each");
+    println!("pure batching: {pure} I/O streams, hit probability 0\n");
+
+    let plan = allocate_min_buffer(
+        &movies,
+        Budgets {
+            streams: pure,
+            buffer: None,
+        },
+        &opts,
+    )
+    .expect("plan exists");
+    println!("{:<10} {:>8} {:>10} {:>8}", "movie", "streams", "buffer", "P(hit)");
+    for a in &plan.allocations {
+        println!(
+            "{:<10} {:>8} {:>10.1} {:>8.3}",
+            a.movie, a.n_streams, a.buffer, a.p_hit
+        );
+    }
+    println!(
+        "{:<10} {:>8} {:>10.1}",
+        "TOTAL",
+        plan.total_streams(),
+        plan.total_buffer()
+    );
+    println!(
+        "saved {} I/O streams for {:.1} minutes of buffer\n",
+        pure - plan.total_streams(),
+        plan.total_buffer()
+    );
+
+    // ---- Example 2: hardware-derived prices ----------------------------
+    let hw = HardwareSpec::paper_example2();
+    let prices = hw.resource_cost().expect("valid prices");
+    println!("Example 2 — 1997 hardware prices");
+    println!(
+        "C_b = ${:.0}/movie-minute, C_n = ${:.0}/stream, phi = {:.1}",
+        prices.buffer_per_minute(),
+        prices.per_stream(),
+        prices.phi()
+    );
+    println!(
+        "plan cost at these prices: ${:.0}\n",
+        plan.cost(&prices)
+    );
+
+    // ---- Figure 9-style optimum per price regime -----------------------
+    println!("cost-curve optima as memory gets cheaper (Figure 9):");
+    println!("{:>6} {:>12} {:>12} {:>12}", "phi", "opt streams", "opt buffer", "cost");
+    let catalog = Catalog::new(&movies, &opts).expect("catalog");
+    for phi in [3.0, 6.0, 11.0, 16.0] {
+        let curve = cost_curve_with_catalog(
+            &catalog,
+            ResourceCost::from_phi(phi).expect("valid phi"),
+            3,
+            700,
+            25,
+        );
+        let best = curve.optimum().expect("non-empty curve");
+        println!(
+            "{phi:>6.1} {:>12} {:>12.1} {:>12.1}",
+            best.total_streams, best.total_buffer, best.cost
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! `vodplan` — command-line capacity planner built on the ICDE'97 model.
+//!
+//! ```sh
+//! vodplan --movie "thriller;l=120;w=0.5;p=0.6;dist=gamma:shape=2,scale=4" \
+//!         --movie "classic;l=90;w=1;p=0.5;dist=exp:mean=5" \
+//!         --streams 300 --phi 11 --vcr-rate 2 --denial 0.01
+//! ```
+
+use vod_prealloc::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match cli::run(&opts) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("vodplan: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # vod-prealloc
+//!
+//! A Rust reproduction of *"Buffer and I/O Resource Pre-allocation for
+//! Implementing Batching and Buffering Techniques for Video-on-Demand
+//! Systems"* (M. Y. Y. Leung, J. C. S. Lui, L. Golubchik — ICDE 1997).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`model`] — the paper's analytic hit-probability model (Eqs. 1–22).
+//! * [`sizing`] — feasible `(B, n)` sets, multi-movie allocation, and the
+//!   cost model of §5 (Examples 1–2, Figures 8–9).
+//! * [`sim`] — the discrete-event simulator used for model verification
+//!   (§4, Figure 7).
+//! * [`server`] — a byte-exact virtual-time VOD server implementing
+//!   batching, static partitioned buffering, VCR service, and
+//!   piggybacking.
+//! * [`dist`] — numerics and VCR-duration distributions.
+//! * [`workload`] — arrival processes, viewer behavior, traces,
+//!   statistics.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for paper-vs-measured results per figure/table.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use vod_dist as dist;
+pub use vod_model as model;
+pub use vod_server as server;
+pub use vod_sim as sim;
+pub use vod_sizing as sizing;
+pub use vod_workload as workload;
