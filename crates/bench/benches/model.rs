@@ -8,8 +8,7 @@ use std::hint::black_box;
 use vod_dist::kinds::{Empirical, Exponential, Gamma, LogNormal};
 use vod_dist::DurationDist;
 use vod_model::{
-    p_hit_ff, p_hit_pause, p_hit_rw, p_hit_single_dist, ModelOptions, Rates, SystemParams,
-    VcrMix,
+    p_hit_ff, p_hit_pause, p_hit_rw, p_hit_single_dist, ModelOptions, Rates, SystemParams, VcrMix,
 };
 
 fn params(n: u32) -> SystemParams {
@@ -60,7 +59,10 @@ fn bench_distributions(c: &mut Criterion) {
     };
     let dists: Vec<(&str, Box<dyn DurationDist>)> = vec![
         ("gamma", Box::new(Gamma::paper_fig7())),
-        ("exponential", Box::new(Exponential::with_mean(8.0).unwrap())),
+        (
+            "exponential",
+            Box::new(Exponential::with_mean(8.0).unwrap()),
+        ),
         (
             "lognormal",
             Box::new(LogNormal::with_mean_cv(8.0, 0.7).unwrap()),
@@ -80,5 +82,10 @@ fn bench_distributions(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_components, bench_scaling, bench_distributions);
+criterion_group!(
+    benches,
+    bench_components,
+    bench_scaling,
+    bench_distributions
+);
 criterion_main!(benches);

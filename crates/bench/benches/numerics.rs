@@ -39,15 +39,7 @@ fn bench_quad(c: &mut Criterion) {
 fn bench_root(c: &mut Criterion) {
     c.bench_function("brent_cdf_inversion", |b| {
         let d = Gamma::paper_fig7();
-        b.iter(|| {
-            brent(
-                |x| d.cdf(x) - black_box(0.63),
-                0.0,
-                200.0,
-                1e-12,
-            )
-            .expect("bracketed")
-        });
+        b.iter(|| brent(|x| d.cdf(x) - black_box(0.63), 0.0, 200.0, 1e-12).expect("bracketed"));
     });
 }
 

@@ -15,7 +15,10 @@ pub struct Series {
 /// axes. Returns the drawing as a string.
 pub fn plot(series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 16 && height >= 4, "canvas too small");
-    let pts: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if pts.is_empty() {
         return String::from("(no data)\n");
     }
@@ -82,7 +85,9 @@ mod tests {
     fn renders_something_sane() {
         let s = Series {
             label: "model".into(),
-            points: (0..20).map(|i| (i as f64, (i as f64 * 0.3).sin())).collect(),
+            points: (0..20)
+                .map(|i| (i as f64, (i as f64 * 0.3).sin()))
+                .collect(),
         };
         let out = plot(&[s], 40, 10);
         assert!(out.contains('m'), "glyph missing:\n{out}");

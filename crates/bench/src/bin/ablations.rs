@@ -8,8 +8,12 @@
 //! 5. Piggyback merge-back on/off in the data-path server.
 //!
 //! ```sh
-//! cargo run --release -p vod-bench --bin ablations
+//! cargo run --release -p vod-bench --bin ablations -- [--threads N]
 //! ```
+//!
+//! `--threads N` parallelizes the table-generation sweeps; the timing
+//! ablations (2 and 3) stay serial so their measured durations are
+//! meaningful.
 
 use std::time::Instant;
 
@@ -18,23 +22,44 @@ use vod_bench::table::{num, Table};
 use vod_dist::kinds::Gamma;
 use vod_dist::rng::seeded;
 use vod_model::{
-    p_hit_ff, p_hit_ff_direct, p_hit_pause, p_hit_pause_direct, p_hit_rw, p_hit_rw_direct, ModelOptions, Rates, SystemParams,
+    p_hit_ff, p_hit_ff_direct, p_hit_pause, p_hit_pause_direct, p_hit_rw, p_hit_rw_direct,
+    ModelOptions, Rates, SweepExecutor, SystemParams,
 };
 use vod_server::{HostedMovie, MovieId, ServerConfig, VodServer};
 use vod_workload::VcrKind;
 
 fn main() {
-    eq19_vs_extended();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut exec = SweepExecutor::serial();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("ablations: expected --threads N");
+                    std::process::exit(2);
+                });
+                exec = SweepExecutor::new(n);
+            }
+            other => {
+                eprintln!("ablations: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    eq19_vs_extended(&exec);
     decomposed_vs_oracle();
     tolerance_sensitivity();
     piggyback_on_off();
 }
 
-fn eq19_vs_extended() {
+fn eq19_vs_extended(exec: &SweepExecutor) {
     println!("# Ablation 1: Eq.-19 jump cutoff vs extended summation (FF, gamma(2,4))");
     let d = Gamma::paper_fig7();
     let mut t = Table::new(vec!["l", "B", "n", "paper eq19", "extended", "diff"]);
-    for (l, b, n) in [
+    let cases = [
         (120.0, 30.0, 10u32),
         (120.0, 60.0, 20),
         (120.0, 90.0, 40),
@@ -46,18 +71,22 @@ fn eq19_vs_extended() {
         (120.0, 100.0, 5),
         (120.0, 110.0, 4),
         (90.0, 80.0, 3),
-    ] {
+    ];
+    let rows = exec.map(&cases, |&(l, b, n)| {
         let p = SystemParams::new(l, b, n, Rates::paper()).expect("valid");
         let paper = p_hit_ff(&p, &d, &ModelOptions::paper()).total();
         let ext = p_hit_ff(&p, &d, &ModelOptions::default()).total();
-        t.row(vec![
+        vec![
             num(l, 0),
             num(b, 0),
             n.to_string(),
             num(paper, 5),
             num(ext, 5),
             num(ext - paper, 5),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     print!("{}", t.render());
     println!("(the cutoff drops only partial-hit tails; differences stay small)\n");
@@ -68,7 +97,13 @@ fn decomposed_vs_oracle() {
     let d = Gamma::paper_fig7();
     let p = SystemParams::new(120.0, 60.0, 20, Rates::paper()).expect("valid");
     let opts = ModelOptions::default();
-    let mut t = Table::new(vec!["component", "decomposed", "oracle", "|diff|", "speedup"]);
+    let mut t = Table::new(vec![
+        "component",
+        "decomposed",
+        "oracle",
+        "|diff|",
+        "speedup",
+    ]);
     type Eval<'a> = Box<dyn Fn() -> f64 + 'a>;
     let cases: Vec<(&str, Eval<'_>, Eval<'_>)> = vec![
         (

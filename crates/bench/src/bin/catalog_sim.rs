@@ -4,32 +4,38 @@
 //! hit probabilities per movie, plus reserve denial rates.
 //!
 //! ```sh
-//! cargo run --release -p vod-bench --bin catalog_sim -- [--streams N]
+//! cargo run --release -p vod-bench --bin catalog_sim -- [--streams N] [--threads N]
 //! ```
 
 use std::sync::Arc;
 
 use vod_bench::table::{num, Table};
-use vod_model::{ModelOptions, VcrMix};
+use vod_model::{ModelOptions, SweepExecutor, VcrMix};
 use vod_sim::{run_catalog_seeded, CatalogConfig, MovieLoad};
-use vod_sizing::{allocate_min_buffer, erlang_b, example1_movies, Budgets};
+use vod_sizing::{allocate_min_buffer_with, erlang_b, example1_movies, Budgets};
 use vod_workload::BehaviorModel;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut streams = 400u32;
+    let mut exec = SweepExecutor::serial();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--streams" => {
                 i += 1;
-                streams = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("catalog_sim: expected --streams N");
-                        std::process::exit(2);
-                    });
+                streams = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("catalog_sim: expected --streams N");
+                    std::process::exit(2);
+                });
+            }
+            "--threads" => {
+                i += 1;
+                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("catalog_sim: expected --threads N");
+                    std::process::exit(2);
+                });
+                exec = SweepExecutor::new(n);
             }
             other => {
                 eprintln!("catalog_sim: unknown argument `{other}`");
@@ -41,13 +47,14 @@ fn main() {
 
     let movies = example1_movies(VcrMix::paper_fig7d());
     let opts = ModelOptions::default();
-    let plan = allocate_min_buffer(
+    let plan = allocate_min_buffer_with(
         &movies,
         Budgets {
             streams,
             buffer: None,
         },
         &opts,
+        &exec,
     )
     .expect("satisfiable");
     println!(
@@ -90,7 +97,10 @@ fn main() {
     }
     print!("{}", t.render());
 
-    println!("\n## shared VCR reserve (offered load {:.2} Erlangs, peak {:.0})", free.dedicated_avg, free.dedicated_peak);
+    println!(
+        "\n## shared VCR reserve (offered load {:.2} Erlangs, peak {:.0})",
+        free.dedicated_avg, free.dedicated_peak
+    );
     let mut t = Table::new(vec!["reserve", "sim denial", "Erlang-B"]);
     for factor in [1.0, 1.2, 1.5] {
         let cap = ((free.dedicated_avg * factor).round() as u32).max(1);

@@ -2,20 +2,24 @@
 //! against simulation.
 //!
 //! ```sh
-//! cargo run --release -p vod-bench --bin fig7 -- [--panel a|b|c|d] [--csv] [--fast]
+//! cargo run --release -p vod-bench --bin fig7 -- [--panel a|b|c|d] [--csv] [--fast] [--threads N]
 //! ```
 //!
-//! Without `--panel`, all four panels are produced.
+//! Without `--panel`, all four panels are produced. `--threads N` fans the
+//! per-`n` evaluations across N workers (0 = all cores); output is
+//! bitwise identical to the serial run.
 
 use vod_bench::ascii::{plot, Series};
-use vod_bench::fig7::{panel_data, Fig7Config, Panel};
+use vod_bench::fig7::{panel_data_with, Fig7Config, Panel};
 use vod_bench::table::{num, Table};
+use vod_model::SweepExecutor;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut panels = vec![Panel::A, Panel::B, Panel::C, Panel::D];
     let mut csv = false;
     let mut do_plot = false;
+    let mut exec = SweepExecutor::serial();
     let mut cfg = Fig7Config::default();
     let mut i = 0;
     while i < args.len() {
@@ -30,6 +34,14 @@ fn main() {
             }
             "--csv" => csv = true,
             "--plot" => do_plot = true,
+            "--threads" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("expected --threads N"));
+                exec = SweepExecutor::new(n);
+            }
             "--fast" => {
                 cfg.ns = vec![10, 30, 60, 100];
                 cfg.waits = vec![1.0];
@@ -48,7 +60,7 @@ fn main() {
             cfg.movie_len,
             panel.mix_tuple()
         );
-        for (w, points) in panel_data(panel, &cfg) {
+        for (w, points) in panel_data_with(panel, &cfg, &exec) {
             println!("## w = {w} minutes");
             let mut t = Table::new(vec!["n", "B", "model", "sim", "ci95", "|diff|"]);
             for p in &points {

@@ -2,17 +2,18 @@
 //! 5-minute buffer steps at `P* = 0.5`.
 //!
 //! ```sh
-//! cargo run --release -p vod-bench --bin fig8 -- [--csv] [--step MINUTES]
+//! cargo run --release -p vod-bench --bin fig8 -- [--csv] [--step MINUTES] [--threads N]
 //! ```
 
-use vod_bench::fig8::data;
+use vod_bench::fig8::data_with;
 use vod_bench::table::{num, Table};
-use vod_model::VcrMix;
+use vod_model::{SweepExecutor, VcrMix};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv = false;
     let mut step = 5.0;
+    let mut exec = SweepExecutor::serial();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -24,6 +25,14 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("expected --step MINUTES"));
             }
+            "--threads" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("expected --threads N"));
+                exec = SweepExecutor::new(n);
+            }
             other => die(&format!("unknown argument `{other}`")),
         }
         i += 1;
@@ -31,7 +40,7 @@ fn main() {
 
     println!("# Figure 8: feasible (B, n) pairs, P* = 0.5, {step}-minute buffer steps");
     println!("# movies: (l=75, w=0.1, gamma mean 8), (l=60, w=0.5, exp mean 5), (l=90, w=0.25, exp mean 2)");
-    for series in data(VcrMix::paper_fig7d(), step) {
+    for series in data_with(VcrMix::paper_fig7d(), step, &exec) {
         println!("## {}", series.movie);
         let mut t = Table::new(vec!["B", "n", "P(hit)", "feasible"]);
         for p in &series.points {
@@ -39,7 +48,11 @@ fn main() {
                 num(p.buffer, 1),
                 p.n_streams.to_string(),
                 num(p.p_hit, 4),
-                if p.feasible { "yes".into() } else { "no".to_string() },
+                if p.feasible {
+                    "yes".into()
+                } else {
+                    "no".to_string()
+                },
             ]);
         }
         print!("{}", if csv { t.to_csv() } else { t.render() });

@@ -2,19 +2,20 @@
 //! φ ∈ {3, 4, 6, 10, 11, 16} over the Example-1 catalog.
 //!
 //! ```sh
-//! cargo run --release -p vod-bench --bin fig9 -- [--csv] [--stride N]
+//! cargo run --release -p vod-bench --bin fig9 -- [--csv] [--stride N] [--threads N]
 //! ```
 
 use vod_bench::ascii::{plot, Series};
-use vod_bench::fig9::{data, PAPER_PHIS};
+use vod_bench::fig9::{data_with, PAPER_PHIS};
 use vod_bench::table::{num, Table};
-use vod_model::VcrMix;
+use vod_model::{SweepExecutor, VcrMix};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut csv = false;
     let mut do_plot = false;
     let mut stride = 20;
+    let mut exec = SweepExecutor::serial();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -27,13 +28,21 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("expected --stride N"));
             }
+            "--threads" => {
+                i += 1;
+                let n = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("expected --threads N"));
+                exec = SweepExecutor::new(n);
+            }
             other => die(&format!("unknown argument `{other}`")),
         }
         i += 1;
     }
 
     println!("# Figure 9: system cost C = C_n(phi*SumB + Sumn) vs total streams");
-    let curves = data(VcrMix::paper_fig7d(), stride);
+    let curves = data_with(VcrMix::paper_fig7d(), stride, &exec);
     for (panel, (phi, curve)) in PAPER_PHIS.iter().zip(&curves).enumerate() {
         let letter = (b'a' + panel as u8) as char;
         println!("## panel 9({letter}): phi = {phi}");

@@ -1,0 +1,212 @@
+//! Wall-clock benchmark for the `SweepExecutor` parallel evaluation path.
+//!
+//! Measures two representative workloads serial vs multi-threaded, checks
+//! the parallel results are *bitwise identical* to the serial ones, and
+//! writes `results/BENCH_parallel_sweep.json`:
+//!
+//! 1. **fig7-sweep** — the analytic `P(hit)` curve of Figure 7(d)
+//!    evaluated on a fine `n` grid (model only; the seeded simulation
+//!    is deterministic per point and would only dilute the model timing).
+//! 2. **catalog-sizing** — `Catalog::new` over a synthetic 100-movie
+//!    catalog: one feasibility bisection per movie, each a chain of
+//!    `hit_probability` evaluations.
+//!
+//! ```sh
+//! cargo run --release -p vod-bench --bin parallel_sweep -- [--threads N] [--out PATH]
+//! ```
+//!
+//! Speedups are machine-dependent: the recorded `available_cores` field
+//! gives the context (a 1-core container cannot show a parallel speedup
+//! no matter the thread count).
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use vod_dist::kinds::{Exponential, Gamma};
+use vod_model::{p_hit_single_dist, ModelOptions, Rates, SweepExecutor, SystemParams, VcrMix};
+use vod_sizing::{Catalog, MovieSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = vec![2usize, 4];
+    let mut out_path = "results/BENCH_parallel_sweep.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                let n: usize = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("parallel_sweep: expected --threads N");
+                    std::process::exit(2);
+                });
+                threads = vec![n];
+            }
+            "--out" => {
+                i += 1;
+                out_path = args
+                    .get(i)
+                    .unwrap_or_else(|| {
+                        eprintln!("parallel_sweep: expected --out PATH");
+                        std::process::exit(2);
+                    })
+                    .clone();
+            }
+            other => {
+                eprintln!("parallel_sweep: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("# parallel_sweep: {cores} core(s) available");
+
+    let mut tasks = String::new();
+    bench_fig7_sweep(&threads, &mut tasks);
+    tasks.push_str(",\n");
+    bench_catalog_sizing(&threads, &mut tasks);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"parallel_sweep\",\n  \"available_cores\": {cores},\n  \"tasks\": [\n{tasks}\n  ]\n}}\n"
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("parallel_sweep: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}
+
+/// Figure-7(d)-style model sweep: P(hit) at every n on a fine grid.
+fn bench_fig7_sweep(threads: &[usize], out: &mut String) {
+    let dist = Gamma::paper_fig7();
+    let mix = VcrMix::paper_fig7d();
+    let opts = ModelOptions::default();
+    let ns: Vec<u32> = (4..=236).collect();
+    let eval = |&n: &u32| -> u64 {
+        let params = SystemParams::from_wait(120.0, 0.5, n, Rates::paper()).expect("n*w < l");
+        p_hit_single_dist(&params, &dist, &mix, &opts)
+            .total
+            .to_bits()
+    };
+
+    let t0 = Instant::now();
+    let serial = SweepExecutor::serial().map(&ns, eval);
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("fig7-sweep: {} points, serial {serial_ms:.1} ms", ns.len());
+
+    let mut runs = String::new();
+    for (k, &t) in threads.iter().enumerate() {
+        let exec = SweepExecutor::new(t);
+        let t0 = Instant::now();
+        let par = exec.map(&ns, eval);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let identical = par == serial;
+        assert!(identical, "fig7-sweep: parallel diverged at {t} threads");
+        println!(
+            "fig7-sweep: {t} threads {ms:.1} ms (speedup {:.2}x)",
+            serial_ms / ms
+        );
+        if k > 0 {
+            runs.push(',');
+        }
+        let _ = write!(
+            runs,
+            "\n        {{ \"threads\": {t}, \"ms\": {ms:.3}, \"speedup\": {:.3}, \"bitwise_identical\": {identical} }}",
+            serial_ms / ms
+        );
+    }
+    let _ = write!(
+        out,
+        "    {{\n      \"task\": \"fig7-sweep\",\n      \"points\": {},\n      \"serial_ms\": {serial_ms:.3},\n      \"parallel\": [{runs}\n      ]\n    }}",
+        ns.len()
+    );
+}
+
+/// A deterministic synthetic catalog: lengths 60–180 min, waits and VCR
+/// means varied so each movie's feasibility bisection differs.
+fn synthetic_catalog(count: usize) -> Vec<MovieSpec> {
+    (0..count)
+        .map(|i| {
+            let l = 60.0 + 1.2 * i as f64;
+            let w = 0.5 + 0.02 * (i % 10) as f64;
+            let mean = 2.0 + 0.25 * (i % 16) as f64;
+            MovieSpec::new(
+                format!("m{i:03}"),
+                l,
+                w,
+                0.5,
+                VcrMix::paper_fig7d(),
+                Arc::new(Exponential::with_mean(mean).expect("valid mean")),
+                Rates::paper(),
+            )
+            .expect("valid synthetic movie")
+        })
+        .collect()
+}
+
+/// Catalog sizing: one feasibility bisection per movie.
+fn bench_catalog_sizing(threads: &[usize], out: &mut String) {
+    let movies = synthetic_catalog(100);
+    let opts = ModelOptions::default();
+
+    let t0 = Instant::now();
+    let serial = Catalog::new(&movies, &opts).expect("satisfiable catalog");
+    let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mid_total = (serial.len() as u32 + serial.max_total_streams()) / 2;
+    let serial_plan = serial
+        .plan_at_stream_total(mid_total, &opts)
+        .expect("model ok")
+        .expect("feasible");
+    println!(
+        "catalog-sizing: {} movies, serial {serial_ms:.1} ms",
+        movies.len()
+    );
+
+    let mut runs = String::new();
+    for (k, &t) in threads.iter().enumerate() {
+        let exec = SweepExecutor::new(t);
+        let t0 = Instant::now();
+        let par = Catalog::new_with(&movies, &opts, &exec).expect("satisfiable catalog");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let par_plan = par
+            .plan_at_stream_total(mid_total, &opts)
+            .expect("model ok")
+            .expect("feasible");
+        let identical = serial_plan.allocations.len() == par_plan.allocations.len()
+            && serial_plan
+                .allocations
+                .iter()
+                .zip(&par_plan.allocations)
+                .all(|(a, b)| {
+                    a.n_streams == b.n_streams
+                        && a.buffer.to_bits() == b.buffer.to_bits()
+                        && a.p_hit.to_bits() == b.p_hit.to_bits()
+                });
+        assert!(
+            identical,
+            "catalog-sizing: parallel diverged at {t} threads"
+        );
+        println!(
+            "catalog-sizing: {t} threads {ms:.1} ms (speedup {:.2}x)",
+            serial_ms / ms
+        );
+        if k > 0 {
+            runs.push(',');
+        }
+        let _ = write!(
+            runs,
+            "\n        {{ \"threads\": {t}, \"ms\": {ms:.3}, \"speedup\": {:.3}, \"bitwise_identical\": {identical} }}",
+            serial_ms / ms
+        );
+    }
+    let _ = write!(
+        out,
+        "    {{\n      \"task\": \"catalog-sizing\",\n      \"movies\": {},\n      \"serial_ms\": {serial_ms:.3},\n      \"parallel\": [{runs}\n      ]\n    }}",
+        movies.len()
+    );
+}

@@ -16,8 +16,8 @@ use std::sync::Arc;
 use vod_bench::table::{num, Table};
 use vod_dist::kinds::Gamma;
 use vod_model::{
-    expected_miss_hold_piggyback, expected_miss_hold_plain, p_hit_single_dist, ModelOptions,
-    Rates, SystemParams, VcrMix,
+    expected_miss_hold_piggyback, expected_miss_hold_plain, p_hit_single_dist, ModelOptions, Rates,
+    SystemParams, VcrMix,
 };
 use vod_sim::{run_seeded, SimConfig};
 use vod_sizing::{erlang_b, size_vcr_reserve, VcrLoad};
@@ -25,11 +25,8 @@ use vod_workload::BehaviorModel;
 
 fn main() {
     let params = SystemParams::new(120.0, 24.0, 12, Rates::paper()).expect("valid");
-    let behavior = BehaviorModel::uniform_dist(
-        (0.45, 0.45, 0.1),
-        25.0,
-        Arc::new(Gamma::paper_fig7()),
-    );
+    let behavior =
+        BehaviorModel::uniform_dist((0.45, 0.45, 0.1), 25.0, Arc::new(Gamma::paper_fig7()));
     let mut cfg = SimConfig::new(params, behavior);
     cfg.mean_interarrival = 1.5;
     cfg.horizon = 80.0 * 120.0;
@@ -46,7 +43,13 @@ fn main() {
     );
 
     println!("## simulated denial rate vs Erlang-B");
-    let mut t = Table::new(vec!["reserve", "sim denial", "Erlang-B", "|diff|", "regime"]);
+    let mut t = Table::new(vec![
+        "reserve",
+        "sim denial",
+        "Erlang-B",
+        "|diff|",
+        "regime",
+    ]);
     for factor in [0.6, 0.8, 1.0, 1.1, 1.25, 1.5] {
         let cap = ((offered * factor).round() as u32).max(1);
         let mut capped = cfg.clone();
@@ -86,10 +89,7 @@ fn main() {
     let phase1 = 0.9 * (8.0 / 3.0); // FF/RW sweeps at 3x; pauses hold nothing
     for (label, miss_hold) in [
         ("no piggyback", expected_miss_hold_plain(&params)),
-        (
-            "piggyback +5%",
-            expected_miss_hold_piggyback(&params, 0.05),
-        ),
+        ("piggyback +5%", expected_miss_hold_piggyback(&params, 0.05)),
         (
             "piggyback +10%",
             expected_miss_hold_piggyback(&params, 0.10),

@@ -61,10 +61,9 @@ mod tests {
         // QoS targets the min-buffer plan (maximum feasible streams) is
         // also the cost optimum — §5's observation about Figure 9(e).
         let out = run(VcrMix::paper_fig7d());
-        let want = out.prices.total(
-            out.ex1.plan.total_buffer(),
-            out.ex1.plan.total_streams(),
-        );
+        let want = out
+            .prices
+            .total(out.ex1.plan.total_buffer(), out.ex1.plan.total_streams());
         assert!((out.plan_cost - want).abs() < 1e-9);
         assert!(out.plan_cost > 0.0);
     }

@@ -13,7 +13,7 @@
 use std::sync::Arc;
 
 use vod_dist::kinds::Gamma;
-use vod_model::{p_hit_single_dist, ModelOptions, Rates, SystemParams, VcrMix};
+use vod_model::{p_hit_single_dist, ModelOptions, Rates, SweepExecutor, SystemParams, VcrMix};
 use vod_sim::{run_replications, SimConfig};
 use vod_workload::BehaviorModel;
 
@@ -123,38 +123,51 @@ impl Default for Fig7Config {
 
 /// Generate one curve (fixed `w`) of a Figure-7 panel.
 pub fn curve(panel: Panel, cfg: &Fig7Config, w: f64) -> Vec<Fig7Point> {
+    curve_with(panel, cfg, w, &SweepExecutor::serial())
+}
+
+/// [`curve`] fanning the per-`n` model evaluation and seeded simulation
+/// across `exec`. Each point's simulation seed derives only from `cfg.seed`
+/// and its own `n`, so the output is bitwise identical to the serial curve.
+pub fn curve_with(panel: Panel, cfg: &Fig7Config, w: f64, exec: &SweepExecutor) -> Vec<Fig7Point> {
     let dist = Gamma::paper_fig7();
     let opts = ModelOptions::default();
-    let mut out = Vec::new();
-    for &n in &cfg.ns {
+    let pts = exec.map(&cfg.ns, |&n| {
         let Ok(params) = SystemParams::from_wait(cfg.movie_len, w, n, Rates::paper()) else {
-            continue; // n·w exceeds l: no such configuration
+            return None; // n·w exceeds l: no such configuration
         };
         let model = p_hit_single_dist(&params, &dist, &panel.mix(), &opts).total;
-        let behavior = BehaviorModel::uniform_dist(
-            panel.mix_tuple(),
-            cfg.mean_play_between,
-            Arc::new(dist),
-        );
+        let behavior =
+            BehaviorModel::uniform_dist(panel.mix_tuple(), cfg.mean_play_between, Arc::new(dist));
         let mut sim_cfg = SimConfig::new(params, behavior);
         sim_cfg.horizon = cfg.horizon_movies * cfg.movie_len;
         let agg = run_replications(&sim_cfg, cfg.seed.wrapping_add(n as u64), cfg.replications);
-        out.push(Fig7Point {
+        Some(Fig7Point {
             n,
             buffer: params.buffer(),
             model,
             sim: agg.overall.mean(),
             sim_ci: agg.overall.ci_half_width(1.96),
-        });
-    }
-    out
+        })
+    });
+    pts.into_iter().flatten().collect()
 }
 
 /// Generate all curves of a panel, keyed by `w`.
 pub fn panel_data(panel: Panel, cfg: &Fig7Config) -> Vec<(f64, Vec<Fig7Point>)> {
+    panel_data_with(panel, cfg, &SweepExecutor::serial())
+}
+
+/// [`panel_data`] with an executor; curves run in sequence, points within
+/// each curve in parallel.
+pub fn panel_data_with(
+    panel: Panel,
+    cfg: &Fig7Config,
+    exec: &SweepExecutor,
+) -> Vec<(f64, Vec<Fig7Point>)> {
     cfg.waits
         .iter()
-        .map(|&w| (w, curve(panel, cfg, w)))
+        .map(|&w| (w, curve_with(panel, cfg, w, exec)))
         .collect()
 }
 
@@ -184,6 +197,31 @@ mod tests {
                 p.model,
                 p.sim
             );
+        }
+    }
+
+    #[test]
+    fn parallel_curve_matches_serial_bitwise() {
+        let cfg = Fig7Config {
+            ns: vec![10, 20, 40, 130], // 130·1.0 > 120 exercises the skip path
+            replications: 1,
+            horizon_movies: 8.0,
+            ..Default::default()
+        };
+        let serial = curve(Panel::D, &cfg, 1.0);
+        assert_eq!(serial.len(), 3, "n = 130 must be skipped");
+        let exec = SweepExecutor::new(4);
+        let par = curve_with(Panel::D, &cfg, 1.0, &exec);
+        let again = curve_with(Panel::D, &cfg, 1.0, &exec);
+        for other in [&par, &again] {
+            assert_eq!(other.len(), serial.len());
+            for (a, b) in serial.iter().zip(other) {
+                assert_eq!(a.n, b.n);
+                assert_eq!(a.buffer.to_bits(), b.buffer.to_bits());
+                assert_eq!(a.model.to_bits(), b.model.to_bits(), "n={}", a.n);
+                assert_eq!(a.sim.to_bits(), b.sim.to_bits(), "n={}", a.n);
+                assert_eq!(a.sim_ci.to_bits(), b.sim_ci.to_bits(), "n={}", a.n);
+            }
         }
     }
 

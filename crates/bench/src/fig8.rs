@@ -2,8 +2,8 @@
 //! minutes of buffer space": the feasible frontier of each Example-1
 //! movie at `P* = 0.5`, scanned in 5-minute buffer steps.
 
-use vod_model::{ModelOptions, VcrMix};
-use vod_sizing::{example1_movies, scan_by_buffer_step, FeasiblePoint, MovieSpec};
+use vod_model::{ModelOptions, SweepExecutor, VcrMix};
+use vod_sizing::{example1_movies, scan_by_buffer_step_with, FeasiblePoint, MovieSpec};
 
 /// Feasible-set scan for one movie.
 #[derive(Debug, Clone)]
@@ -28,14 +28,29 @@ pub fn data(mix: VcrMix, buffer_step: f64) -> Vec<Fig8Series> {
     data_for(&example1_movies(mix), buffer_step)
 }
 
+/// [`data`] with an executor for the per-point model evaluations.
+pub fn data_with(mix: VcrMix, buffer_step: f64, exec: &SweepExecutor) -> Vec<Fig8Series> {
+    data_for_with(&example1_movies(mix), buffer_step, exec)
+}
+
 /// Same scan for an arbitrary catalog.
 pub fn data_for(movies: &[MovieSpec], buffer_step: f64) -> Vec<Fig8Series> {
+    data_for_with(movies, buffer_step, &SweepExecutor::serial())
+}
+
+/// [`data_for`] fanning each movie's scan points across `exec`; output is
+/// bitwise identical to the serial scan.
+pub fn data_for_with(
+    movies: &[MovieSpec],
+    buffer_step: f64,
+    exec: &SweepExecutor,
+) -> Vec<Fig8Series> {
     let opts = ModelOptions::default();
     movies
         .iter()
         .map(|m| Fig8Series {
             movie: m.name.clone(),
-            points: scan_by_buffer_step(m, buffer_step, &opts)
+            points: scan_by_buffer_step_with(m, buffer_step, &opts, exec)
                 .expect("valid example movies"),
         })
         .collect()

@@ -5,7 +5,7 @@
 //! maximum feasible stream count, and as memory gets cheaper it moves
 //! inward — exactly the qualitative claim of §5.
 
-use vod_model::{ModelOptions, VcrMix};
+use vod_model::{ModelOptions, SweepExecutor, VcrMix};
 use vod_sizing::{
     cost_curve_with_catalog, example1_movies, Catalog, CostCurve, MovieSpec, ResourceCost,
 };
@@ -18,10 +18,23 @@ pub fn data(mix: VcrMix, stride: u32) -> Vec<CostCurve> {
     data_for(&example1_movies(mix), stride)
 }
 
+/// [`data`] with an executor for the catalog's per-movie bisections.
+pub fn data_with(mix: VcrMix, stride: u32, exec: &SweepExecutor) -> Vec<CostCurve> {
+    data_for_with(&example1_movies(mix), stride, exec)
+}
+
 /// Same sweep for an arbitrary catalog.
 pub fn data_for(movies: &[MovieSpec], stride: u32) -> Vec<CostCurve> {
+    data_for_with(movies, stride, &SweepExecutor::serial())
+}
+
+/// [`data_for`] building the catalog frontier in parallel. The φ-sweep
+/// itself is pure arithmetic over the precomputed frontier, so only the
+/// per-movie feasibility bisections fan out; results are bitwise identical
+/// to the serial sweep.
+pub fn data_for_with(movies: &[MovieSpec], stride: u32, exec: &SweepExecutor) -> Vec<CostCurve> {
     let opts = ModelOptions::default();
-    let catalog = Catalog::new(movies, &opts).expect("satisfiable catalog");
+    let catalog = Catalog::new_with(movies, &opts, exec).expect("satisfiable catalog");
     let n_lo = movies.len() as u32;
     let n_hi = catalog.max_total_streams();
     PAPER_PHIS

@@ -1,0 +1,306 @@
+//! Parallel, deterministic sweep execution and hit-probability memoization.
+//!
+//! Every experiment in this repository reduces to *independent* model
+//! evaluations: a Figure-7 curve evaluates `P(hit)` at each `(params, n)`
+//! along the x axis, sizing a catalog evaluates each movie's feasibility
+//! frontier, a φ-sweep repeats an allocation per price point. Each
+//! evaluation is pure — it reads shared immutable inputs and produces an
+//! `f64` (or a small struct of them) — so fanning them across threads
+//! changes wall-clock time and nothing else.
+//!
+//! [`SweepExecutor`] encodes exactly that contract:
+//!
+//! * **Order-preserving**: `map` returns results in input order, so the
+//!   output is *bitwise identical* to the serial loop regardless of thread
+//!   count or scheduling. Workers claim items from a shared atomic cursor
+//!   and tag each result with its input index; nothing about the result
+//!   depends on which worker computed it.
+//! * **No new dependencies**: built on [`std::thread::scope`], so borrowed
+//!   inputs (movie specs, distributions, configs) can be shared without
+//!   `Arc` gymnastics.
+//!
+//! [`HitMemo`] complements the executor on the sizing side: a feasibility
+//! bisection followed by a greedy water-fill and a plan build evaluates
+//! `hit_probability(n)` for overlapping sets of `n`, and a φ-sweep repeats
+//! the whole thing per price point. The memo caches `n → P(hit)` for one
+//! fixed `(SystemParams` family`, dist, mix, opts)` context — in sizing
+//! terms, one movie under one `ModelOptions` — so each `n` is computed at
+//! most once. Cached values are returned bit-for-bit, keeping memoized
+//! runs identical to unmemoized ones.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A worker pool for independent model evaluations.
+///
+/// The executor is cheap to construct (threads are spawned per call, scoped
+/// to it) and is therefore passed by reference down sweep APIs rather than
+/// stored. Thread count `1` — or input slices with fewer than two items —
+/// short-circuits to a plain serial loop with no thread machinery at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepExecutor {
+    threads: usize,
+}
+
+impl Default for SweepExecutor {
+    /// One worker per available core.
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl SweepExecutor {
+    /// An executor with `threads` workers; `0` means one per available
+    /// core (falling back to 1 when parallelism cannot be queried).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// The serial executor: plain in-place iteration, no worker threads.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Number of workers `map` will use.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Apply `f` to every item, returning results in input order.
+    ///
+    /// `f` must be pure with respect to the output (it may read shared
+    /// state, but the result for item `i` must depend only on `items[i]`
+    /// and immutable context); under that contract the result vector is
+    /// bitwise identical to `items.iter().map(f).collect()` for every
+    /// thread count. A panic in `f` propagates to the caller after all
+    /// in-flight items finish.
+    pub fn map<'items, T, R, F>(&self, items: &'items [T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'items T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads <= 1 || n < 2 {
+            return items.iter().map(f).collect();
+        }
+        let workers = self.threads.min(n);
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(local) => {
+                        for (i, r) in local {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// [`map`](Self::map) for fallible evaluations: stops at the first
+    /// error *in input order* (later items may still have been computed
+    /// and are discarded), mirroring `items.iter().map(f).collect()`.
+    pub fn try_map<'items, T, R, E, F>(&self, items: &'items [T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&'items T) -> Result<R, E> + Sync,
+    {
+        self.map(items, f).into_iter().collect()
+    }
+}
+
+/// Memo table for `n → P(hit)` within one evaluation context.
+///
+/// One memo is valid for one fixed context: movie geometry and rates (the
+/// `SystemParams` family parameterized by `n`), duration distribution(s),
+/// VCR mix, and `ModelOptions`. Callers own that invariant — in practice a
+/// memo lives next to the movie it describes and never crosses an options
+/// change. Values are stored and returned bit-for-bit, so memoized and
+/// unmemoized runs produce identical output.
+///
+/// Interior mutability (a `Mutex` around the map) lets a shared `&HitMemo`
+/// serve [`SweepExecutor`] workers; the lock is held only for lookups and
+/// inserts, never while computing.
+#[derive(Debug, Default)]
+pub struct HitMemo {
+    map: Mutex<HashMap<u32, f64>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Clone for HitMemo {
+    /// Clones the cached entries (statistics reset to the cloned values).
+    fn clone(&self) -> Self {
+        Self {
+            map: Mutex::new(self.map.lock().expect("memo poisoned").clone()),
+            hits: AtomicUsize::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicUsize::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl HitMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the cached value for `n`, or run `compute`, cache its `Ok`
+    /// result, and return it. Errors are not cached.
+    ///
+    /// Concurrent callers racing on the same uncached `n` may both run
+    /// `compute`; both obtain the same value (the computation is
+    /// deterministic), so the first insert wins harmlessly.
+    pub fn get_or_try_insert<E>(
+        &self,
+        n: u32,
+        compute: impl FnOnce() -> Result<f64, E>,
+    ) -> Result<f64, E> {
+        if let Some(&p) = self.map.lock().expect("memo poisoned").get(&n) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(p);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let p = compute()?;
+        self.map
+            .lock()
+            .expect("memo poisoned")
+            .entry(n)
+            .or_insert(p);
+        Ok(p)
+    }
+
+    /// Number of distinct `n` values cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("memo poisoned").len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(cache hits, cache misses)` since construction — misses count
+    /// actual model evaluations. Used by tests to prove work was saved.
+    pub fn stats(&self) -> (usize, usize) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let exec = SweepExecutor::new(threads);
+            assert_eq!(exec.map(&items, |&x| x * x), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_degenerate_inputs() {
+        let exec = SweepExecutor::new(4);
+        assert_eq!(exec.map(&[] as &[u32], |&x| x), Vec::<u32>::new());
+        assert_eq!(exec.map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_map_reports_first_error_in_input_order() {
+        let items: Vec<u32> = (0..50).collect();
+        let exec = SweepExecutor::new(4);
+        let got: Result<Vec<u32>, u32> =
+            exec.try_map(&items, |&x| if x == 13 || x == 31 { Err(x) } else { Ok(x) });
+        assert_eq!(got, Err(13));
+        let ok: Result<Vec<u32>, u32> = exec.try_map(&items, |&x| Ok(x));
+        assert_eq!(ok.unwrap(), items);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        assert!(SweepExecutor::new(0).threads() >= 1);
+        assert_eq!(SweepExecutor::serial().threads(), 1);
+    }
+
+    #[test]
+    fn memo_caches_and_counts() {
+        let memo = HitMemo::new();
+        let mut evals = 0u32;
+        for n in [5u32, 7, 5, 5, 7, 9] {
+            let p = memo
+                .get_or_try_insert(n, || {
+                    evals += 1;
+                    Ok::<f64, ()>(n as f64 * 0.1)
+                })
+                .unwrap();
+            assert_eq!(p, n as f64 * 0.1);
+        }
+        assert_eq!(evals, 3, "each distinct n computed once");
+        assert_eq!(memo.len(), 3);
+        let (hits, misses) = memo.stats();
+        assert_eq!((hits, misses), (3, 3));
+    }
+
+    #[test]
+    fn memo_does_not_cache_errors() {
+        let memo = HitMemo::new();
+        let r: Result<f64, &str> = memo.get_or_try_insert(1, || Err("boom"));
+        assert!(r.is_err());
+        assert!(memo.is_empty());
+        let r: Result<f64, &str> = memo.get_or_try_insert(1, || Ok(0.5));
+        assert_eq!(r.unwrap(), 0.5);
+    }
+
+    #[test]
+    fn memo_is_shareable_across_executor_workers() {
+        let memo = HitMemo::new();
+        let exec = SweepExecutor::new(4);
+        let items: Vec<u32> = (0..40).map(|i| i % 10).collect();
+        let got = exec.map(&items, |&n| {
+            memo.get_or_try_insert(n, || Ok::<f64, ()>(f64::from(n).sqrt()))
+                .unwrap()
+        });
+        for (i, &n) in items.iter().enumerate() {
+            assert_eq!(got[i], f64::from(n).sqrt());
+        }
+        assert_eq!(memo.len(), 10);
+    }
+}

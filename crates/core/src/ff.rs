@@ -205,11 +205,7 @@ fn jump_term(k: &Kernel<'_>, l: f64, b: f64, c: f64, tol: f64) -> f64 {
 ///
 /// over `s ~ U[0, B/n]`, `V_c ~ U[0, l]` by 2-D quadrature. Equals
 /// extended-mode [`p_hit_ff`] up to quadrature error.
-pub fn p_hit_ff_direct(
-    params: &SystemParams,
-    dist: &dyn DurationDist,
-    opts: &ModelOptions,
-) -> f64 {
+pub fn p_hit_ff_direct(params: &SystemParams, dist: &dyn DurationDist, opts: &ModelOptions) -> f64 {
     let l = params.movie_len();
     let n = params.n();
     let b = params.partition_len();
@@ -392,10 +388,8 @@ mod tests {
         // often. α = R/(R−1): slow FF (R=2) ⇒ α=2; fast FF (R=8) ⇒ α=8/7.
         let d = Exponential::with_mean(8.0).unwrap();
         let opts = ModelOptions::default();
-        let slow = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 2.0, 3.0).unwrap())
-            .unwrap();
-        let fast = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 8.0, 3.0).unwrap())
-            .unwrap();
+        let slow = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 2.0, 3.0).unwrap()).unwrap();
+        let fast = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 8.0, 3.0).unwrap()).unwrap();
         let hw_slow = p_hit_ff(&slow, &d, &opts).within;
         let hw_fast = p_hit_ff(&fast, &d, &opts).within;
         assert!(

@@ -32,6 +32,7 @@
 #![warn(rust_2018_idioms)]
 
 mod error;
+mod eval;
 mod ff;
 mod mix;
 mod options;
@@ -41,12 +42,11 @@ mod piggyback;
 mod rw;
 
 pub use error::ModelError;
+pub use eval::{HitMemo, SweepExecutor};
 pub use ff::{p_hit_ff, p_hit_ff_direct, FfHit};
 pub use mix::{p_hit, p_hit_single_dist, HitProbability, VcrDists, VcrMix};
 pub use options::{BoundaryMode, ModelOptions};
 pub use params::{Rates, SystemParams};
 pub use pause::{p_hit_pause, p_hit_pause_direct};
-pub use piggyback::{
-    expected_miss_hold_piggyback, expected_miss_hold_plain, merge_time,
-};
+pub use piggyback::{expected_miss_hold_piggyback, expected_miss_hold_plain, merge_time};
 pub use rw::{p_hit_rw, p_hit_rw_direct, RwHit};

@@ -2,7 +2,9 @@
 
 use vod_dist::DurationDist;
 
-use crate::{p_hit_ff, p_hit_pause, p_hit_rw, FfHit, ModelError, ModelOptions, RwHit, SystemParams};
+use crate::{
+    p_hit_ff, p_hit_pause, p_hit_rw, FfHit, ModelError, ModelOptions, RwHit, SystemParams,
+};
 
 /// Probabilities that a VCR request is FF / RW / PAU (`P_FF`, `P_RW`,
 /// `P_PAU` in the paper). Must sum to 1.

@@ -132,7 +132,12 @@ pub struct SystemParams {
 
 impl SystemParams {
     /// Construct from `(l, B, n)`. Requires `l > 0`, `0 ≤ B ≤ l`, `n ≥ 1`.
-    pub fn new(movie_len: f64, buffer: f64, n_streams: u32, rates: Rates) -> Result<Self, ModelError> {
+    pub fn new(
+        movie_len: f64,
+        buffer: f64,
+        n_streams: u32,
+        rates: Rates,
+    ) -> Result<Self, ModelError> {
         if !(movie_len.is_finite() && movie_len > 0.0) {
             return Err(ModelError::InvalidParameter {
                 name: "movie_len",
@@ -148,10 +153,7 @@ impl SystemParams {
             });
         }
         if buffer > movie_len {
-            return Err(ModelError::BufferExceedsMovie {
-                buffer,
-                movie_len,
-            });
+            return Err(ModelError::BufferExceedsMovie { buffer, movie_len });
         }
         if n_streams == 0 {
             return Err(ModelError::InvalidParameter {

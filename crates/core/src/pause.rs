@@ -243,8 +243,16 @@ mod tests {
         // §2.1: pausing l+x is the same as pausing x (streams restart
         // periodically). Compare a point mass at 10 with one at 130.
         let p = params(120.0, 60.0, 10);
-        let short = p_hit_pause(&p, &Deterministic::new(10.0).unwrap(), &ModelOptions::default());
-        let long = p_hit_pause(&p, &Deterministic::new(130.0).unwrap(), &ModelOptions::default());
+        let short = p_hit_pause(
+            &p,
+            &Deterministic::new(10.0).unwrap(),
+            &ModelOptions::default(),
+        );
+        let long = p_hit_pause(
+            &p,
+            &Deterministic::new(130.0).unwrap(),
+            &ModelOptions::default(),
+        );
         assert!((short - long).abs() < 1e-9, "{short} vs {long}");
     }
 

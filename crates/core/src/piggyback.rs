@@ -69,9 +69,9 @@ pub fn expected_miss_hold_piggyback(params: &SystemParams, delta: f64) -> f64 {
 /// `(1/r_max) ∫₀^{r_max} [ d*²/(2δ) + (w − d*) r ] dr`, `d* = min(w, δr)`.
 fn integrate_uniform(r_max: f64, w: f64, delta: f64) -> f64 {
     let r_w = (w / delta).min(r_max); // below r_w: d* = δr; above: d* = w
-    // Piece 1: r ∈ [0, r_w], d* = δr:
-    //   value(r) = δr²/2 + (w − δr)·r = wr − δr²/2.
-    //   ∫ = w r_w²/2 − δ r_w³/6.
+                                      // Piece 1: r ∈ [0, r_w], d* = δr:
+                                      //   value(r) = δr²/2 + (w − δr)·r = wr − δr²/2.
+                                      //   ∫ = w r_w²/2 − δ r_w³/6.
     let piece1 = w * r_w * r_w / 2.0 - delta * r_w.powi(3) / 6.0;
     // Piece 2: r ∈ [r_w, r_max], d* = w: value = w²/(2δ).
     let piece2 = (r_max - r_w).max(0.0) * w * w / (2.0 * delta);

@@ -84,6 +84,11 @@ pub fn p_hit_rw(params: &SystemParams, dist: &dyn DurationDist, opts: &ModelOpti
     //   J(K) = H(min(K, l)) + (l − K)₊ F(K).
     let j = |kk: f64| h(kk.min(l)) + (l - kk).max(0.0) * f(kk);
     let mut jumps = Vec::new();
+    // The i-th partition contributes only while γ(il/n − b) < l, i.e.
+    // i < n/γ + B/l. Unlike FF's α ≥ 1, γ = R_RW/(R_PB + R_RW) can be
+    // arbitrarily close to 0 (slow rewind), so the cap must scale with
+    // 1/γ rather than assume γ ≥ ½.
+    let i_cap = ((n / gamma + (b * n) / l).ceil() + 4.0).min(u32::MAX as f64) as u32;
     let mut i = 1u32;
     loop {
         let c = i as f64 * l / n;
@@ -103,7 +108,7 @@ pub fn p_hit_rw(params: &SystemParams, dist: &dyn DurationDist, opts: &ModelOpti
         ) / (b * l);
         jumps.push(term);
         i += 1;
-        if i > 2 * params.n_streams() + 8 {
+        if i > i_cap {
             debug_assert!(false, "RW jump summation failed to terminate");
             break;
         }
@@ -114,11 +119,7 @@ pub fn p_hit_rw(params: &SystemParams, dist: &dyn DurationDist, opts: &ModelOpti
 
 /// Brute-force 2-D oracle for `P(hit|RW)`; equals [`p_hit_rw`] up to
 /// quadrature error. Used by tests and the ablation bench.
-pub fn p_hit_rw_direct(
-    params: &SystemParams,
-    dist: &dyn DurationDist,
-    opts: &ModelOptions,
-) -> f64 {
+pub fn p_hit_rw_direct(params: &SystemParams, dist: &dyn DurationDist, opts: &ModelOptions) -> f64 {
     let l = params.movie_len();
     let n = params.n();
     let b = params.partition_len();
@@ -127,6 +128,9 @@ pub fn p_hit_rw_direct(
         return 0.0;
     }
     let f = |x: f64| if x <= 0.0 { 0.0 } else { dist.cdf(x) };
+    // Same 1/γ-scaled bound as in `p_hit_rw`: lb = γ(c − s) reaches vc ≤ l
+    // no later than i = n/γ + B/l.
+    let i_cap = ((n / gamma + (b * n) / l).ceil() + 4.0).min(u32::MAX as f64) as u32;
 
     let conditional = |vc: f64, s: f64| -> f64 {
         let mut total = f((gamma * (b - s)).min(vc));
@@ -139,7 +143,7 @@ pub fn p_hit_rw_direct(
             }
             total += f((lb + gamma * b).min(vc)) - f(lb);
             i += 1;
-            if i > 2 * params.n_streams() + 8 {
+            if i > i_cap {
                 break;
             }
         }
@@ -259,10 +263,8 @@ mod tests {
         // relative backwards drift x/γ is *smaller* ⇒ more within-hits.
         let d = Exponential::with_mean(8.0).unwrap();
         let opts = ModelOptions::default();
-        let slow = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 3.0, 1.0).unwrap())
-            .unwrap();
-        let fast = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 3.0, 9.0).unwrap())
-            .unwrap();
+        let slow = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 3.0, 1.0).unwrap()).unwrap();
+        let fast = SystemParams::new(120.0, 36.0, 12, Rates::new(1.0, 3.0, 9.0).unwrap()).unwrap();
         let w_slow = p_hit_rw(&slow, &d, &opts).within;
         let w_fast = p_hit_rw(&fast, &d, &opts).within;
         assert!(w_fast > w_slow, "fast {w_fast} <= slow {w_slow}");

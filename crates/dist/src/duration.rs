@@ -85,8 +85,7 @@ pub trait DurationDist: std::fmt::Debug + Send + Sync {
                 return hi; // p is (numerically) 1; return the far tail.
             }
         }
-        brent(|x| self.cdf(x) - p, lo, hi, 1e-12 * (1.0 + hi))
-            .unwrap_or(0.5 * (lo + hi))
+        brent(|x| self.cdf(x) - p, lo, hi, 1e-12 * (1.0 + hi)).unwrap_or(0.5 * (lo + hi))
     }
 }
 

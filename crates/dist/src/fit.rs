@@ -149,11 +149,7 @@ pub fn fit_all(samples: &[f64]) -> Result<Vec<FitCandidate>, DistError> {
     Ok(out)
 }
 
-fn candidate(
-    family: &'static str,
-    dist: Box<dyn DurationDist>,
-    samples: &[f64],
-) -> FitCandidate {
+fn candidate(family: &'static str, dist: Box<dyn DurationDist>, samples: &[f64]) -> FitCandidate {
     let ks = ks_statistic(dist.as_ref(), samples);
     FitCandidate { family, dist, ks }
 }

@@ -58,8 +58,7 @@ impl DurationDist for Gamma {
         }
         let k = self.shape;
         // f(x) = x^{k−1} e^{−x/θ} / (θ^k Γ(k)), evaluated in log space.
-        let log_pdf =
-            (k - 1.0) * x.ln() - x / self.scale - k * self.scale.ln() - ln_gamma(k);
+        let log_pdf = (k - 1.0) * x.ln() - x / self.scale - k * self.scale.ln() - ln_gamma(k);
         log_pdf.exp()
     }
 

@@ -60,8 +60,7 @@ impl DurationDist for LogNormal {
             return 0.0;
         }
         let z = (x.ln() - self.mu) / self.sigma;
-        (-(z * z) / 2.0).exp()
-            / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+        (-(z * z) / 2.0).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
     }
 
     fn cdf(&self, x: f64) -> f64 {

@@ -93,7 +93,8 @@ impl<D: DurationDist> DurationDist for Truncated<D> {
         }
         let y_in = y.min(self.hi);
         // ∫_lo^y F_T = (H_base(y) − H_base(lo) − (y − lo) F_base(lo)) / mass
-        let inner = (self.base.cdf_integral(y_in) - self.base.cdf_integral(self.lo)
+        let inner = (self.base.cdf_integral(y_in)
+            - self.base.cdf_integral(self.lo)
             - (y_in - self.lo) * self.f_lo)
             / self.mass;
         if y <= self.hi {

@@ -63,8 +63,7 @@ impl DurationDist for Weibull {
         // (λ/k) γ(1/k, (y/λ)^k) = (λ/k) Γ(1/k) P(1/k, (y/λ)^k).
         let k = self.shape;
         let t = (y / self.scale).powf(k);
-        let survivor_integral =
-            (self.scale / k) * ln_gamma(1.0 / k).exp() * gamma_p(1.0 / k, t);
+        let survivor_integral = (self.scale / k) * ln_gamma(1.0 / k).exp() * gamma_p(1.0 / k, t);
         y - survivor_integral
     }
 

@@ -44,8 +44,8 @@ pub mod kinds;
 pub mod quad;
 pub mod rng;
 pub mod root;
-pub mod special;
 pub mod spec;
+pub mod special;
 
 pub use duration::{numeric_cdf_integral, DurationDist};
 pub use error::DistError;
@@ -65,9 +65,7 @@ mod trait_tests {
             Box::new(kinds::Deterministic::new(4.0).unwrap()),
             Box::new(kinds::Weibull::new(1.8, 6.0).unwrap()),
             Box::new(kinds::LogNormal::with_mean_cv(8.0, 0.6).unwrap()),
-            Box::new(
-                kinds::Truncated::new(kinds::Gamma::paper_fig7(), 0.0, 120.0).unwrap(),
-            ),
+            Box::new(kinds::Truncated::new(kinds::Gamma::paper_fig7(), 0.0, 120.0).unwrap()),
             Box::new(
                 kinds::Mixture::new(vec![
                     (
@@ -79,9 +77,7 @@ mod trait_tests {
                 ])
                 .unwrap(),
             ),
-            Box::new(
-                kinds::Empirical::from_samples(&[1.0, 2.0, 2.5, 4.0, 8.0, 16.0]).unwrap(),
-            ),
+            Box::new(kinds::Empirical::from_samples(&[1.0, 2.0, 2.5, 4.0, 8.0, 16.0]).unwrap()),
         ]
     }
 
@@ -157,10 +153,7 @@ mod trait_tests {
             let m = d.quantile(0.5);
             let f = d.cdf(m);
             // Atomic laws can overshoot; allow cdf(median) >= 0.5 only.
-            assert!(
-                f >= 0.5 - 1e-9,
-                "{d:?}: cdf(quantile(0.5)) = {f} < 0.5"
-            );
+            assert!(f >= 0.5 - 1e-9, "{d:?}: cdf(quantile(0.5)) = {f} < 0.5");
         }
     }
 }

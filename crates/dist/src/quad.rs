@@ -31,7 +31,23 @@ const MIN_DEPTH: u32 = 6;
 /// halves the interval and splits the budget. Returns 0 for empty or
 /// inverted intervals (`b <= a`), which is the convention the model relies
 /// on when integration ranges are clamped empty.
-pub fn adaptive_simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> f64 {
+pub fn adaptive_simpson<F: FnMut(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    adaptive_simpson_with_depth(f, a, b, tol, DEFAULT_MAX_DEPTH)
+}
+
+/// [`adaptive_simpson`] with an explicit recursion-depth cap.
+///
+/// The forced-subdivision guard (see [`MIN_DEPTH`](self)) counts levels
+/// *elapsed from this entry point*, so it behaves identically at any
+/// `max_depth` — including caps below [`DEFAULT_MAX_DEPTH`] (cheap bounded
+/// integration) and above it.
+pub fn adaptive_simpson_with_depth<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+    max_depth: u32,
+) -> f64 {
     if !interval_is_forward(a, b) {
         return 0.0;
     }
@@ -49,7 +65,8 @@ pub fn adaptive_simpson<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64
         fb,
         whole,
         tol.max(f64::EPSILON),
-        DEFAULT_MAX_DEPTH,
+        0,
+        max_depth,
     )
 }
 
@@ -76,7 +93,8 @@ fn adaptive_step<F: FnMut(f64) -> f64>(
     fb: f64,
     whole: f64,
     tol: f64,
-    depth: u32,
+    elapsed: u32,
+    remaining: u32,
 ) -> f64 {
     let m = 0.5 * (a + b);
     let lm = 0.5 * (a + m);
@@ -88,14 +106,37 @@ fn adaptive_step<F: FnMut(f64) -> f64>(
     let delta = left + right - whole;
     // Richardson criterion: Simpson error shrinks ~15x per halving. The
     // MIN_DEPTH guard forces early levels to subdivide regardless, so a
-    // kink cannot masquerade as convergence (see MIN_DEPTH docs).
-    let forced = DEFAULT_MAX_DEPTH - depth < MIN_DEPTH;
-    if depth == 0 || (!forced && delta.abs() <= 15.0 * tol) {
+    // kink cannot masquerade as convergence (see MIN_DEPTH docs). Forcing
+    // is keyed on levels elapsed since the entry call, not on distance
+    // from DEFAULT_MAX_DEPTH, so custom depth caps keep the guard.
+    let forced = elapsed < MIN_DEPTH;
+    if remaining == 0 || (!forced && delta.abs() <= 15.0 * tol) {
         left + right + delta / 15.0
     } else {
         let half_tol = 0.5 * tol;
-        adaptive_step(f, a, m, fa, flm, fm, left, half_tol, depth - 1)
-            + adaptive_step(f, m, b, fm, frm, fb, right, half_tol, depth - 1)
+        adaptive_step(
+            f,
+            a,
+            m,
+            fa,
+            flm,
+            fm,
+            left,
+            half_tol,
+            elapsed + 1,
+            remaining - 1,
+        ) + adaptive_step(
+            f,
+            m,
+            b,
+            fm,
+            frm,
+            fb,
+            right,
+            half_tol,
+            elapsed + 1,
+            remaining - 1,
+        )
     }
 }
 
@@ -148,12 +189,7 @@ pub fn gauss_legendre<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64) -> f64 {
 ///
 /// Useful when the integrand has a bounded number of kinks: with enough
 /// panels each kink affects only one panel and convergence is restored.
-pub fn gauss_legendre_panels<F: FnMut(f64) -> f64>(
-    mut f: F,
-    a: f64,
-    b: f64,
-    panels: usize,
-) -> f64 {
+pub fn gauss_legendre_panels<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, panels: usize) -> f64 {
     if !interval_is_forward(a, b) || panels == 0 {
         return 0.0;
     }
@@ -231,6 +267,39 @@ mod tests {
         // ∫₀² |x-1| dx = 1
         let got = adaptive_simpson(|x| (x - 1.0f64).abs(), 0.0, 2.0, 1e-11);
         assert!((got - 1.0).abs() < 1e-9, "got {got}");
+    }
+
+    #[test]
+    fn forced_subdivision_works_at_non_default_depth() {
+        // A narrow spike (support [0.27, 0.33]) that every top-level
+        // Simpson sample point misses: the Richardson test sees zeros
+        // everywhere and would accept 0 unless the first MIN_DEPTH levels
+        // are forced to subdivide. Keying forcing on
+        // `DEFAULT_MAX_DEPTH - depth` (the old formula) disabled the guard
+        // entirely for any entry depth ≤ DEFAULT_MAX_DEPTH − MIN_DEPTH.
+        let spike = |x: f64| (1.0 - (x - 0.3f64).abs() / 0.03).max(0.0);
+        let want = 0.03; // triangle area: ½ · 0.06 · 1
+        for max_depth in [12u32, DEFAULT_MAX_DEPTH, 48] {
+            let got = adaptive_simpson_with_depth(spike, 0.0, 1.0, 1e-10, max_depth);
+            assert!(
+                (got - want).abs() < 1e-6,
+                "max_depth {max_depth}: got {got} want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn depth_cap_bounds_work() {
+        // With the cap below MIN_DEPTH the integrator still terminates and
+        // degrades gracefully (coarse but finite answer).
+        let got = adaptive_simpson_with_depth(|x: f64| x.exp(), 0.0, 1.0, 1e-12, 2);
+        assert!(
+            (got - (std::f64::consts::E - 1.0)).abs() < 1e-4,
+            "got {got}"
+        );
+        // Depth 0: single Richardson-corrected panel, no recursion.
+        let got = adaptive_simpson_with_depth(|x| 3.0 * x * x, 0.0, 2.0, 1e-12, 0);
+        assert!((got - 8.0).abs() < 1e-12, "got {got}");
     }
 
     #[test]

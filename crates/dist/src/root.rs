@@ -81,12 +81,7 @@ pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Resul
 /// Brent's method on `[a, b]`; requires a sign change. Combines bisection
 /// with secant and inverse quadratic interpolation — superlinear on smooth
 /// functions, never worse than bisection.
-pub fn brent<F: FnMut(f64) -> f64>(
-    mut f: F,
-    a: f64,
-    b: f64,
-    tol: f64,
-) -> Result<f64, RootError> {
+pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result<f64, RootError> {
     let (mut a, mut b) = (a, b);
     let mut fa = f(a);
     let mut fb = f(b);

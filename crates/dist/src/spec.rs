@@ -71,10 +71,7 @@ impl DistSpec {
     pub fn build(&self) -> Result<Box<dyn DurationDist>, DistError> {
         let get = |key: &str| -> Result<f64, DistError> {
             self.params.get(key).copied().ok_or_else(|| {
-                DistError::ParseError(format!(
-                    "`{}` requires parameter `{key}`",
-                    self.kind
-                ))
+                DistError::ParseError(format!("`{}` requires parameter `{key}`", self.kind))
             })
         };
         let expect_keys = |allowed: &[&str]| -> Result<(), DistError> {

@@ -10,20 +10,20 @@ use vod_dist::{numeric_cdf_integral, DurationDist};
 /// Strategy producing an arbitrary valid distribution (boxed).
 fn any_dist() -> impl Strategy<Value = Box<dyn DurationDist>> {
     prop_oneof![
-        (0.1f64..50.0).prop_map(|m| Box::new(Exponential::with_mean(m).unwrap())
-            as Box<dyn DurationDist>),
+        (0.1f64..50.0)
+            .prop_map(|m| Box::new(Exponential::with_mean(m).unwrap()) as Box<dyn DurationDist>),
         ((0.2f64..10.0), (0.2f64..20.0))
             .prop_map(|(k, s)| Box::new(Gamma::new(k, s).unwrap()) as Box<dyn DurationDist>),
         ((0.0f64..20.0), (0.1f64..30.0)).prop_map(|(lo, w)| Box::new(
             Uniform::new(lo, lo + w).unwrap()
         ) as Box<dyn DurationDist>),
-        (0.0f64..40.0).prop_map(|v| Box::new(Deterministic::new(v).unwrap())
-            as Box<dyn DurationDist>),
+        (0.0f64..40.0)
+            .prop_map(|v| Box::new(Deterministic::new(v).unwrap()) as Box<dyn DurationDist>),
         ((0.3f64..5.0), (0.5f64..20.0))
             .prop_map(|(k, s)| Box::new(Weibull::new(k, s).unwrap()) as Box<dyn DurationDist>),
-        ((0.5f64..30.0), (0.1f64..1.5)).prop_map(|(m, cv)| Box::new(
-            LogNormal::with_mean_cv(m, cv).unwrap()
-        ) as Box<dyn DurationDist>),
+        ((0.5f64..30.0), (0.1f64..1.5))
+            .prop_map(|(m, cv)| Box::new(LogNormal::with_mean_cv(m, cv).unwrap())
+                as Box<dyn DurationDist>),
         ((0.2f64..10.0), (0.5f64..40.0), (5.0f64..200.0)).prop_map(|(k, s, hi)| {
             Box::new(Truncated::new(Gamma::new(k, s).unwrap(), 0.0, hi).unwrap())
                 as Box<dyn DurationDist>

@@ -32,8 +32,8 @@ pub fn vcr_reserve_estimate(
         .iter()
         .map(|a| a.p_hit)
         .fold(1.0f64, f64::min);
-    let holds = vcr_ops_per_minute
-        * (mean_phase1_minutes + (1.0 - worst_hit) * mean_residual_minutes);
+    let holds =
+        vcr_ops_per_minute * (mean_phase1_minutes + (1.0 - worst_hit) * mean_residual_minutes);
     holds.ceil().max(1.0) as u32
 }
 
@@ -106,7 +106,7 @@ mod tests {
         assert_eq!(cfg.movies[0].partition_capacity, 3); // 30/10
         assert_eq!(cfg.movies[1].restart_interval, 12); // 60/5
         assert_eq!(cfg.movies[1].partition_capacity, 4); // 20/5
-        // Provisioning covers every live stream plus the reserve.
+                                                         // Provisioning covers every live stream plus the reserve.
         let need: u32 = cfg.movies.iter().map(|m| m.max_live_streams()).sum();
         assert_eq!(cfg.disk_streams, need + 8);
     }

@@ -32,9 +32,7 @@ mod session;
 
 pub use admission::{config_from_plan, vcr_reserve_estimate};
 pub use buffer::{BufferError, BufferPool, Partition};
-pub use content::{
-    checksum, generate_segment, verify_segment, MovieId, Segment, SEGMENT_BYTES,
-};
+pub use content::{checksum, generate_segment, verify_segment, MovieId, Segment, SEGMENT_BYTES};
 pub use disk::{DiskError, DiskSubsystem, StreamLease};
 pub use metrics::ServerMetrics;
 pub use server::{HostedMovie, PiggybackConfig, ServerConfig, ServerError, VodServer};

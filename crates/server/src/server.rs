@@ -47,11 +47,15 @@ pub struct HostedMovie {
 
 impl HostedMovie {
     /// Derive hosting parameters from the paper's `(l, B, n)` triple.
-    pub fn from_allocation(movie: MovieId, length: u32, n_streams: u32, buffer_minutes: f64) -> Self {
+    pub fn from_allocation(
+        movie: MovieId,
+        length: u32,
+        n_streams: u32,
+        buffer_minutes: f64,
+    ) -> Self {
         assert!(n_streams >= 1, "need at least one stream");
         assert!(length >= 1, "empty movie");
-        let t = ((length as f64 / n_streams as f64).round() as u32)
-            .clamp(1, length);
+        let t = ((length as f64 / n_streams as f64).round() as u32).clamp(1, length);
         let b = ((buffer_minutes / n_streams as f64).round() as u32).clamp(1, t);
         Self {
             movie,
@@ -362,7 +366,9 @@ impl VodServer {
             }
         }
         let remaining = match kind {
-            VcrKind::FastForward => magnitude.min(self.config.movies[sess.movie_idx].length - sess.position),
+            VcrKind::FastForward => {
+                magnitude.min(self.config.movies[sess.movie_idx].length - sess.position)
+            }
             VcrKind::Rewind => magnitude.min(sess.position),
             VcrKind::Pause => magnitude,
         };
@@ -591,10 +597,9 @@ impl VodServer {
                             .is_some_and(|s| s.movie_idx == movie_idx && s.started == t)
                     })
                     .expect("restart is scheduled every T minutes");
-                self.sessions[idx].as_mut().expect("live session").state =
-                    SessionState::Enrolled {
-                        stream: StreamId(stream_idx),
-                    };
+                self.sessions[idx].as_mut().expect("live session").state = SessionState::Enrolled {
+                    stream: StreamId(stream_idx),
+                };
                 self.streams[stream_idx]
                     .as_mut()
                     .expect("stream just found")
@@ -703,7 +708,10 @@ impl VodServer {
         };
         let seg = {
             let sess = self.sessions[idx].as_ref().expect("live session");
-            let lease = sess.lease.as_ref().expect("dedicated session holds a lease");
+            let lease = sess
+                .lease
+                .as_ref()
+                .expect("dedicated session holds a lease");
             self.disk
                 .read(lease, movie, position)
                 .expect("dedicated read in range")
@@ -766,7 +774,10 @@ impl VodServer {
             };
             let seg = {
                 let sess = self.sessions[idx].as_ref().expect("live session");
-                let lease = sess.lease.as_ref().expect("rewinding session holds a lease");
+                let lease = sess
+                    .lease
+                    .as_ref()
+                    .expect("rewinding session holds a lease");
                 self.disk.read(lease, movie, target).expect("in range")
             };
             let ok = verify_segment(&seg);

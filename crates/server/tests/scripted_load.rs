@@ -20,11 +20,8 @@ fn scripted_load_preserves_invariants() {
         .collect();
     let mut server = VodServer::new(ServerConfig::provisioned(movies, 25));
 
-    let behavior = BehaviorModel::uniform_dist(
-        (0.2, 0.2, 0.6),
-        30.0,
-        Arc::new(Gamma::paper_fig7()),
-    );
+    let behavior =
+        BehaviorModel::uniform_dist((0.2, 0.2, 0.6), 30.0, Arc::new(Gamma::paper_fig7()));
     let mut rng = seeded(41);
     let mut arrivals = Poisson::with_mean_interarrival(1.0);
     let catalog = Zipf::new(3, 0.8);
@@ -72,9 +69,19 @@ fn scripted_load_preserves_invariants() {
 
     let m = server.metrics();
     assert_eq!(m.verify_failures, 0, "data path must be byte-exact");
-    assert_eq!(m.restart_failures, 0, "headroom guard must protect restarts");
+    assert_eq!(
+        m.restart_failures, 0,
+        "headroom guard must protect restarts"
+    );
     assert!(m.sessions_done > 300, "done: {}", m.sessions_done);
-    assert!(m.resume_hits.trials() > 100, "resumes: {}", m.resume_hits.trials());
-    assert!(m.buffer_service_fraction() > 0.6,
-        "batched service should dominate: {}", m.buffer_service_fraction());
+    assert!(
+        m.resume_hits.trials() > 100,
+        "resumes: {}",
+        m.resume_hits.trials()
+    );
+    assert!(
+        m.buffer_service_fraction() > 0.6,
+        "batched service should dominate: {}",
+        m.buffer_service_fraction()
+    );
 }

@@ -4,9 +4,7 @@
 
 use rand::RngCore;
 use vod_dist::rng::seeded;
-use vod_server::{
-    HostedMovie, MovieId, ServerConfig, ServerError, SessionStatus, VodServer,
-};
+use vod_server::{HostedMovie, MovieId, ServerConfig, ServerError, SessionStatus, VodServer};
 use vod_workload::VcrKind;
 
 fn one_movie_server() -> VodServer {
@@ -128,7 +126,11 @@ fn rewind_served_in_reverse_and_resumes() {
     server.request_vcr(s, VcrKind::Rewind, 9).unwrap();
     server.run(3); // 9 segments at rate 3
     let after = server.session_stats(s).unwrap();
-    assert_eq!(after.from_disk - before.from_disk, 9, "rewind reads 9 segments");
+    assert_eq!(
+        after.from_disk - before.from_disk,
+        9,
+        "rewind reads 9 segments"
+    );
     assert!(server.session_position(s).unwrap() <= 31);
     server.run(200);
     assert_eq!(server.session_stats(s).unwrap().verify_failures, 0);

@@ -341,12 +341,7 @@ impl<'a> Engine<'a> {
             }
             VcrKind::Rewind => {
                 let sweep = req.magnitude.min(p);
-                (
-                    sweep / rates.rewind(),
-                    p - sweep,
-                    false,
-                    req.magnitude >= p,
-                )
+                (sweep / rates.rewind(), p - sweep, false, req.magnitude >= p)
             }
             // A pause consumes no display bandwidth; its duration is the
             // pause length itself (converted by the playback rate so that

@@ -130,7 +130,11 @@ fn dedicated_streams_tracked() {
     assert!(report.dedicated_peak >= report.dedicated_avg);
     // With ~60 concurrent viewers and sporadic VCR ops, dedicated use
     // must stay well below the viewer population.
-    assert!(report.dedicated_peak < 80.0, "peak {}", report.dedicated_peak);
+    assert!(
+        report.dedicated_peak < 80.0,
+        "peak {}",
+        report.dedicated_peak
+    );
 }
 
 #[test]

@@ -15,11 +15,8 @@ fn base_config() -> SimConfig {
     // Small buffer → low hit probability → long dedicated holds: a
     // regime where the reserve actually matters.
     let params = SystemParams::new(120.0, 24.0, 12, Rates::paper()).expect("valid");
-    let behavior = BehaviorModel::uniform_dist(
-        (0.45, 0.45, 0.1),
-        25.0,
-        Arc::new(Gamma::paper_fig7()),
-    );
+    let behavior =
+        BehaviorModel::uniform_dist((0.45, 0.45, 0.1), 25.0, Arc::new(Gamma::paper_fig7()));
     let mut cfg = SimConfig::new(params, behavior);
     cfg.mean_interarrival = 1.5;
     cfg.horizon = 60.0 * 120.0;
@@ -67,8 +64,7 @@ fn denial_rate_tracks_erlang_b() {
     let mut cfg = base_config();
     cfg.dedicated_capacity = Some(cap);
     let run = run_seeded(&cfg, 78);
-    let measured =
-        (run.vcr_denied + run.abandoned) as f64 / run.acquisition_attempts as f64;
+    let measured = (run.vcr_denied + run.abandoned) as f64 / run.acquisition_attempts as f64;
     let predicted = erlang_b(cap, offered);
     assert!(
         measured >= predicted - 0.02 && measured < predicted + 0.3,

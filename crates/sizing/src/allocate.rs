@@ -15,9 +15,9 @@
 //! units for min-cost). A brute-force test verifies optimality on small
 //! instances.
 
-use vod_model::ModelOptions;
+use vod_model::{HitMemo, ModelOptions, SweepExecutor};
 
-use crate::{max_feasible_streams, MovieSpec, ResourceCost, SizingError};
+use crate::{feasible::max_feasible_streams_memo, MovieSpec, ResourceCost, SizingError};
 
 /// Final allocation for one movie.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,27 +65,39 @@ pub struct Budgets {
     pub buffer: Option<f64>,
 }
 
-/// Per-movie candidate ranges computed once per problem.
+/// Per-movie candidate ranges computed once per problem, with the memo of
+/// every `hit_probability(n)` the feasibility bisection evaluated — later
+/// plan builds draw from it instead of recomputing.
 struct Candidate<'a> {
     movie: &'a MovieSpec,
     n_max: u32,
+    memo: HitMemo,
 }
 
+#[cfg(test)]
 fn candidates<'a>(
     movies: &'a [MovieSpec],
     opts: &ModelOptions,
 ) -> Result<Vec<Candidate<'a>>, SizingError> {
-    movies
-        .iter()
-        .map(|movie| {
-            let n_max = max_feasible_streams(movie, opts)
-                .map_err(SizingError::Model)?
-                .ok_or_else(|| SizingError::UnsatisfiableMovie {
-                    movie: movie.name.clone(),
-                })?;
-            Ok(Candidate { movie, n_max })
-        })
-        .collect()
+    candidates_with(movies, opts, &SweepExecutor::serial())
+}
+
+fn candidates_with<'a>(
+    movies: &'a [MovieSpec],
+    opts: &ModelOptions,
+    exec: &SweepExecutor,
+) -> Result<Vec<Candidate<'a>>, SizingError> {
+    // Per-movie bisections are independent; fan them across the executor.
+    // Each candidate owns its memo (one (movie, opts) context each).
+    exec.try_map(movies, |movie| {
+        let memo = HitMemo::new();
+        let n_max = max_feasible_streams_memo(movie, opts, &memo)
+            .map_err(SizingError::Model)?
+            .ok_or_else(|| SizingError::UnsatisfiableMovie {
+                movie: movie.name.clone(),
+            })?;
+        Ok(Candidate { movie, n_max, memo })
+    })
 }
 
 /// Precomputed feasibility frontier for a catalog: the expensive
@@ -99,12 +111,29 @@ pub struct Catalog<'a> {
 impl<'a> Catalog<'a> {
     /// Compute the feasibility frontier of `movies`.
     pub fn new(movies: &'a [MovieSpec], opts: &ModelOptions) -> Result<Self, SizingError> {
+        Self::new_with(movies, opts, &SweepExecutor::serial())
+    }
+
+    /// [`Catalog::new`] with the per-movie feasibility bisections fanned
+    /// across `exec`. The frontier is bitwise identical to the serial one.
+    pub fn new_with(
+        movies: &'a [MovieSpec],
+        opts: &ModelOptions,
+        exec: &SweepExecutor,
+    ) -> Result<Self, SizingError> {
         if movies.is_empty() {
             return Err(SizingError::NoMovies);
         }
         Ok(Self {
-            cands: candidates(movies, opts)?,
+            cands: candidates_with(movies, opts, exec)?,
         })
+    }
+
+    /// Total `hit_probability(n)` model evaluations performed for this
+    /// catalog so far (memo misses summed over movies). Exposed so tests
+    /// and benchmarks can demonstrate the memoization.
+    pub fn model_evaluations(&self) -> usize {
+        self.cands.iter().map(|c| c.memo.stats().1).sum()
     }
 
     /// Number of movies.
@@ -144,6 +173,21 @@ impl<'a> Catalog<'a> {
             .zip(ns)
             .map(|(c, &n)| c.movie.buffer_for_streams(n))
             .sum()
+    }
+
+    /// Full [`ResourcePlan`] at exactly `n_total` streams (minimum-buffer
+    /// split), or `None` outside the feasible range. Repeated calls reuse
+    /// this catalog's memo, so each `(movie, n)` hit probability is
+    /// computed at most once across the catalog's lifetime.
+    pub fn plan_at_stream_total(
+        &self,
+        n_total: u32,
+        opts: &ModelOptions,
+    ) -> Result<Option<ResourcePlan>, SizingError> {
+        match self.min_buffer_split(n_total) {
+            None => Ok(None),
+            Some(ns) => Ok(Some(build_plan(&self.cands, &ns, opts)?)),
+        }
     }
 }
 
@@ -190,7 +234,10 @@ fn build_plan(
         .iter()
         .zip(ns)
         .map(|(c, &n)| {
-            let p_hit = c.movie.hit_probability(n, opts).map_err(SizingError::Model)?;
+            let p_hit = c
+                .memo
+                .get_or_try_insert(n, || c.movie.hit_probability(n, opts))
+                .map_err(SizingError::Model)?;
             Ok(MovieAllocation {
                 movie: c.movie.name.clone(),
                 n_streams: n,
@@ -209,6 +256,17 @@ pub fn allocate_min_buffer(
     budgets: Budgets,
     opts: &ModelOptions,
 ) -> Result<ResourcePlan, SizingError> {
+    allocate_min_buffer_with(movies, budgets, opts, &SweepExecutor::serial())
+}
+
+/// [`allocate_min_buffer`] with the per-movie feasibility work fanned
+/// across `exec`; the plan is bitwise identical to the serial one.
+pub fn allocate_min_buffer_with(
+    movies: &[MovieSpec],
+    budgets: Budgets,
+    opts: &ModelOptions,
+    exec: &SweepExecutor,
+) -> Result<ResourcePlan, SizingError> {
     if movies.is_empty() {
         return Err(SizingError::NoMovies);
     }
@@ -218,7 +276,7 @@ pub fn allocate_min_buffer(
             available: budgets.streams,
         });
     }
-    let cands = candidates(movies, opts)?;
+    let cands = candidates_with(movies, opts, exec)?;
     // Minimizing Σ B = Σ l_i − Σ n_i w_i ⇒ maximize Σ n_i w_i: benefit per
     // stream is w_i (always positive, so fill the budget).
     let ns = water_fill(&cands, budgets.streams, |m| m.max_wait, true);
@@ -244,6 +302,18 @@ pub fn allocate_min_cost(
     prices: &ResourceCost,
     opts: &ModelOptions,
 ) -> Result<ResourcePlan, SizingError> {
+    allocate_min_cost_with(movies, budgets, prices, opts, &SweepExecutor::serial())
+}
+
+/// [`allocate_min_cost`] with the per-movie feasibility work fanned
+/// across `exec`; the plan is bitwise identical to the serial one.
+pub fn allocate_min_cost_with(
+    movies: &[MovieSpec],
+    budgets: Budgets,
+    prices: &ResourceCost,
+    opts: &ModelOptions,
+    exec: &SweepExecutor,
+) -> Result<ResourcePlan, SizingError> {
     if movies.is_empty() {
         return Err(SizingError::NoMovies);
     }
@@ -253,7 +323,7 @@ pub fn allocate_min_cost(
             available: budgets.streams,
         });
     }
-    let cands = candidates(movies, opts)?;
+    let cands = candidates_with(movies, opts, exec)?;
     let ns = water_fill(
         &cands,
         budgets.streams,
@@ -284,16 +354,11 @@ pub fn min_buffer_at_stream_total(
     if movies.is_empty() {
         return Err(SizingError::NoMovies);
     }
-    let cands = candidates(movies, opts)?;
-    let max_total: u32 = cands.iter().map(|c| c.n_max).sum();
-    if n_total < movies.len() as u32 || n_total > max_total {
-        return Ok(None);
-    }
-    let ns = water_fill(&cands, n_total, |m| m.max_wait, true);
+    let catalog = Catalog::new(movies, opts)?;
     // fill_exactly fills the whole budget unless boxes bind first; the
-    // budget was checked against Σ n_max, so the fill is exact.
-    debug_assert_eq!(ns.iter().sum::<u32>(), n_total);
-    Ok(Some(build_plan(&cands, &ns, opts)?))
+    // range was checked against Σ n_max inside min_buffer_split, so the
+    // fill is exact.
+    catalog.plan_at_stream_total(n_total, opts)
 }
 
 #[cfg(test)]
@@ -330,6 +395,56 @@ mod tests {
         ]
     }
 
+    fn assert_plans_bitwise_equal(a: &ResourcePlan, b: &ResourcePlan) {
+        assert_eq!(a.allocations.len(), b.allocations.len());
+        for (x, y) in a.allocations.iter().zip(&b.allocations) {
+            assert_eq!(x.movie, y.movie);
+            assert_eq!(x.n_streams, y.n_streams);
+            assert_eq!(x.buffer.to_bits(), y.buffer.to_bits());
+            assert_eq!(x.p_hit.to_bits(), y.p_hit.to_bits());
+        }
+    }
+
+    #[test]
+    fn parallel_allocation_matches_serial_bitwise() {
+        let movies = toy_movies();
+        let o = opts();
+        let budgets = Budgets {
+            streams: 40,
+            buffer: None,
+        };
+        let serial = allocate_min_buffer(&movies, budgets, &o).unwrap();
+        let exec = SweepExecutor::new(4);
+        let par = allocate_min_buffer_with(&movies, budgets, &o, &exec).unwrap();
+        assert_plans_bitwise_equal(&serial, &par);
+        // Determinism: a second parallel run agrees exactly.
+        let again = allocate_min_buffer_with(&movies, budgets, &o, &exec).unwrap();
+        assert_plans_bitwise_equal(&par, &again);
+
+        let prices = ResourceCost::new(3.0, 1.0).unwrap();
+        let serial = allocate_min_cost(&movies, budgets, &prices, &o).unwrap();
+        let par = allocate_min_cost_with(&movies, budgets, &prices, &o, &exec).unwrap();
+        assert_plans_bitwise_equal(&serial, &par);
+    }
+
+    #[test]
+    fn catalog_memo_absorbs_repeat_plan_queries() {
+        let movies = toy_movies();
+        let o = opts();
+        let catalog = Catalog::new(&movies, &o).unwrap();
+        let after_frontier = catalog.model_evaluations();
+        assert!(after_frontier > 0);
+        let p1 = catalog.plan_at_stream_total(12, &o).unwrap().unwrap();
+        let after_first = catalog.model_evaluations();
+        let p2 = catalog.plan_at_stream_total(12, &o).unwrap().unwrap();
+        assert_plans_bitwise_equal(&p1, &p2);
+        assert_eq!(
+            catalog.model_evaluations(),
+            after_first,
+            "repeat plan query must be served entirely from the memo"
+        );
+    }
+
     #[test]
     fn greedy_matches_brute_force_min_buffer() {
         let movies = toy_movies();
@@ -337,8 +452,14 @@ mod tests {
         let cands = candidates(&movies, &o).unwrap();
         let maxes: Vec<u32> = cands.iter().map(|c| c.n_max).collect();
         for budget in [3u32, 10, 25, 60, 200] {
-            let Ok(plan) = allocate_min_buffer(&movies, Budgets { streams: budget, buffer: None }, &o)
-            else {
+            let Ok(plan) = allocate_min_buffer(
+                &movies,
+                Budgets {
+                    streams: budget,
+                    buffer: None,
+                },
+                &o,
+            ) else {
                 continue;
             };
             // Brute force over all (n_a, n_b, n_c) within boxes and budget.
@@ -373,9 +494,16 @@ mod tests {
         for phi in [0.2, 0.9, 2.0, 11.0] {
             let prices = ResourceCost::new(phi, 1.0).unwrap();
             let budget = 60u32;
-            let plan =
-                allocate_min_cost(&movies, Budgets { streams: budget, buffer: None }, &prices, &o)
-                    .unwrap();
+            let plan = allocate_min_cost(
+                &movies,
+                Budgets {
+                    streams: budget,
+                    buffer: None,
+                },
+                &prices,
+                &o,
+            )
+            .unwrap();
             let mut best = f64::INFINITY;
             for na in 1..=maxes[0] {
                 for nb in 1..=maxes[1] {
@@ -402,8 +530,15 @@ mod tests {
     fn plans_respect_constraints() {
         let movies = toy_movies();
         let o = opts();
-        let plan =
-            allocate_min_buffer(&movies, Budgets { streams: 40, buffer: None }, &o).unwrap();
+        let plan = allocate_min_buffer(
+            &movies,
+            Budgets {
+                streams: 40,
+                buffer: None,
+            },
+            &o,
+        )
+        .unwrap();
         assert!(plan.total_streams() <= 40);
         for a in &plan.allocations {
             assert!(a.p_hit >= 0.5 - 1e-9, "{}: p_hit {}", a.movie, a.p_hit);
@@ -416,11 +551,25 @@ mod tests {
         let movies = toy_movies();
         let o = opts();
         assert!(matches!(
-            allocate_min_buffer(&movies, Budgets { streams: 2, buffer: None }, &o),
+            allocate_min_buffer(
+                &movies,
+                Budgets {
+                    streams: 2,
+                    buffer: None
+                },
+                &o
+            ),
             Err(SizingError::StreamBudgetTooSmall { .. })
         ));
         assert!(matches!(
-            allocate_min_buffer(&movies, Budgets { streams: 40, buffer: Some(1.0) }, &o),
+            allocate_min_buffer(
+                &movies,
+                Budgets {
+                    streams: 40,
+                    buffer: Some(1.0)
+                },
+                &o
+            ),
             Err(SizingError::BufferBudgetTooSmall { .. })
         ));
     }
@@ -449,8 +598,15 @@ mod tests {
         // unpublished RW/PAU derivations, the qualitative claim must hold).
         let movies = example1_movies(VcrMix::paper_fig7d());
         let o = opts();
-        let plan =
-            allocate_min_buffer(&movies, Budgets { streams: 1230, buffer: None }, &o).unwrap();
+        let plan = allocate_min_buffer(
+            &movies,
+            Budgets {
+                streams: 1230,
+                buffer: None,
+            },
+            &o,
+        )
+        .unwrap();
         let pure: u32 = movies.iter().map(|m| m.pure_batching_streams()).sum();
         assert_eq!(pure, 1230);
         assert!(

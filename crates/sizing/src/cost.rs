@@ -23,10 +23,7 @@ impl ResourceCost {
             ("per_stream", per_stream),
         ] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(SizingError::InvalidCost {
-                    name,
-                    value: v,
-                });
+                return Err(SizingError::InvalidCost { name, value: v });
             }
         }
         Ok(Self {

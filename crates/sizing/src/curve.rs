@@ -52,7 +52,9 @@ pub fn cost_curve(
     opts: &ModelOptions,
 ) -> Result<CostCurve, SizingError> {
     let catalog = Catalog::new(movies, opts)?;
-    Ok(cost_curve_with_catalog(&catalog, prices, n_lo, n_hi, stride))
+    Ok(cost_curve_with_catalog(
+        &catalog, prices, n_lo, n_hi, stride,
+    ))
 }
 
 /// [`cost_curve`] against a prebuilt [`Catalog`], so a φ-sweep (Figure 9's
@@ -108,8 +110,7 @@ mod tests {
     fn curve_buffer_decreases_with_streams() {
         let movies = toy_movies();
         let prices = ResourceCost::from_phi(6.0).unwrap();
-        let curve =
-            cost_curve(&movies, prices, 2, 60, 3, &ModelOptions::default()).unwrap();
+        let curve = cost_curve(&movies, prices, 2, 60, 3, &ModelOptions::default()).unwrap();
         assert!(curve.points.len() > 3);
         for w in curve.points.windows(2) {
             assert!(w[1].total_buffer <= w[0].total_buffer + 1e-9);
@@ -122,15 +123,13 @@ mod tests {
         // (the paper's Example 2 observation for φ ≈ 11).
         let movies = toy_movies();
         let o = ModelOptions::default();
-        let hi = cost_curve(&movies, ResourceCost::from_phi(16.0).unwrap(), 2, 60, 1, &o)
-            .unwrap();
+        let hi = cost_curve(&movies, ResourceCost::from_phi(16.0).unwrap(), 2, 60, 1, &o).unwrap();
         let hi_opt = hi.optimum().unwrap().total_streams;
         let max_point = hi.points.last().unwrap().total_streams;
         assert_eq!(hi_opt, max_point, "φ=16 optimum should sit at max n");
 
         // φ small ⇒ streams dominate ⇒ optimum strictly inside the range.
-        let lo = cost_curve(&movies, ResourceCost::from_phi(0.3).unwrap(), 2, 60, 1, &o)
-            .unwrap();
+        let lo = cost_curve(&movies, ResourceCost::from_phi(0.3).unwrap(), 2, 60, 1, &o).unwrap();
         let lo_opt = lo.optimum().unwrap().total_streams;
         assert!(
             lo_opt < max_point,
@@ -142,8 +141,7 @@ mod tests {
     fn cost_equals_eq23() {
         let movies = toy_movies();
         let prices = ResourceCost::new(750.0, 70.0).unwrap();
-        let curve =
-            cost_curve(&movies, prices, 10, 10, 1, &ModelOptions::default()).unwrap();
+        let curve = cost_curve(&movies, prices, 10, 10, 1, &ModelOptions::default()).unwrap();
         let p = curve.points[0];
         assert!((p.cost - (750.0 * p.total_buffer + 70.0 * p.total_streams as f64)).abs() < 1e-9);
     }

@@ -56,7 +56,10 @@ impl std::fmt::Display for SizingError {
                 "buffer budget {available} min below minimum feasible {needed} min"
             ),
             SizingError::InvalidCost { name, value } => {
-                write!(f, "cost parameter `{name}` = {value} must be finite and > 0")
+                write!(
+                    f,
+                    "cost parameter `{name}` = {value} must be finite and > 0"
+                )
             }
         }
     }

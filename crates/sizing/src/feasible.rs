@@ -8,7 +8,7 @@
 //! and the feasible set is (numerically verified in tests) a prefix
 //! `n ≤ n_max`; [`max_feasible_streams`] finds the boundary by bisection.
 
-use vod_model::{ModelError, ModelOptions};
+use vod_model::{HitMemo, ModelError, ModelOptions, SweepExecutor};
 
 use crate::MovieSpec;
 
@@ -34,20 +34,44 @@ pub fn scan_by_buffer_step(
     buffer_step: f64,
     opts: &ModelOptions,
 ) -> Result<Vec<FeasiblePoint>, ModelError> {
+    scan_by_buffer_step_with(movie, buffer_step, opts, &SweepExecutor::serial())
+}
+
+/// [`scan_by_buffer_step`] fanning the per-point model evaluations across
+/// `exec`. Results are bitwise identical to the serial scan.
+pub fn scan_by_buffer_step_with(
+    movie: &MovieSpec,
+    buffer_step: f64,
+    opts: &ModelOptions,
+    exec: &SweepExecutor,
+) -> Result<Vec<FeasiblePoint>, ModelError> {
     assert!(buffer_step > 0.0, "buffer_step must be positive");
-    let mut out = Vec::new();
-    let mut buffer = 0.0;
-    while buffer < movie.length {
+    // Generate the grid as k·step rather than by repeated addition:
+    // accumulating `buffer += step` drifts (e.g. 0.1-minute steps reach
+    // 59.999999999999f at k = 600, yielding a spurious extra point), and
+    // the drifted values snap `n` inconsistently near grid boundaries.
+    let mut grid: Vec<u32> = Vec::new();
+    let mut k = 0u32;
+    loop {
+        let buffer = k as f64 * buffer_step;
+        if buffer >= movie.length {
+            break;
+        }
         let n_exact = (movie.length - buffer) / movie.max_wait;
         let n = n_exact.round().max(1.0) as u32;
-        out.push(evaluate(movie, n, opts)?);
-        buffer += buffer_step;
+        // Coarse wait bounds can snap adjacent grid points to the same n;
+        // keep the first occurrence only so the scan is strictly
+        // decreasing in n.
+        if grid.last() != Some(&n) {
+            grid.push(n);
+        }
+        k += 1;
     }
     // Always include the n = 1 endpoint (maximum buffer).
-    if out.last().map(|p| p.n_streams) != Some(1) {
-        out.push(evaluate(movie, 1, opts)?);
+    if grid.last() != Some(&1) {
+        grid.push(1);
     }
-    Ok(out)
+    exec.try_map(&grid, |&n| evaluate(movie, n, opts))
 }
 
 /// Scan every integer `n` in `[n_lo, n_hi]`.
@@ -57,9 +81,20 @@ pub fn scan_by_streams(
     n_hi: u32,
     opts: &ModelOptions,
 ) -> Result<Vec<FeasiblePoint>, ModelError> {
-    (n_lo.max(1)..=n_hi.min(movie.max_streams()))
-        .map(|n| evaluate(movie, n, opts))
-        .collect()
+    scan_by_streams_with(movie, n_lo, n_hi, opts, &SweepExecutor::serial())
+}
+
+/// [`scan_by_streams`] fanning the per-`n` model evaluations across
+/// `exec`. Results are bitwise identical to the serial scan.
+pub fn scan_by_streams_with(
+    movie: &MovieSpec,
+    n_lo: u32,
+    n_hi: u32,
+    opts: &ModelOptions,
+    exec: &SweepExecutor,
+) -> Result<Vec<FeasiblePoint>, ModelError> {
+    let ns: Vec<u32> = (n_lo.max(1)..=n_hi.min(movie.max_streams())).collect();
+    exec.try_map(&ns, |&n| evaluate(movie, n, opts))
 }
 
 fn evaluate(movie: &MovieSpec, n: u32, opts: &ModelOptions) -> Result<FeasiblePoint, ModelError> {
@@ -81,18 +116,32 @@ pub fn max_feasible_streams(
     movie: &MovieSpec,
     opts: &ModelOptions,
 ) -> Result<Option<u32>, ModelError> {
+    max_feasible_streams_memo(movie, opts, &HitMemo::new())
+}
+
+/// [`max_feasible_streams`] drawing every `hit_probability(n)` evaluation
+/// through `memo`, so later phases of an allocation (greedy water-fill,
+/// plan building, repeated sweeps over the same catalog) never recompute
+/// an `n` the bisection already visited. The memo must belong to this
+/// `(movie, opts)` context.
+pub fn max_feasible_streams_memo(
+    movie: &MovieSpec,
+    opts: &ModelOptions,
+    memo: &HitMemo,
+) -> Result<Option<u32>, ModelError> {
+    let p_at = |n: u32| memo.get_or_try_insert(n, || movie.hit_probability(n, opts));
     let mut lo = 1u32;
     let mut hi = movie.max_streams();
-    if movie.hit_probability(lo, opts)? < movie.target_hit {
+    if p_at(lo)? < movie.target_hit {
         return Ok(None);
     }
-    if movie.hit_probability(hi, opts)? >= movie.target_hit {
+    if p_at(hi)? >= movie.target_hit {
         return Ok(Some(hi));
     }
     // Invariant: P(lo) ≥ P*, P(hi) < P*.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
-        if movie.hit_probability(mid, opts)? >= movie.target_hit {
+        if p_at(mid)? >= movie.target_hit {
             lo = mid;
         } else {
             hi = mid;
@@ -161,7 +210,10 @@ mod tests {
     fn unsatisfiable_target_detected() {
         let mut m = small_movie();
         m.target_hit = 0.9999;
-        assert_eq!(max_feasible_streams(&m, &ModelOptions::default()).unwrap(), None);
+        assert_eq!(
+            max_feasible_streams(&m, &ModelOptions::default()).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -177,6 +229,90 @@ mod tests {
             assert!(w[1].buffer >= w[0].buffer);
             assert!(w[1].n_streams <= w[0].n_streams);
         }
+    }
+
+    #[test]
+    fn parallel_scans_match_serial_bitwise() {
+        let m = small_movie();
+        let o = ModelOptions::default();
+        let serial = scan_by_streams(&m, 1, 40, &o).unwrap();
+        for threads in [2usize, 4] {
+            let exec = SweepExecutor::new(threads);
+            let par = scan_by_streams_with(&m, 1, 40, &o, &exec).unwrap();
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in par.iter().zip(&serial) {
+                assert_eq!(a.n_streams, b.n_streams);
+                assert_eq!(a.buffer.to_bits(), b.buffer.to_bits());
+                assert_eq!(a.p_hit.to_bits(), b.p_hit.to_bits(), "n={}", a.n_streams);
+                assert_eq!(a.feasible, b.feasible);
+            }
+        }
+        let exec = SweepExecutor::new(4);
+        let s1 = scan_by_buffer_step(&m, 5.0, &o).unwrap();
+        let s4 = scan_by_buffer_step_with(&m, 5.0, &o, &exec).unwrap();
+        assert_eq!(s1.len(), s4.len());
+        for (a, b) in s1.iter().zip(&s4) {
+            assert_eq!(a.p_hit.to_bits(), b.p_hit.to_bits());
+        }
+        // Determinism: two runs at the same thread count agree exactly.
+        let again = scan_by_buffer_step_with(&m, 5.0, &o, &exec).unwrap();
+        for (a, b) in s4.iter().zip(&again) {
+            assert_eq!(a.p_hit.to_bits(), b.p_hit.to_bits());
+        }
+    }
+
+    #[test]
+    fn bisection_memo_absorbs_repeat_queries() {
+        let m = small_movie();
+        let o = ModelOptions::default();
+        let memo = HitMemo::new();
+        let first = max_feasible_streams_memo(&m, &o, &memo).unwrap();
+        let evals = memo.stats().1;
+        assert!(evals > 0);
+        let second = max_feasible_streams_memo(&m, &o, &memo).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            memo.stats().1,
+            evals,
+            "repeat bisection must be served from the memo"
+        );
+        assert_eq!(first, max_feasible_streams(&m, &o).unwrap());
+    }
+
+    #[test]
+    fn buffer_step_scan_dedups_snapped_points_and_resists_drift() {
+        // A coarse wait bound (w = 10, so only n ∈ 1..=6) with a fine,
+        // non-representable step: 0.1-minute increments snap hundreds of
+        // grid points onto the same handful of integer n. The scan must
+        // emit each n once, strictly decreasing, and repeated-addition
+        // drift (0.1 × 600 ≈ 59.999…) must not smuggle in an extra
+        // trailing point past the movie length.
+        let m = MovieSpec::new(
+            "coarse",
+            60.0,
+            10.0,
+            0.5,
+            VcrMix::paper_fig7d(),
+            Arc::new(Exponential::with_mean(5.0).unwrap()),
+            Rates::paper(),
+        )
+        .unwrap();
+        let pts = scan_by_buffer_step(&m, 0.1, &ModelOptions::default()).unwrap();
+        assert!(
+            pts.len() <= 7,
+            "expected ≤ 7 deduped points, got {}",
+            pts.len()
+        );
+        for w in pts.windows(2) {
+            assert!(
+                w[1].n_streams < w[0].n_streams,
+                "duplicate or non-decreasing n: {} then {}",
+                w[0].n_streams,
+                w[1].n_streams
+            );
+        }
+        assert_eq!(pts[0].n_streams, m.max_streams());
+        assert_eq!(pts.last().unwrap().n_streams, 1);
     }
 
     #[test]

@@ -44,14 +44,15 @@ mod procurement;
 mod reserve;
 
 pub use allocate::{
-    allocate_min_buffer, allocate_min_cost, min_buffer_at_stream_total, Budgets, Catalog,
-    MovieAllocation, ResourcePlan,
+    allocate_min_buffer, allocate_min_buffer_with, allocate_min_cost, allocate_min_cost_with,
+    min_buffer_at_stream_total, Budgets, Catalog, MovieAllocation, ResourcePlan,
 };
 pub use cost::{HardwareSpec, ResourceCost};
 pub use curve::{cost_curve, cost_curve_with_catalog, CostCurve, CostPoint};
 pub use error::SizingError;
 pub use feasible::{
-    max_feasible_streams, scan_by_buffer_step, scan_by_streams, FeasiblePoint,
+    max_feasible_streams, max_feasible_streams_memo, scan_by_buffer_step, scan_by_buffer_step_with,
+    scan_by_streams, scan_by_streams_with, FeasiblePoint,
 };
 pub use movie::{example1_movies, MovieSpec};
 pub use procurement::{procurement, Procurement};

@@ -3,9 +3,7 @@
 use std::sync::Arc;
 
 use vod_dist::DurationDist;
-use vod_model::{
-    p_hit, ModelError, ModelOptions, Rates, SystemParams, VcrDists, VcrMix,
-};
+use vod_model::{p_hit, ModelError, ModelOptions, Rates, SystemParams, VcrDists, VcrMix};
 
 /// Everything the sizing machinery needs to know about one popular movie:
 /// its length, the quality-of-service targets (`w_i`, `P_i*`), and the VCR
@@ -210,7 +208,15 @@ mod tests {
     fn validation() {
         let d: Arc<dyn DurationDist> = Arc::new(Exponential::with_mean(5.0).unwrap());
         let mk = |l, w, p| {
-            MovieSpec::new("x", l, w, p, VcrMix::ff_only(), Arc::clone(&d), Rates::paper())
+            MovieSpec::new(
+                "x",
+                l,
+                w,
+                p,
+                VcrMix::ff_only(),
+                Arc::clone(&d),
+                Rates::paper(),
+            )
         };
         assert!(mk(0.0, 0.5, 0.5).is_err());
         assert!(mk(60.0, 0.0, 0.5).is_err());

@@ -122,7 +122,10 @@ mod tests {
             mean_miss_hold: 30.0,
             p_hit: 0.2,
         };
-        let hi_hit = VcrLoad { p_hit: 0.9, ..lo_hit };
+        let hi_hit = VcrLoad {
+            p_hit: 0.9,
+            ..lo_hit
+        };
         assert!(hi_hit.offered_erlangs() < lo_hit.offered_erlangs());
         // Exact: 2·(2 + 0.8·30) = 52 vs 2·(2 + 0.1·30) = 10.
         assert!((lo_hit.offered_erlangs() - 52.0).abs() < 1e-12);
@@ -140,7 +143,10 @@ mod tests {
         let c = size_vcr_reserve(&load, 0.01).unwrap();
         assert!(erlang_b(c, load.offered_erlangs()) <= 0.01);
         if c > 0 {
-            assert!(erlang_b(c - 1, load.offered_erlangs()) > 0.01, "not minimal");
+            assert!(
+                erlang_b(c - 1, load.offered_erlangs()) > 0.01,
+                "not minimal"
+            );
         }
         // Better hit probability ⇒ smaller reserve.
         let better = VcrLoad { p_hit: 0.9, ..load };

@@ -122,7 +122,11 @@ mod tests {
         }
         for (i, &c) in counts.iter().enumerate() {
             let f = c as f64 / n as f64;
-            assert!((f - z.pmf(i)).abs() < 0.005, "rank {i}: {f} vs {}", z.pmf(i));
+            assert!(
+                (f - z.pmf(i)).abs() < 0.005,
+                "rank {i}: {f} vs {}",
+                z.pmf(i)
+            );
         }
     }
 

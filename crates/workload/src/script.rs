@@ -138,7 +138,12 @@ mod tests {
             .filter(|e| matches!(e.action, LoadAction::OpenSession { .. }))
             .count();
         for e in &script {
-            if let LoadAction::Vcr { session_seq, magnitude, .. } = e.action {
+            if let LoadAction::Vcr {
+                session_seq,
+                magnitude,
+                ..
+            } = e.action
+            {
                 assert!(session_seq < opens, "vcr for unopened session");
                 assert!(magnitude >= 0.0);
             }

@@ -266,12 +266,7 @@ impl Histogram {
         self.bins
             .iter()
             .enumerate()
-            .map(|(i, &c)| {
-                (
-                    self.lo + (i as f64 + 0.5) * self.width,
-                    c as f64 / total,
-                )
-            })
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * self.width, c as f64 / total))
             .collect()
     }
 }
@@ -288,8 +283,7 @@ mod tests {
             w.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.variance() - var).abs() < 1e-12);
     }
@@ -330,7 +324,7 @@ mod tests {
         let mut tw = TimeWeighted::new(0.0, 0.0);
         tw.set(10.0, 5.0); // 0 for 10 min
         tw.set(20.0, 1.0); // 5 for 10 min
-        // 1 for 10 more min
+                           // 1 for 10 more min
         let avg = tw.average(30.0, 0.0);
         assert!((avg - (0.0 * 10.0 + 5.0 * 10.0 + 1.0 * 10.0) / 30.0).abs() < 1e-12);
         assert_eq!(tw.peak(), 5.0);

@@ -32,7 +32,10 @@ fn main() {
     let opts = ModelOptions::default();
 
     println!("# panel = {panel}, l = {l}, w = {w}, durations ~ Gamma(2,4)");
-    println!("{:>4} {:>8} {:>10} {:>10} {:>8}", "n", "B", "model", "sim", "ci95");
+    println!(
+        "{:>4} {:>8} {:>10} {:>10} {:>8}",
+        "n", "B", "model", "sim", "ci95"
+    );
     for n in [10u32, 20, 40, 60, 80, 100] {
         let Ok(params) = SystemParams::from_wait(l, w, n, Rates::paper()) else {
             continue;

@@ -34,7 +34,10 @@ fn main() {
     .expect("valid spec");
 
     let opts = ModelOptions::default();
-    println!("movie: l = {} min, w <= {} min, P* = {}", movie.length, movie.max_wait, movie.target_hit);
+    println!(
+        "movie: l = {} min, w <= {} min, P* = {}",
+        movie.length, movie.max_wait, movie.target_hit
+    );
     println!(
         "pure batching would need {} I/O streams (zero hit probability)",
         movie.pure_batching_streams()
@@ -48,7 +51,10 @@ fn main() {
     let buffer = movie.buffer_for_streams(n);
     let p_model = movie.hit_probability(n, &opts).expect("model evaluation");
     println!("\nchosen configuration:");
-    println!("  n = {n} I/O streams ({} fewer than pure batching)", movie.pure_batching_streams() - n);
+    println!(
+        "  n = {n} I/O streams ({} fewer than pure batching)",
+        movie.pure_batching_streams() - n
+    );
     println!("  B = {buffer:.1} movie minutes of buffer");
     println!("  modelled P(hit) = {p_model:.3}");
 

@@ -27,8 +27,11 @@ fn main() {
     .expect("plan exists");
     let lengths: Vec<u32> = movies.iter().map(|m| m.length as u32).collect();
     let reserve = vcr_reserve_estimate(&plan, 0.5, 3.0, 20.0);
-    println!("sized plan: {} streams + {:.1} buffer minutes, VCR reserve {reserve}",
-        plan.total_streams(), plan.total_buffer());
+    println!(
+        "sized plan: {} streams + {:.1} buffer minutes, VCR reserve {reserve}",
+        plan.total_streams(),
+        plan.total_buffer()
+    );
 
     // 2. Host it.
     let config = config_from_plan(&plan, &lengths, reserve);
@@ -69,7 +72,10 @@ fn main() {
     println!("  sessions completed        : {}", m.sessions_done);
     println!("  segments from buffer      : {}", m.buffer_segments);
     println!("  segments from disk        : {}", m.disk_segments);
-    println!("  buffer service fraction   : {:.1}%", 100.0 * m.buffer_service_fraction());
+    println!(
+        "  buffer service fraction   : {:.1}%",
+        100.0 * m.buffer_service_fraction()
+    );
     println!("  byte verification failures: {}", m.verify_failures);
     println!(
         "  VCR resume hit ratio      : {:.3} ({} of {})",
@@ -86,5 +92,8 @@ fn main() {
         m.dedicated.peak()
     );
     assert_eq!(m.verify_failures, 0, "data path must be byte-exact");
-    assert_eq!(m.restart_failures, 0, "provisioning must cover the schedule");
+    assert_eq!(
+        m.restart_failures, 0,
+        "provisioning must cover the schedule"
+    );
 }

@@ -7,8 +7,8 @@
 
 use vod_prealloc::model::{ModelOptions, VcrMix};
 use vod_prealloc::sizing::{
-    allocate_min_buffer, cost_curve_with_catalog, example1_movies, Budgets, Catalog,
-    HardwareSpec, ResourceCost,
+    allocate_min_buffer, cost_curve_with_catalog, example1_movies, Budgets, Catalog, HardwareSpec,
+    ResourceCost,
 };
 
 fn main() {
@@ -29,7 +29,10 @@ fn main() {
         &opts,
     )
     .expect("plan exists");
-    println!("{:<10} {:>8} {:>10} {:>8}", "movie", "streams", "buffer", "P(hit)");
+    println!(
+        "{:<10} {:>8} {:>10} {:>8}",
+        "movie", "streams", "buffer", "P(hit)"
+    );
     for a in &plan.allocations {
         println!(
             "{:<10} {:>8} {:>10.1} {:>8.3}",
@@ -58,14 +61,14 @@ fn main() {
         prices.per_stream(),
         prices.phi()
     );
-    println!(
-        "plan cost at these prices: ${:.0}\n",
-        plan.cost(&prices)
-    );
+    println!("plan cost at these prices: ${:.0}\n", plan.cost(&prices));
 
     // ---- Figure 9-style optimum per price regime -----------------------
     println!("cost-curve optima as memory gets cheaper (Figure 9):");
-    println!("{:>6} {:>12} {:>12} {:>12}", "phi", "opt streams", "opt buffer", "cost");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "phi", "opt streams", "opt buffer", "cost"
+    );
     let catalog = Catalog::new(&movies, &opts).expect("catalog");
     for phi in [3.0, 6.0, 11.0, 16.0] {
         let curve = cost_curve_with_catalog(

@@ -22,8 +22,7 @@ fn main() {
     let true_dist = Gamma::paper_fig7();
 
     // 1. Observe the system: collect a VCR trace from the simulator.
-    let behavior =
-        BehaviorModel::uniform_dist((0.2, 0.2, 0.6), 30.0, Arc::new(true_dist));
+    let behavior = BehaviorModel::uniform_dist((0.2, 0.2, 0.6), 30.0, Arc::new(true_dist));
     let mut cfg = SimConfig::new(params, behavior);
     cfg.collect_trace = true;
     cfg.horizon = 200.0 * 120.0;
@@ -52,7 +51,12 @@ fn main() {
     let ranked = fit_all(&magnitudes).expect("enough samples");
     println!("\nparametric fits ranked by KS statistic:");
     for c in &ranked {
-        println!("  {:<12} KS = {:.4}  (mean {:.2})", c.family, c.ks, c.dist.mean());
+        println!(
+            "  {:<12} KS = {:.4}  (mean {:.2})",
+            c.family,
+            c.ks,
+            c.dist.mean()
+        );
     }
     println!(
         "  empirical    KS = {:.4}",
@@ -66,7 +70,10 @@ fn main() {
     let with_fit = p_hit_single_dist(&params, &fitted, &mix, &opts).total;
     println!("\nP(hit) with the true gamma law : {with_true:.4}");
     println!("P(hit) with the fitted law     : {with_fit:.4}");
-    println!("simulated hit ratio            : {:.4}", report.overall.value());
+    println!(
+        "simulated hit ratio            : {:.4}",
+        report.overall.value()
+    );
     assert!(
         (with_true - with_fit).abs() < 0.02,
         "a trace of this size should recover the model input closely"

@@ -12,11 +12,9 @@
 
 use std::sync::Arc;
 
-use vod_model::{
-    expected_miss_hold_piggyback, ModelOptions, Rates, VcrMix,
-};
+use vod_model::{expected_miss_hold_piggyback, ModelOptions, Rates, SweepExecutor, VcrMix};
 use vod_sizing::{
-    allocate_min_buffer, procurement, size_vcr_reserve, Budgets, HardwareSpec, MovieSpec,
+    allocate_min_buffer_with, procurement, size_vcr_reserve, Budgets, HardwareSpec, MovieSpec,
     ResourceCost, VcrLoad,
 };
 
@@ -35,6 +33,9 @@ pub struct Options {
     pub vcr_ops_per_minute: f64,
     /// Target VCR denial probability.
     pub denial_target: f64,
+    /// Worker threads for the per-movie sizing sweeps (1 = serial,
+    /// 0 = one per core).
+    pub threads: usize,
 }
 
 /// Error with a user-facing message.
@@ -69,6 +70,8 @@ OPTIONS:
   --phi X           memory/stream cost ratio     [default: 10.71, Example 2]
   --vcr-rate X      VCR ops per minute (reserve) [default: 1.0]
   --denial P        VCR denial target            [default: 0.01]
+  --threads N       worker threads for sizing sweeps (0 = all cores)
+                                                 [default: 1]
   --help            print this text
 ";
 
@@ -134,6 +137,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     let mut phi = 750.0 / 70.0;
     let mut vcr_rate = 1.0;
     let mut denial = 0.01;
+    let mut threads = 1usize;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<&String, CliError> {
@@ -144,14 +148,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         match args[i].as_str() {
             "--movie" => movies.push(parse_movie(take(&mut i)?)?),
             "--streams" => {
-                streams = Some(take(&mut i)?.parse().map_err(|_| {
-                    CliError("--streams needs an integer".into())
-                })?)
+                streams = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|_| CliError("--streams needs an integer".into()))?,
+                )
             }
             "--buffer" => {
-                buffer = Some(take(&mut i)?.parse().map_err(|_| {
-                    CliError("--buffer needs a number".into())
-                })?)
+                buffer = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|_| CliError("--buffer needs a number".into()))?,
+                )
             }
             "--phi" => {
                 phi = take(&mut i)?
@@ -168,6 +176,11 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| CliError("--denial needs a probability".into()))?
             }
+            "--threads" => {
+                threads = take(&mut i)?
+                    .parse()
+                    .map_err(|_| CliError("--threads needs an integer".into()))?
+            }
             "--help" | "-h" => return err(USAGE),
             other => return err(format!("unknown argument `{other}`\n\n{USAGE}")),
         }
@@ -176,8 +189,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
     if movies.is_empty() {
         return err(format!("no movies given\n\n{USAGE}"));
     }
-    let streams =
-        streams.unwrap_or_else(|| movies.iter().map(|m| m.pure_batching_streams()).sum());
+    let streams = streams.unwrap_or_else(|| movies.iter().map(|m| m.pure_batching_streams()).sum());
     Ok(Options {
         movies,
         streams,
@@ -185,6 +197,7 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
         phi,
         vcr_ops_per_minute: vcr_rate,
         denial_target: denial,
+        threads,
     })
 }
 
@@ -192,20 +205,30 @@ pub fn parse_args(args: &[String]) -> Result<Options, CliError> {
 pub fn run(opts: &Options) -> Result<String, CliError> {
     use std::fmt::Write;
     let model_opts = ModelOptions::default();
-    let plan = allocate_min_buffer(
+    let exec = SweepExecutor::new(opts.threads);
+    let plan = allocate_min_buffer_with(
         &opts.movies,
         Budgets {
             streams: opts.streams,
             buffer: opts.buffer,
         },
         &model_opts,
+        &exec,
     )
     .map_err(|e| CliError(format!("allocation failed: {e}")))?;
 
     let mut out = String::new();
     let pure: u32 = opts.movies.iter().map(|m| m.pure_batching_streams()).sum();
-    let _ = writeln!(out, "catalog of {} movies; stream budget {}", opts.movies.len(), opts.streams);
-    let _ = writeln!(out, "pure batching baseline: {pure} streams (hit probability 0)\n");
+    let _ = writeln!(
+        out,
+        "catalog of {} movies; stream budget {}",
+        opts.movies.len(),
+        opts.streams
+    );
+    let _ = writeln!(
+        out,
+        "pure batching baseline: {pure} streams (hit probability 0)\n"
+    );
     let _ = writeln!(
         out,
         "{:<16} {:>8} {:>10} {:>8} {:>8}",
@@ -226,8 +249,7 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         pure.saturating_sub(plan.total_streams())
     );
 
-    let prices = ResourceCost::from_phi(opts.phi)
-        .map_err(|e| CliError(format!("bad phi: {e}")))?;
+    let prices = ResourceCost::from_phi(opts.phi).map_err(|e| CliError(format!("bad phi: {e}")))?;
     let _ = writeln!(
         out,
         "cost at phi = {:.2}: {:.1} stream-equivalents",
@@ -301,8 +323,7 @@ mod tests {
 
     #[test]
     fn parse_movie_full() {
-        let m =
-            parse_movie("thriller;l=120;w=0.5;p=0.6;dist=gamma:shape=2,scale=4").unwrap();
+        let m = parse_movie("thriller;l=120;w=0.5;p=0.6;dist=gamma:shape=2,scale=4").unwrap();
         assert_eq!(m.name, "thriller");
         assert_eq!(m.length, 120.0);
         assert_eq!(m.max_wait, 0.5);
@@ -326,13 +347,23 @@ mod tests {
 
     #[test]
     fn parse_args_defaults() {
+        let o = parse_args(&args(&["--movie", "a;l=60;w=0.5;p=0.5;dist=exp:mean=5"])).unwrap();
+        assert_eq!(o.streams, 120); // pure batching default
+        assert!((o.phi - 750.0 / 70.0).abs() < 1e-12);
+        assert_eq!(o.threads, 1); // serial unless asked
+    }
+
+    #[test]
+    fn parse_args_threads() {
         let o = parse_args(&args(&[
             "--movie",
             "a;l=60;w=0.5;p=0.5;dist=exp:mean=5",
+            "--threads",
+            "4",
         ]))
         .unwrap();
-        assert_eq!(o.streams, 120); // pure batching default
-        assert!((o.phi - 750.0 / 70.0).abs() < 1e-12);
+        assert_eq!(o.threads, 4);
+        assert!(parse_args(&args(&["--threads", "x"])).is_err());
     }
 
     #[test]

@@ -11,9 +11,7 @@ use std::sync::Arc;
 
 use vod_prealloc::model::{ModelOptions, VcrMix};
 use vod_prealloc::sim::{run_catalog_seeded, CatalogConfig, MovieLoad};
-use vod_prealloc::sizing::{
-    allocate_min_buffer, erlang_b, example1_movies, Budgets,
-};
+use vod_prealloc::sizing::{allocate_min_buffer, erlang_b, example1_movies, Budgets};
 use vod_prealloc::workload::BehaviorModel;
 
 #[test]
@@ -34,7 +32,12 @@ fn example1_catalog_sized_then_simulated() {
     )
     .expect("satisfiable");
     for a in &plan.allocations {
-        assert!(a.n_streams >= 10, "{} got only {} streams", a.movie, a.n_streams);
+        assert!(
+            a.n_streams >= 10,
+            "{} got only {} streams",
+            a.movie,
+            a.n_streams
+        );
     }
 
     // Build the catalog load: per-movie Poisson arrivals and the paper's
@@ -45,11 +48,7 @@ fn example1_catalog_sized_then_simulated() {
         .map(|(m, a)| MovieLoad {
             params: m.params_for_streams(a.n_streams).expect("feasible"),
             mean_interarrival: 3.0,
-            behavior: BehaviorModel::uniform_dist(
-                (0.2, 0.2, 0.6),
-                30.0,
-                Arc::clone(&m.dist),
-            ),
+            behavior: BehaviorModel::uniform_dist((0.2, 0.2, 0.6), 30.0, Arc::clone(&m.dist)),
         })
         .collect();
 
@@ -91,8 +90,8 @@ fn example1_catalog_sized_then_simulated() {
     let mut capped = cfg.clone();
     capped.dedicated_capacity = Some(cap);
     let run = run_catalog_seeded(&capped, 56);
-    let denial_rate = (run.vcr_denied + run.abandoned) as f64
-        / run.acquisition_attempts.max(1) as f64;
+    let denial_rate =
+        (run.vcr_denied + run.abandoned) as f64 / run.acquisition_attempts.max(1) as f64;
     assert!(
         denial_rate <= 0.05,
         "reserve of {cap} streams (offered {offered:.2}) denied {denial_rate:.3}"

@@ -58,8 +58,15 @@ fn planned_catalog_serves_cleanly() {
 
     let m = server.metrics();
     assert_eq!(m.verify_failures, 0, "data path must be byte-exact");
-    assert_eq!(m.restart_failures, 0, "provisioning must cover the schedule");
-    assert!(m.sessions_done > 100, "load actually ran: {}", m.sessions_done);
+    assert_eq!(
+        m.restart_failures, 0,
+        "provisioning must cover the schedule"
+    );
+    assert!(
+        m.sessions_done > 100,
+        "load actually ran: {}",
+        m.sessions_done
+    );
     assert!(
         m.resume_hits.trials() > 50,
         "VCR ops actually resumed: {}",
@@ -92,10 +99,14 @@ fn under_provisioned_catalog_reports_denials_not_corruption() {
     // Deliberately zero VCR reserve: interactivity should degrade
     // (denials), never corrupt.
     let mut config = config_from_plan(&plan, &lengths, 0);
-    config.disk_streams = config.movies.iter().map(|m| {
-        // Just enough for the playback schedule, nothing spare.
-        (m.length + m.partition_capacity) / m.restart_interval + 1
-    }).sum();
+    config.disk_streams = config
+        .movies
+        .iter()
+        .map(|m| {
+            // Just enough for the playback schedule, nothing spare.
+            (m.length + m.partition_capacity) / m.restart_interval + 1
+        })
+        .sum();
     let mut server = VodServer::new(config);
 
     let mut rng = seeded(7);
@@ -111,10 +122,7 @@ fn under_provisioned_catalog_reports_denials_not_corruption() {
         }
         if !sessions.is_empty() && rng.next_u64().is_multiple_of(6) {
             let s = sessions[(rng.next_u64() as usize) % sessions.len()];
-            if server
-                .request_vcr(s, VcrKind::FastForward, 5)
-                .is_err()
-            {
+            if server.request_vcr(s, VcrKind::FastForward, 5).is_err() {
                 denials += 1;
             }
         }

@@ -1,0 +1,262 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace's
+//! benches: [`Criterion`], benchmark groups, [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! The build environment cannot reach crates.io, so the workspace path-deps
+//! this crate. Measurement is intentionally simple: after a warm-up, each
+//! benchmark runs batches until a fixed wall-clock budget is spent and
+//! reports mean / best ns-per-iteration on stdout. There is no statistical
+//! analysis, HTML report, or baseline persistence — `cargo bench` output is
+//! meant for quick relative comparisons; the repo's recorded numbers live in
+//! `results/`.
+//!
+//! When `cargo test` compiles benches (`harness = false` keeps it to a
+//! build), nothing here runs.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Wall-clock budget per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Self {
+            measure_for: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.measure_for, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks (prefixes the id).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-budgeted, so
+    /// the requested sample count does not change measurement.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.criterion.measure_for,
+            f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark, optionally carrying a parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for groups benching one function).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Units processed per iteration (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean ns/iter over the measured batches (set by `iter`).
+    mean_ns: f64,
+    /// Best batch's ns/iter.
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measure `routine`, keeping its output live via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch-size calibration: grow the batch until it costs
+        // ≳ 1 ms so timer overhead stays below ~0.1%.
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = t.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let start = Instant::now();
+        let mut total_iters = 0u64;
+        let mut total_ns = 0f64;
+        let mut best = f64::INFINITY;
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64;
+            total_iters += batch;
+            total_ns += ns;
+            best = best.min(ns / batch as f64);
+        }
+        self.mean_ns = total_ns / total_iters as f64;
+        self.best_ns = best;
+        self.iters = total_iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher {
+        budget,
+        mean_ns: f64::NAN,
+        best_ns: f64::NAN,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench {id:<48} {:>14} ns/iter (best {:>12} ns, {} iters)",
+        format_ns(b.mean_ns),
+        format_ns(b.best_ns),
+        b.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "-".into()
+    } else if ns >= 100.0 {
+        format!("{ns:.0}")
+    } else {
+        format!("{ns:.2}")
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring criterion's
+/// simple form: `criterion_group!(benches, bench_a, bench_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups:
+/// `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        c.bench_function("noop_add", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10).throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::new("sq", 3u32), &3u32, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace.
+//!
+//! The build environment cannot reach crates.io, so the workspace path-deps
+//! this crate. It implements the pieces the test suites actually use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]`),
+//! * [`Strategy`] for numeric ranges, tuples (arity 2–8), [`Just`] and
+//!   mapped/unioned strategies,
+//! * [`prop_oneof!`], [`prop_assert!`], [`prop_assert_eq!`],
+//! * [`collection::vec`].
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (which are deterministic per test name and case index) instead of a
+//!   minimized one.
+//! * **`.proptest-regressions` files are kept but not replayed.** Their
+//!   `cc <hash>` entries encode upstream's internal RNG state, which this
+//!   stand-in cannot interpret. Known regressions must therefore also be
+//!   encoded as explicit deterministic `#[test]`s (this workspace does so);
+//!   the seed files stay checked in for environments with the real crate.
+//! * Generation is deterministic: case `i` of test `t` derives its RNG from
+//!   `hash(t) ⊕ i`, so failures reproduce without any persistence.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s of `len` elements drawn from `element`.
+    ///
+    /// Upstream accepts a size range; the workspace only uses fixed sizes,
+    /// which is what this stand-in supports.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `proptest!` test module needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Mirrors upstream's surface syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0.0f64..1.0, n in 1u32..10) { prop_assert!(x < n as f64); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr); $( $(#[$meta:meta])+ fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let strategies = ( $( $strat, )+ );
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    let ( $( $arg, )+ ) = {
+                        let ( $( ref $arg, )+ ) = strategies;
+                        ( $( $crate::strategy::Strategy::generate($arg, &mut rng), )+ )
+                    };
+                    // Describe inputs before the body may move them.
+                    let described = {
+                        let mut s = String::new();
+                        $(
+                            s.push_str(stringify!($arg));
+                            s.push_str(" = ");
+                            s.push_str(&format!("{:?}", $arg));
+                            s.push_str("; ");
+                        )+
+                        s
+                    };
+                    let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            Ok(())
+                        },
+                    ));
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => panic!(
+                            "proptest case {case}/{} failed: {e}\n  inputs: {described}",
+                            cfg.cases,
+                        ),
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest case {case}/{} panicked\n  inputs: {described}",
+                                cfg.cases,
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniformly choose between several strategies producing the same value
+/// type. Upstream's weighted form (`w => strat`) is not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new() $( .or($strat) )+
+    };
+}
+
+/// Assert inside a `proptest!` body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}
