@@ -10,8 +10,18 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc (deny rustdoc warnings, incl. broken intra-doc links) =="
+# First-party crates only: the vendored offline stand-ins (vendor/) are
+# path dependencies and would otherwise be documented too.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
+  -p vod-prealloc -p vod-dist -p vod-model -p vod-sizing -p vod-workload \
+  -p vod-runtime -p vod-sim -p vod-server -p vod-bench
+
 echo "== tier-1: build + test =="
 cargo build --release
 cargo test -q
+
+echo "== cross-validation: model vs sim vs server =="
+cargo test --release -q --test cross_validation
 
 echo "CI OK"

@@ -31,7 +31,7 @@ fn bench_sim(c: &mut Criterion) {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    black_box(run_seeded(cfg, seed).overall.trials())
+                    black_box(run_seeded(cfg, seed).runtime.resumes.trials())
                 })
             },
         );
@@ -67,7 +67,7 @@ fn bench_server(c: &mut Criterion) {
                 }
                 server.tick();
             }
-            black_box(server.metrics().buffer_segments)
+            black_box(server.metrics().runtime.buffer_minutes)
         })
     });
     g.finish();

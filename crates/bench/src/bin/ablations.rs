@@ -211,13 +211,13 @@ fn piggyback_on_off() {
             }
             server.tick();
         }
-        let m = server.metrics();
+        let rt = server.runtime_metrics();
         t.row(vec![
             if on { "on" } else { "off" }.to_string(),
-            m.piggyback_merges.to_string(),
-            num(m.dedicated.average(server.now() as f64, 0.0), 2),
-            m.disk_segments.to_string(),
-            m.buffer_segments.to_string(),
+            server.metrics().piggyback_merges.to_string(),
+            num(rt.dedicated_avg, 2),
+            num(rt.disk_minutes, 0),
+            num(rt.buffer_minutes, 0),
         ]);
     }
     print!("{}", t.render());

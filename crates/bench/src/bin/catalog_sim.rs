@@ -91,28 +91,28 @@ fn main() {
             a.n_streams.to_string(),
             num(a.buffer, 1),
             num(a.p_hit, 3),
-            num(r.overall.value(), 3),
-            r.overall.trials().to_string(),
+            num(r.runtime.resumes.value(), 3),
+            r.runtime.resumes.trials().to_string(),
         ]);
     }
     print!("{}", t.render());
 
     println!(
         "\n## shared VCR reserve (offered load {:.2} Erlangs, peak {:.0})",
-        free.dedicated_avg, free.dedicated_peak
+        free.runtime.dedicated_avg, free.runtime.dedicated_peak
     );
     let mut t = Table::new(vec!["reserve", "sim denial", "Erlang-B"]);
     for factor in [1.0, 1.2, 1.5] {
-        let cap = ((free.dedicated_avg * factor).round() as u32).max(1);
+        let cap = ((free.runtime.dedicated_avg * factor).round() as u32).max(1);
         let mut capped = cfg.clone();
         capped.dedicated_capacity = Some(cap);
         let run = run_catalog_seeded(&capped, 2027);
-        let measured =
-            (run.vcr_denied + run.abandoned) as f64 / run.acquisition_attempts.max(1) as f64;
+        let measured = (run.runtime.vcr_denied + run.runtime.resume_starved) as f64
+            / run.runtime.acquisition_attempts.max(1) as f64;
         t.row(vec![
             cap.to_string(),
             num(measured, 4),
-            num(erlang_b(cap, free.dedicated_avg), 4),
+            num(erlang_b(cap, free.runtime.dedicated_avg), 4),
         ]);
     }
     print!("{}", t.render());

@@ -34,12 +34,12 @@ fn main() {
 
     // Offered load from the uncapped system.
     let free = run_seeded(&cfg, 2024);
-    let offered = free.dedicated_avg;
+    let offered = free.runtime.dedicated_avg;
     println!("# Reserve validation (l=120, B=24, n=12; mix 0.45/0.45/0.1)");
     println!(
         "uncapped run: offered load {offered:.2} Erlangs, peak {:.0}, hit ratio {:.3}\n",
-        free.dedicated_peak,
-        free.overall.value()
+        free.runtime.dedicated_peak,
+        free.runtime.resumes.value()
     );
 
     println!("## simulated denial rate vs Erlang-B");
@@ -55,8 +55,8 @@ fn main() {
         let mut capped = cfg.clone();
         capped.dedicated_capacity = Some(cap);
         let run = run_seeded(&capped, 2025);
-        let measured =
-            (run.vcr_denied + run.abandoned) as f64 / run.acquisition_attempts.max(1) as f64;
+        let measured = (run.runtime.vcr_denied + run.runtime.resume_starved) as f64
+            / run.runtime.acquisition_attempts.max(1) as f64;
         let predicted = erlang_b(cap, offered);
         t.row(vec![
             cap.to_string(),

@@ -1,7 +1,7 @@
 //! Fitting duration distributions to observed samples.
 //!
 //! §2.1 of the paper: "The pdf of VCR requests can be obtained by
-//! statistics while the movie is displayed." [`kinds::Empirical`] ingests
+//! statistics while the movie is displayed." [`crate::kinds::Empirical`] ingests
 //! raw samples directly; this module adds the parametric route — fit the
 //! classical families by the method of moments and rank candidates with a
 //! Kolmogorov–Smirnov statistic — so an operator can trade the empirical

@@ -1,0 +1,42 @@
+//! # vod-runtime — shared mechanism semantics
+//!
+//! The paper's whole argument rests on one set of rules: streams restart
+//! every `T = l/n` minutes, each live stream drags a `b = B/n`-minute
+//! partition window behind it, and a VCR viewer's resume is a **hit** iff
+//! the resume position lands inside some live window. The repo used to
+//! state those rules three times — once in the analytic model, once in
+//! the event simulator, and once in the tick server — which let them
+//! drift. This crate owns them once, as pure driver-agnostic types:
+//!
+//! * [`PartitionWindows`] — continuous-time window geometry with the O(1)
+//!   "is position `p` buffered at time `t`" membership test.
+//! * [`QuantizedGeometry`] — the integer-minute `(l, B, n) → (T, b)`
+//!   derivation the tick server hosts movies under, with a single
+//!   rounding step so the effective wait `w = T − b` always equals the
+//!   quantized model wait.
+//! * [`plan_vcr`] / [`ResumeClass`] — the VCR sweep-rate and
+//!   truncation-at-boundary rules and the single hit/miss resume
+//!   classification both drivers share.
+//! * [`StreamReserve`] — the shared dedicated-stream pool accountant with
+//!   the paper's denial/starvation semantics.
+//! * [`RuntimeMetrics`] — the unified measurement vocabulary
+//!   `ServerMetrics` and `SimReport` are built on, with JSON export so
+//!   bench bins can diff server-vs-sim-vs-model directly.
+//!
+//! The drivers (`vod-server`, `vod-sim`) stay thin: they own event loops
+//! and data paths, never semantics.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod metrics;
+mod quantize;
+mod reserve;
+mod vcr;
+mod windows;
+
+pub use metrics::{kind_index, RuntimeMetrics};
+pub use quantize::QuantizedGeometry;
+pub use reserve::StreamReserve;
+pub use vcr::{plan_vcr, truncate_sweep, ResumeClass, SweepPlan};
+pub use windows::PartitionWindows;

@@ -1,0 +1,221 @@
+//! The unified measurement vocabulary shared by the tick server and the
+//! event simulator.
+
+use vod_workload::{Ratio, VcrKind};
+
+/// Index of a [`VcrKind`] in per-kind arrays: `[FF, RW, PAU]`.
+pub fn kind_index(kind: VcrKind) -> usize {
+    match kind {
+        VcrKind::FastForward => 0,
+        VcrKind::Rewind => 1,
+        VcrKind::Pause => 2,
+    }
+}
+
+/// Mechanism-level counters with **one meaning each**, measured
+/// identically by `vod-server` and `vod-sim` so their reports can be
+/// diffed field by field (and against the analytic model's `P(hit)`).
+///
+/// Where the drivers' *recovery policies* legitimately differ, the
+/// difference is documented on the field; the event being counted is the
+/// same on both sides.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeMetrics {
+    /// VCR resume classifications across all kinds: a trial per resume,
+    /// a hit iff a live window covered the resume position. An FF that
+    /// runs off the movie end counts as a hit (the model's `P(end)`
+    /// release path; the simulator can opt out for experiments).
+    pub resumes: Ratio,
+    /// Resume classifications split by operation kind, `[FF, RW, PAU]`.
+    pub resumes_by_kind: [Ratio; 3],
+    /// Fast-forwards that ran off the end of the movie.
+    pub ff_end: u64,
+    /// Rewinds truncated at the movie start.
+    pub rw_truncated: u64,
+    /// FF/RW requests **denied at issue time** because the dedicated
+    /// reserve was exhausted. The viewer stays in their batch (Erlang
+    /// loss); nothing is swept and no resume trial is recorded.
+    pub vcr_denied: u64,
+    /// Missed resumes that found the reserve empty — the viewer needed a
+    /// phase-2 stream and none was free. Recovery differs by driver and
+    /// is a policy, not a semantic: the simulator clears the viewer
+    /// (blocked customers cleared), the server keeps the session paused
+    /// and retries next tick.
+    pub resume_starved: u64,
+    /// Dedicated-stream acquisition attempts (grants + refusals), the
+    /// denominator for Erlang-loss comparisons.
+    pub acquisition_attempts: u64,
+    /// Scheduled restarts that could not acquire a disk stream. Always 0
+    /// on a correctly sized server; structurally 0 in the simulator,
+    /// whose restart schedule is implicit (it cannot fail).
+    pub restart_failures: u64,
+    /// Playback minutes served from buffer partitions (batched service).
+    /// The server counts delivered segments exactly; the simulator
+    /// accumulates playback intervals, so fractional minutes appear.
+    pub buffer_minutes: f64,
+    /// Playback minutes served through dedicated streams (phase-1 sweeps
+    /// plus phase-2 holds).
+    pub disk_minutes: f64,
+    /// Time-averaged dedicated streams in use over the measured window.
+    pub dedicated_avg: f64,
+    /// Peak dedicated streams in use over the measured window.
+    pub dedicated_peak: f64,
+}
+
+impl RuntimeMetrics {
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one resume classification (overall and per-kind).
+    pub fn record_resume(&mut self, kind: VcrKind, hit: bool) {
+        self.resumes.push(hit);
+        self.resumes_by_kind[kind_index(kind)].push(hit);
+    }
+
+    /// Resume classifications for one kind.
+    pub fn resume_ratio(&self, kind: VcrKind) -> &Ratio {
+        &self.resumes_by_kind[kind_index(kind)]
+    }
+
+    /// Overall resume hit ratio (0 when no resumes were observed).
+    pub fn hit_ratio(&self) -> f64 {
+        self.resumes.value()
+    }
+
+    /// Fraction of all delivered playback minutes served from memory.
+    pub fn buffer_service_fraction(&self) -> f64 {
+        let total = self.buffer_minutes + self.disk_minutes;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.buffer_minutes / total
+        }
+    }
+
+    /// Merge another run's counters into this one (occupancy statistics
+    /// are not mergeable without their time bases; the incoming
+    /// `dedicated_avg`/`dedicated_peak` are combined as max).
+    pub fn merge(&mut self, other: &RuntimeMetrics) {
+        self.resumes.merge(&other.resumes);
+        for k in 0..3 {
+            self.resumes_by_kind[k].merge(&other.resumes_by_kind[k]);
+        }
+        self.ff_end += other.ff_end;
+        self.rw_truncated += other.rw_truncated;
+        self.vcr_denied += other.vcr_denied;
+        self.resume_starved += other.resume_starved;
+        self.acquisition_attempts += other.acquisition_attempts;
+        self.restart_failures += other.restart_failures;
+        self.buffer_minutes += other.buffer_minutes;
+        self.disk_minutes += other.disk_minutes;
+        self.dedicated_avg = self.dedicated_avg.max(other.dedicated_avg);
+        self.dedicated_peak = self.dedicated_peak.max(other.dedicated_peak);
+    }
+
+    /// JSON object (one line, stable key order) for bench bins that diff
+    /// server-vs-sim-vs-model runs.
+    pub fn to_json(&self) -> String {
+        let kinds = ["ff", "rw", "pau"];
+        let per_kind = kinds
+            .iter()
+            .zip(&self.resumes_by_kind)
+            .map(|(label, r)| {
+                format!(
+                    "\"{label}\":{{\"hits\":{},\"trials\":{},\"ratio\":{}}}",
+                    r.hits(),
+                    r.trials(),
+                    r.value()
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"hit_ratio\":{},\"resume_hits\":{},\"resume_trials\":{},",
+                "\"per_kind\":{{{}}},\"ff_end\":{},\"rw_truncated\":{},",
+                "\"vcr_denied\":{},\"resume_starved\":{},",
+                "\"acquisition_attempts\":{},\"restart_failures\":{},",
+                "\"buffer_minutes\":{},\"disk_minutes\":{},",
+                "\"dedicated_avg\":{},\"dedicated_peak\":{}}}"
+            ),
+            self.hit_ratio(),
+            self.resumes.hits(),
+            self.resumes.trials(),
+            per_kind,
+            self.ff_end,
+            self.rw_truncated,
+            self.vcr_denied,
+            self.resume_starved,
+            self.acquisition_attempts,
+            self.restart_failures,
+            self.buffer_minutes,
+            self.disk_minutes,
+            self.dedicated_avg,
+            self.dedicated_peak,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_updates_overall_and_kind() {
+        let mut m = RuntimeMetrics::new();
+        m.record_resume(VcrKind::FastForward, true);
+        m.record_resume(VcrKind::Pause, false);
+        assert_eq!(m.resumes.trials(), 2);
+        assert_eq!(m.resumes.hits(), 1);
+        assert_eq!(m.resume_ratio(VcrKind::FastForward).hits(), 1);
+        assert_eq!(m.resume_ratio(VcrKind::Pause).trials(), 1);
+        assert_eq!(m.resume_ratio(VcrKind::Rewind).trials(), 0);
+        assert!((m.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn buffer_fraction() {
+        let mut m = RuntimeMetrics::new();
+        assert_eq!(m.buffer_service_fraction(), 0.0);
+        m.buffer_minutes = 30.0;
+        m.disk_minutes = 10.0;
+        assert!((m.buffer_service_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = RuntimeMetrics::new();
+        a.record_resume(VcrKind::Rewind, true);
+        a.vcr_denied = 2;
+        a.dedicated_avg = 1.5;
+        let mut b = RuntimeMetrics::new();
+        b.record_resume(VcrKind::Rewind, false);
+        b.vcr_denied = 3;
+        b.dedicated_avg = 0.5;
+        a.merge(&b);
+        assert_eq!(a.resumes.trials(), 2);
+        assert_eq!(a.vcr_denied, 5);
+        assert_eq!(a.dedicated_avg, 1.5);
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let mut m = RuntimeMetrics::new();
+        m.record_resume(VcrKind::FastForward, true);
+        m.buffer_minutes = 12.5;
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"hit_ratio\":1"));
+        assert!(j.contains("\"buffer_minutes\":12.5"));
+        assert!(j.contains("\"ff\":{\"hits\":1,\"trials\":1"));
+        // Identical metrics serialize identically (the determinism check
+        // the cross-validation harness relies on).
+        let mut m2 = RuntimeMetrics::new();
+        m2.record_resume(VcrKind::FastForward, true);
+        m2.buffer_minutes = 12.5;
+        assert_eq!(m, m2);
+        assert_eq!(j, m2.to_json());
+    }
+}

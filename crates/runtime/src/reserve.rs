@@ -1,0 +1,150 @@
+//! The shared dedicated-stream reserve.
+
+use vod_workload::TimeWeighted;
+
+/// Accountant for the pool of dedicated I/O streams VCR service draws
+/// from — the resource whose exhaustion produces the paper's denial
+/// (FF/RW refused at issue time; the viewer stays in the batch) and
+/// starvation (a missed resume finds no stream) outcomes.
+///
+/// Both drivers use the same accountant: the simulator with the
+/// configured reserve cap, the server with the static cap
+/// `disk_streams − playback_reserved` (every stream not pre-allocated to
+/// the restart schedule). Occupancy is tracked time-weighted so average
+/// and peak holds are measured identically on both sides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamReserve {
+    capacity: Option<u32>,
+    in_use: u32,
+    t0: f64,
+    occupancy: TimeWeighted,
+}
+
+impl StreamReserve {
+    /// A reserve capped at `capacity` streams; `None` = unbounded (the
+    /// paper's §4 measurement setting).
+    pub fn new(capacity: Option<u32>) -> Self {
+        Self {
+            capacity,
+            in_use: 0,
+            t0: 0.0,
+            occupancy: TimeWeighted::new(0.0, 0.0),
+        }
+    }
+
+    /// An unbounded reserve.
+    pub fn unbounded() -> Self {
+        Self::new(None)
+    }
+
+    /// A reserve of exactly `capacity` streams.
+    pub fn with_capacity(capacity: u32) -> Self {
+        Self::new(Some(capacity))
+    }
+
+    /// Configured cap, if any.
+    pub fn capacity(&self) -> Option<u32> {
+        self.capacity
+    }
+
+    /// Streams currently held.
+    pub fn in_use(&self) -> u32 {
+        self.in_use
+    }
+
+    /// Try to take one stream at time `t`. Returns `false` — a denial or
+    /// a starvation, the *caller's* policy decides which — when the cap
+    /// is reached.
+    pub fn try_acquire(&mut self, t: f64) -> bool {
+        if let Some(cap) = self.capacity {
+            if self.in_use >= cap {
+                return false;
+            }
+        }
+        self.in_use += 1;
+        self.occupancy.add(t, 1.0);
+        true
+    }
+
+    /// Return one stream at time `t`.
+    ///
+    /// # Panics
+    /// Panics if nothing is held — releases must pair with acquires.
+    pub fn release(&mut self, t: f64) {
+        assert!(self.in_use > 0, "release without acquire");
+        self.in_use -= 1;
+        self.occupancy.add(t, -1.0);
+    }
+
+    /// Restart occupancy measurement at time `t`, keeping current holds
+    /// (used to discard a warm-up period; the peak also resets to the
+    /// current value).
+    pub fn rebaseline(&mut self, t: f64) {
+        self.t0 = t;
+        self.occupancy = TimeWeighted::new(t, self.in_use as f64);
+    }
+
+    /// Time-averaged streams in use over `[baseline, until]`.
+    pub fn average(&self, until: f64) -> f64 {
+        self.occupancy.average(until, self.t0)
+    }
+
+    /// Peak streams in use since the last rebaseline.
+    pub fn peak(&self) -> f64 {
+        self.occupancy.peak()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cap_denies_at_capacity() {
+        let mut r = StreamReserve::with_capacity(2);
+        assert!(r.try_acquire(0.0));
+        assert!(r.try_acquire(1.0));
+        assert!(!r.try_acquire(2.0), "cap reached");
+        assert_eq!(r.in_use(), 2);
+        r.release(3.0);
+        assert!(r.try_acquire(4.0), "freed stream is reusable");
+    }
+
+    #[test]
+    fn unbounded_never_denies() {
+        let mut r = StreamReserve::unbounded();
+        for i in 0..1000 {
+            assert!(r.try_acquire(i as f64 * 0.1));
+        }
+        assert_eq!(r.in_use(), 1000);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut r = StreamReserve::unbounded();
+        assert!(r.try_acquire(0.0)); // 1 held over [0, 10]
+        assert!(r.try_acquire(10.0)); // 2 held over [10, 20]
+        r.release(20.0); // 1 held over [20, 40]
+        assert!((r.average(40.0) - (10.0 + 20.0 + 20.0) / 40.0).abs() < 1e-12);
+        assert_eq!(r.peak(), 2.0);
+    }
+
+    #[test]
+    fn rebaseline_discards_warmup() {
+        let mut r = StreamReserve::unbounded();
+        assert!(r.try_acquire(0.0));
+        assert!(r.try_acquire(0.0));
+        r.release(5.0);
+        r.rebaseline(10.0); // 1 held from here on
+        assert!((r.average(20.0) - 1.0).abs() < 1e-12);
+        assert_eq!(r.peak(), 1.0, "peak resets to current holds");
+        assert_eq!(r.in_use(), 1, "holds survive the rebaseline");
+    }
+
+    #[test]
+    #[should_panic(expected = "release without acquire")]
+    fn unbalanced_release_panics() {
+        let mut r = StreamReserve::unbounded();
+        r.release(0.0);
+    }
+}

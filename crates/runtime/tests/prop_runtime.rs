@@ -1,0 +1,153 @@
+//! Property-based tests of the runtime semantics: the O(1) window
+//! membership against brute force, quantization invariants, and VCR
+//! sweep-plan conservation.
+
+use proptest::prelude::*;
+
+use vod_runtime::{plan_vcr, PartitionWindows, QuantizedGeometry};
+use vod_workload::VcrKind;
+
+fn any_geometry() -> impl Strategy<Value = PartitionWindows> {
+    (
+        60.0f64..150.0, // movie length
+        0.0f64..1.0,    // buffer fraction
+        1u32..60,       // streams
+    )
+        .prop_map(|(l, bfrac, n)| {
+            // (l, B, n) → (l, T = l/n, b = B/n), the paper's geometry.
+            PartitionWindows::new(l, l / n as f64, bfrac * l / n as f64)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Satellite: the O(1) membership formula agrees with the explicit
+    /// k-scan for arbitrary `(l, B, n, t, p)`. Verdicts may differ only
+    /// on boundary epsilons, where a nudged position must recover the
+    /// brute-force answer.
+    #[test]
+    fn covers_matches_brute_force(
+        w in any_geometry(),
+        t in 0.0f64..2000.0,
+        p_frac in 0.0f64..1.0,
+    ) {
+        let p = p_frac * w.movie_len();
+        let fast = w.covers(t, p);
+        let slow = w.covers_brute_force(t, p);
+        if fast != slow {
+            let nudged_up = w.covers(t, p + 1e-6);
+            let nudged_down = w.covers(t, (p - 1e-6).max(0.0));
+            prop_assert!(
+                nudged_up == slow || nudged_down == slow,
+                "fast {fast} vs slow {slow} at t={t} p={p} (T={}, b={})",
+                w.restart_interval(),
+                w.window_len()
+            );
+        }
+    }
+
+    /// A hit implies some restart's window spans the position — the
+    /// classification never invents coverage out of range.
+    #[test]
+    fn covered_positions_are_behind_some_stream(
+        w in any_geometry(),
+        t in 0.0f64..2000.0,
+        p_frac in 0.0f64..1.0,
+    ) {
+        let p = p_frac * w.movie_len();
+        if w.covers(t, p) {
+            // p ≤ position of the newest stream that is ≥ p, and within
+            // window_len of it.
+            let mut witnessed = false;
+            let mut k = 0.0f64;
+            while k * w.restart_interval() <= t + 1e-9 {
+                let pos = t - k * w.restart_interval();
+                let lo = (pos - w.window_len()).max(0.0);
+                if pos <= w.movie_len() + 1e-9 && p >= lo - 1e-6 && p <= pos + 1e-6 {
+                    witnessed = true;
+                    break;
+                }
+                k += 1.0;
+            }
+            prop_assert!(witnessed, "hit at t={t} p={p} with no covering stream");
+        }
+    }
+
+    /// Quantization invariants for arbitrary `(l, B, n)`: `1 ≤ T ≤ l`,
+    /// `1 ≤ b ≤ T`, and the single-rounding promise — the effective wait
+    /// `T − b` equals the rounded, clamped model wait.
+    #[test]
+    fn quantization_invariants(
+        l in 1u32..500,
+        n in 1u32..200,
+        bfrac in 0.0f64..1.2,
+    ) {
+        let buffer = l as f64 * bfrac;
+        let g = QuantizedGeometry::from_allocation(l, n, buffer);
+        prop_assert!(g.restart_interval >= 1 && g.restart_interval <= l);
+        prop_assert!(g.partition_capacity >= 1 && g.partition_capacity <= g.restart_interval);
+        let w_model = ((l as f64 - buffer).max(0.0) / n as f64).round() as u32;
+        prop_assert_eq!(g.max_wait(), w_model.min(g.restart_interval - 1));
+    }
+
+    /// The quantized join rule agrees with itself across representations:
+    /// a position is ideal-joinable iff some live stream's one-advance-
+    /// ahead window covers it, and every joinable position is in range.
+    #[test]
+    fn ideal_join_positions_in_range(
+        l in 2u32..300,
+        n in 1u32..60,
+        bfrac in 0.0f64..1.0,
+        t in 0u64..4000,
+        p in 0u32..300,
+    ) {
+        let g = QuantizedGeometry::from_allocation(l, n, l as f64 * bfrac);
+        if g.ideal_join_covers(t, p) {
+            // Joinable ⇒ within one segment past some live stream front.
+            prop_assert!(p <= (t as u32).min(l - 1) + 1, "p={p} t={t} l={l}");
+        }
+        // Position 0 is joinable while the newest partition is still
+        // filling (age + 1 < b): the tail is pinned at 0 so the
+        // one-advance-ahead window still reaches the start. At age
+        // b − 1 the partition is full and the look-ahead evicts 0.
+        let tt = g.restart_interval as u64;
+        if (t % tt) + 1 < g.partition_capacity as u64 && l > 1 {
+            prop_assert!(g.ideal_join_covers(t, 0), "enrollment window must be open at t={t}");
+        }
+    }
+
+    /// Sweep plans conserve position: FF lands at `p + swept ≤ l`, RW at
+    /// `p − swept ≥ 0`, pause stays put; durations are non-negative and
+    /// finite.
+    #[test]
+    fn sweep_plans_conserve_position(
+        kind_sel in 0u8..3,
+        magnitude in 0.0f64..500.0,
+        p_frac in 0.0f64..1.0,
+        l in 30.0f64..200.0,
+    ) {
+        let kind = [VcrKind::FastForward, VcrKind::Rewind, VcrKind::Pause][kind_sel as usize];
+        let position = p_frac * l;
+        let rates = vod_model::Rates::paper();
+        let plan = plan_vcr(kind, magnitude, position, l, &rates);
+        prop_assert!(plan.duration >= 0.0 && plan.duration.is_finite());
+        prop_assert!(plan.swept >= 0.0);
+        match kind {
+            VcrKind::FastForward => {
+                prop_assert!((plan.end_pos - (position + plan.swept)).abs() < 1e-9);
+                prop_assert!(plan.end_pos <= l + 1e-9);
+                prop_assert_eq!(plan.reached_end, magnitude >= l - position);
+            }
+            VcrKind::Rewind => {
+                prop_assert!((plan.end_pos - (position - plan.swept)).abs() < 1e-9);
+                prop_assert!(plan.end_pos >= -1e-9);
+                prop_assert_eq!(plan.truncated_start, magnitude >= position);
+            }
+            VcrKind::Pause => {
+                prop_assert!((plan.end_pos - position).abs() < 1e-12);
+                prop_assert_eq!(plan.swept, 0.0);
+            }
+        }
+    }
+}

@@ -102,11 +102,11 @@ mod tests {
         let p = plan();
         let cfg = config_from_plan(&p, &[120, 60], 8);
         assert_eq!(cfg.movies.len(), 2);
-        assert_eq!(cfg.movies[0].restart_interval, 12); // 120/10
-        assert_eq!(cfg.movies[0].partition_capacity, 3); // 30/10
-        assert_eq!(cfg.movies[1].restart_interval, 12); // 60/5
-        assert_eq!(cfg.movies[1].partition_capacity, 4); // 20/5
-                                                         // Provisioning covers every live stream plus the reserve.
+        assert_eq!(cfg.movies[0].geometry.restart_interval, 12); // 120/10
+        assert_eq!(cfg.movies[0].geometry.partition_capacity, 3); // 30/10
+        assert_eq!(cfg.movies[1].geometry.restart_interval, 12); // 60/5
+        assert_eq!(cfg.movies[1].geometry.partition_capacity, 4); // 20/5
+                                                                  // Provisioning covers every live stream plus the reserve.
         let need: u32 = cfg.movies.iter().map(|m| m.max_live_streams()).sum();
         assert_eq!(cfg.disk_streams, need + 8);
     }

@@ -1,0 +1,137 @@
+//! Deterministic load harness: drives a [`VodServer`] with the same
+//! statistical workload primitives the simulator uses (Poisson arrivals,
+//! a [`BehaviorModel`] VCR mix), under a fixed seed, and reports the
+//! shared [`RuntimeMetrics`] vocabulary.
+//!
+//! This is the server-side leg of the three-way cross-validation
+//! (analytic model ↔ event simulator ↔ tick server): the same `(l, B, n,
+//! VCR mix)` configuration runs through all three and the hit
+//! probabilities are compared. Everything here is integer-minute — the
+//! continuous samples are floored/rounded onto the tick grid — so
+//! agreement with the continuous-time model is approximate by design
+//! (tolerances live in the cross-validation test).
+
+use vod_dist::rng::{exponential, seeded};
+use vod_runtime::RuntimeMetrics;
+use vod_workload::BehaviorModel;
+
+use crate::content::MovieId;
+use crate::server::{ServerConfig, VodServer};
+use crate::session::{SessionId, SessionStatus};
+
+/// Workload configuration for [`run_harness`].
+#[derive(Clone)]
+pub struct HarnessConfig {
+    /// Server under test.
+    pub server: ServerConfig,
+    /// Movie every arrival requests (single-movie validation runs).
+    pub movie: MovieId,
+    /// Viewer interaction behavior (same model `vod-sim` consumes).
+    pub behavior: BehaviorModel,
+    /// Mean minutes between viewer arrivals (Poisson process).
+    pub mean_interarrival: f64,
+    /// Warm-up ticks excluded from measurement (metrics are reset after).
+    pub warmup: u64,
+    /// Measured ticks after warm-up.
+    pub measure: u64,
+}
+
+/// Drive the server with a seeded workload and return the measured
+/// [`RuntimeMetrics`]. Same seed, same config ⇒ bitwise-identical
+/// metrics (asserted by the cross-validation test).
+pub fn run_harness(cfg: &HarnessConfig, seed: u64) -> RuntimeMetrics {
+    let mut server = VodServer::new(cfg.server.clone());
+    let mut rng = seeded(seed);
+    let mut next_arrival = exponential(&mut rng, cfg.mean_interarrival);
+    // (session, tick at which its next interaction is due)
+    let mut pending: Vec<(SessionId, u64)> = Vec::new();
+    let horizon = cfg.warmup + cfg.measure;
+    for minute in 0..horizon {
+        if minute == cfg.warmup {
+            server.reset_metrics();
+        }
+        while next_arrival < (minute + 1) as f64 {
+            let id = server.open_session(cfg.movie).expect("movie hosted");
+            let gap = cfg.behavior.next_interaction_gap(&mut rng);
+            pending.push((id, minute + (gap.ceil() as u64).max(1)));
+            next_arrival += exponential(&mut rng, cfg.mean_interarrival);
+        }
+        let mut i = 0;
+        while i < pending.len() {
+            let (id, due) = pending[i];
+            if due > minute {
+                i += 1;
+                continue;
+            }
+            match server.session_status(id).expect("session exists") {
+                SessionStatus::Done => {
+                    pending.swap_remove(i);
+                    continue;
+                }
+                SessionStatus::Shared | SessionStatus::Dedicated => {
+                    let req = cfg.behavior.sample_request(&mut rng);
+                    let magnitude = (req.magnitude.round() as u32).max(1);
+                    // Denied ops are counted by the server; either way the
+                    // viewer's next interaction clock restarts now.
+                    let _ = server.request_vcr(id, req.kind, magnitude);
+                    let gap = cfg.behavior.next_interaction_gap(&mut rng);
+                    pending[i].1 = minute + (gap.ceil() as u64).max(1);
+                }
+                // Waiting in the batch queue or mid-VCR: the interaction
+                // clock only runs during playback — defer one tick.
+                SessionStatus::Waiting(_) | SessionStatus::InVcr => {
+                    pending[i].1 = minute + 1;
+                }
+            }
+            i += 1;
+        }
+        server.tick();
+    }
+    server.runtime_metrics()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use vod_dist::kinds::Gamma;
+
+    use super::*;
+    use crate::server::HostedMovie;
+
+    fn config() -> HarnessConfig {
+        let movie = HostedMovie::from_allocation(MovieId(0), 120, 20, 100.0);
+        HarnessConfig {
+            server: ServerConfig {
+                piggyback: None,
+                ..ServerConfig::provisioned(vec![movie], 40)
+            },
+            movie: MovieId(0),
+            behavior: BehaviorModel::uniform_dist(
+                (0.2, 0.2, 0.6),
+                30.0,
+                Arc::new(Gamma::paper_fig7()),
+            ),
+            mean_interarrival: 2.0,
+            warmup: 240,
+            measure: 1200,
+        }
+    }
+
+    #[test]
+    fn harness_is_deterministic() {
+        let cfg = config();
+        let a = run_harness(&cfg, 7);
+        let b = run_harness(&cfg, 7);
+        assert_eq!(a, b, "same seed must reproduce bitwise-identical metrics");
+        assert!(a.resumes.trials() > 50, "workload actually exercised VCR");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = config();
+        let a = run_harness(&cfg, 7);
+        let b = run_harness(&cfg, 8);
+        assert_ne!(a, b);
+    }
+}

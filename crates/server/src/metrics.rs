@@ -1,25 +1,21 @@
 //! Server-wide counters.
 
-use vod_workload::{Ratio, TimeWeighted};
+use vod_runtime::RuntimeMetrics;
+use vod_workload::TimeWeighted;
 
-/// Aggregated server metrics.
+/// Aggregated server metrics: the shared mechanism-level vocabulary
+/// ([`RuntimeMetrics`] — identical in meaning to the simulator's) plus
+/// counters only a byte-exact data path can produce.
 #[derive(Debug)]
 pub struct ServerMetrics {
-    /// Segments served from buffer partitions.
-    pub buffer_segments: u64,
-    /// Segments served from dedicated disk streams.
-    pub disk_segments: u64,
+    /// Shared mechanism counters (resume classifications, denials,
+    /// starvation, service minutes). The occupancy fields
+    /// (`dedicated_avg`/`dedicated_peak`) are filled by
+    /// [`crate::VodServer::runtime_metrics`], which snapshots the live
+    /// reserve; they stay 0 here.
+    pub runtime: RuntimeMetrics,
     /// Byte-verification failures (must stay 0).
     pub verify_failures: u64,
-    /// VCR resume outcomes.
-    pub resume_hits: Ratio,
-    /// VCR requests denied for lack of a free disk stream.
-    pub vcr_denied: u64,
-    /// Scheduled restarts that could not acquire a disk stream (a
-    /// correctly sized server never sees one).
-    pub restart_failures: u64,
-    /// Dedicated streams in use over time.
-    pub dedicated: TimeWeighted,
     /// Playback (scheduled restart) streams in use over time.
     pub playback: TimeWeighted,
     /// Sessions completed.
@@ -33,13 +29,8 @@ pub struct ServerMetrics {
 impl ServerMetrics {
     pub(crate) fn new() -> Self {
         Self {
-            buffer_segments: 0,
-            disk_segments: 0,
+            runtime: RuntimeMetrics::new(),
             verify_failures: 0,
-            resume_hits: Ratio::new(),
-            vcr_denied: 0,
-            restart_failures: 0,
-            dedicated: TimeWeighted::new(0.0, 0.0),
             playback: TimeWeighted::new(0.0, 0.0),
             sessions_done: 0,
             sessions_closed_early: 0,
@@ -49,11 +40,6 @@ impl ServerMetrics {
 
     /// Fraction of all delivered segments served from memory.
     pub fn buffer_service_fraction(&self) -> f64 {
-        let total = self.buffer_segments + self.disk_segments;
-        if total == 0 {
-            0.0
-        } else {
-            self.buffer_segments as f64 / total as f64
-        }
+        self.runtime.buffer_service_fraction()
     }
 }

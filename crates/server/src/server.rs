@@ -3,9 +3,9 @@
 //!
 //! Time advances in integer minutes via [`VodServer::tick`]; one tick
 //! displays one segment at normal playback rate. Restart intervals are
-//! quantized to whole minutes (the analytic model and `vod-sim` cover the
-//! continuous-time behavior; this crate's job is a byte-exact data path
-//! with honest resource accounting).
+//! quantized to whole minutes by [`QuantizedGeometry`] (the analytic
+//! model and `vod-sim` cover the continuous-time behavior; this crate's
+//! job is a byte-exact data path with honest resource accounting).
 //!
 //! Semantics per tick `t` (then the clock becomes `t + 1`):
 //! 1. retire streams that finished displaying and whose partitions have
@@ -21,7 +21,8 @@
 
 use std::collections::HashMap;
 
-use vod_workload::VcrKind;
+use vod_runtime::{QuantizedGeometry, ResumeClass, RuntimeMetrics, StreamReserve};
+use vod_workload::{TimeWeighted, VcrKind};
 
 use crate::buffer::{BufferPool, Partition};
 use crate::content::{verify_segment, MovieId};
@@ -30,19 +31,15 @@ use crate::metrics::ServerMetrics;
 use crate::session::{DeliveryStats, SessionId, SessionState, SessionStatus, StreamId};
 use crate::{BufferError, DiskError};
 
-/// One movie hosted under static partitioning.
+/// One movie hosted under static partitioning: identity plus the
+/// quantized `(T, b)` schedule derived in `vod-runtime`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HostedMovie {
     /// Movie identity.
     pub movie: MovieId,
-    /// Length in minutes (== segments).
-    pub length: u32,
-    /// Restart interval `T` in minutes (quantized `l/n`).
-    pub restart_interval: u32,
-    /// Partition window `b` in segments (quantized `B/n`), at least 1 —
-    /// the final segment doubles as the paper's `δ` hand-off reserve for
-    /// batched viewers.
-    pub partition_capacity: u32,
+    /// Quantized restart/window geometry (single source of the rounding
+    /// rule: [`QuantizedGeometry::from_allocation`]).
+    pub geometry: QuantizedGeometry,
 }
 
 impl HostedMovie {
@@ -53,27 +50,21 @@ impl HostedMovie {
         n_streams: u32,
         buffer_minutes: f64,
     ) -> Self {
-        assert!(n_streams >= 1, "need at least one stream");
-        assert!(length >= 1, "empty movie");
-        let t = ((length as f64 / n_streams as f64).round() as u32).clamp(1, length);
-        let b = ((buffer_minutes / n_streams as f64).round() as u32).clamp(1, t);
         Self {
             movie,
-            length,
-            restart_interval: t,
-            partition_capacity: b,
+            geometry: QuantizedGeometry::from_allocation(length, n_streams, buffer_minutes),
         }
     }
 
     /// Maximum batching wait in minutes: `w = T − b`.
     pub fn max_wait(&self) -> u32 {
-        self.restart_interval - self.partition_capacity
+        self.geometry.max_wait()
     }
 
     /// Upper bound on simultaneously live streams (including partitions
     /// lingering for trailing readers).
     pub fn max_live_streams(&self) -> u32 {
-        (self.length + self.partition_capacity) / self.restart_interval + 2
+        self.geometry.max_live_streams()
     }
 }
 
@@ -111,7 +102,7 @@ impl ServerConfig {
         let disk: u32 = movies.iter().map(|m| m.max_live_streams()).sum::<u32>() + vcr_reserve;
         let buffer: usize = movies
             .iter()
-            .map(|m| (m.max_live_streams() * m.partition_capacity) as usize)
+            .map(|m| (m.max_live_streams() * m.geometry.partition_capacity) as usize)
             .sum();
         Self {
             disk_streams: disk,
@@ -201,13 +192,14 @@ pub struct VodServer {
     sessions: Vec<Option<Session>>,
     metrics: ServerMetrics,
     movie_index: HashMap<MovieId, usize>,
-    /// Disk streams the restart schedule may need at once; VCR service is
-    /// never allowed to eat into this headroom, so a correctly sized
-    /// server cannot miss a scheduled restart (the paper's separation of
-    /// pre-allocated playback resources from the VCR reserve).
-    playback_reserved: u32,
-    /// Playback leases currently held by scheduled streams.
-    playback_in_use: u32,
+    /// Dedicated-stream accountant for VCR service. Its capacity is the
+    /// disk streams left over once the restart schedule's worst case is
+    /// pre-allocated, so VCR service can never eat into the headroom a
+    /// scheduled restart needs (the paper's separation of pre-allocated
+    /// playback resources from the VCR reserve). This static cap is
+    /// equivalent to the dynamic check `available > reserved − in_use`
+    /// whenever the schedule stays within its pre-allocation.
+    reserve: StreamReserve,
 }
 
 impl VodServer {
@@ -216,7 +208,7 @@ impl VodServer {
         let mut disk = DiskSubsystem::new(config.disk_streams);
         let mut movie_index = HashMap::new();
         for (i, m) in config.movies.iter().enumerate() {
-            disk.register_movie(m.movie, m.length);
+            disk.register_movie(m.movie, m.geometry.length);
             movie_index.insert(m.movie, i);
         }
         let pool = BufferPool::new(config.buffer_budget);
@@ -226,6 +218,8 @@ impl VodServer {
             .map(|m| m.max_live_streams())
             .sum::<u32>()
             .min(config.disk_streams);
+        let reserve =
+            StreamReserve::with_capacity(config.disk_streams.saturating_sub(playback_reserved));
         Self {
             now: 0,
             config,
@@ -235,19 +229,32 @@ impl VodServer {
             sessions: Vec::new(),
             metrics: ServerMetrics::new(),
             movie_index,
-            playback_reserved,
-            playback_in_use: 0,
+            reserve,
         }
     }
 
-    /// Acquire a disk lease for VCR/dedicated service without dipping
-    /// into the headroom the restart schedule still needs.
-    fn acquire_vcr_lease(&mut self) -> Option<StreamLease> {
-        let headroom = self.playback_reserved.saturating_sub(self.playback_in_use);
-        if self.disk.available() <= headroom {
+    /// Acquire a disk lease for VCR/dedicated service out of the VCR
+    /// reserve. Counts the attempt; `None` means the reserve (or, never
+    /// in a provisioned server, the disk itself) is exhausted.
+    fn try_vcr_lease(&mut self) -> Option<StreamLease> {
+        let now = self.now as f64;
+        self.metrics.runtime.acquisition_attempts += 1;
+        if !self.reserve.try_acquire(now) {
             return None;
         }
-        self.disk.acquire().ok()
+        match self.disk.acquire() {
+            Ok(lease) => Some(lease),
+            Err(_) => {
+                self.reserve.release(now);
+                None
+            }
+        }
+    }
+
+    /// Release a dedicated lease back to disk and reserve.
+    fn release_vcr_lease(&mut self, lease: StreamLease) {
+        self.disk.release(lease);
+        self.reserve.release(self.now as f64);
     }
 
     /// Current virtual time in minutes.
@@ -258,6 +265,27 @@ impl VodServer {
     /// Server metrics so far.
     pub fn metrics(&self) -> &ServerMetrics {
         &self.metrics
+    }
+
+    /// Snapshot of the shared mechanism counters with the reserve's
+    /// occupancy statistics filled in — directly comparable (same fields,
+    /// same meanings) to a `vod-sim` report's runtime metrics.
+    pub fn runtime_metrics(&self) -> RuntimeMetrics {
+        let mut rt = self.metrics.runtime.clone();
+        rt.dedicated_avg = self.reserve.average(self.now as f64);
+        rt.dedicated_peak = self.reserve.peak();
+        rt
+    }
+
+    /// Reset all counters and re-baseline the occupancy statistics at the
+    /// current instant, so measurements exclude warm-up (the same
+    /// discipline as `vod-sim`'s warm-up window).
+    pub fn reset_metrics(&mut self) {
+        let now = self.now as f64;
+        let playing = self.metrics.playback.current();
+        self.metrics = ServerMetrics::new();
+        self.metrics.playback = TimeWeighted::new(now, playing);
+        self.reserve.rebaseline(now);
     }
 
     /// Disk subsystem state (for capacity assertions in tests).
@@ -277,7 +305,7 @@ impl VodServer {
             .movie_index
             .get(&movie)
             .ok_or(ServerError::UnknownMovie(movie))?;
-        let hosted = self.config.movies[movie_idx];
+        let geometry = self.config.movies[movie_idx].geometry;
         // A stream whose window will cover position 0 when this session
         // first consumes (the enrollment window of the paper's Figure 1).
         let join = self.joinable_stream(movie_idx, 0);
@@ -296,7 +324,7 @@ impl VodServer {
                 // `now` has not started yet (ticks process start-of-minute
                 // events), so `start_at == now` is valid and the session
                 // enrolls during the coming tick.
-                let t = hosted.restart_interval as u64;
+                let t = geometry.restart_interval as u64;
                 SessionState::Waiting {
                     start_at: self.now.div_ceil(t) * t,
                 }
@@ -322,41 +350,44 @@ impl VodServer {
         kind: VcrKind,
         magnitude: u32,
     ) -> Result<(), ServerError> {
-        let sess = self
-            .sessions
-            .get_mut(id.0)
-            .and_then(Option::as_mut)
-            .ok_or(ServerError::UnknownSession(id))?;
-        match sess.state {
-            SessionState::Enrolled { .. } | SessionState::Dedicated => {}
-            _ => return Err(ServerError::InvalidState { operation: "vcr" }),
+        let (movie_idx, position, has_lease, state_ok) = {
+            let sess = self
+                .sessions
+                .get(id.0)
+                .and_then(Option::as_ref)
+                .ok_or(ServerError::UnknownSession(id))?;
+            let ok = matches!(
+                sess.state,
+                SessionState::Enrolled { .. } | SessionState::Dedicated
+            );
+            (sess.movie_idx, sess.position, sess.lease.is_some(), ok)
+        };
+        if !state_ok {
+            return Err(ServerError::InvalidState { operation: "vcr" });
         }
         // FF/RW with viewing need a dedicated stream for phase 1.
         let needs_lease = matches!(kind, VcrKind::FastForward | VcrKind::Rewind);
-        if needs_lease && sess.lease.is_none() {
-            // Re-borrow pattern: the guarded acquisition needs &mut self.
-            let id_ok = {
-                let headroom = self.playback_reserved.saturating_sub(self.playback_in_use);
-                self.disk.available() > headroom
-            };
-            if !id_ok {
-                self.metrics.vcr_denied += 1;
-                return Err(ServerError::VcrDenied);
-            }
-            match self.disk.acquire() {
-                Ok(lease) => sess.lease = Some(lease),
-                Err(_) => {
-                    self.metrics.vcr_denied += 1;
+        let new_lease = if needs_lease && !has_lease {
+            match self.try_vcr_lease() {
+                Some(lease) => Some(lease),
+                None => {
+                    self.metrics.runtime.vcr_denied += 1;
                     return Err(ServerError::VcrDenied);
                 }
             }
-            self.metrics.dedicated.add(self.now as f64, 1.0);
+        } else {
+            None
+        };
+        let length = self.config.movies[movie_idx].geometry.length;
+        let sess = self.sessions[id.0].as_mut().expect("checked above");
+        if let Some(lease) = new_lease {
+            sess.lease = Some(lease);
         }
         // A paused viewer consumes nothing: release any dedicated stream.
         if matches!(kind, VcrKind::Pause) {
             if let Some(lease) = sess.lease.take() {
                 self.disk.release(lease);
-                self.metrics.dedicated.add(self.now as f64, -1.0);
+                self.reserve.release(self.now as f64);
             }
         }
         // Leave the partition, if enrolled.
@@ -365,13 +396,11 @@ impl VodServer {
                 s.enrolled -= 1;
             }
         }
-        let remaining = match kind {
-            VcrKind::FastForward => {
-                magnitude.min(self.config.movies[sess.movie_idx].length - sess.position)
-            }
-            VcrKind::Rewind => magnitude.min(sess.position),
-            VcrKind::Pause => magnitude,
-        };
+        if matches!(kind, VcrKind::Rewind) && magnitude >= position {
+            self.metrics.runtime.rw_truncated += 1;
+        }
+        let remaining = vod_runtime::truncate_sweep(kind, magnitude, position, length);
+        let sess = self.sessions[id.0].as_mut().expect("checked above");
         sess.state = SessionState::VcrActive { kind, remaining };
         Ok(())
     }
@@ -407,8 +436,7 @@ impl VodServer {
                 .lease
                 .take();
             if let Some(lease) = lease {
-                self.disk.release(lease);
-                self.metrics.dedicated.add(self.now as f64, -1.0);
+                self.release_vcr_lease(lease);
             }
             self.sessions[idx].as_mut().expect("checked above").state = SessionState::Done;
             self.metrics.sessions_closed_early += 1;
@@ -473,14 +501,13 @@ impl VodServer {
         for slot in &mut self.streams {
             let retire = match slot {
                 Some(s) => {
-                    let hosted = self.config.movies[s.movie_idx];
+                    let geometry = self.config.movies[s.movie_idx].geometry;
                     let age = self.now - s.started;
                     // Release the disk lease as soon as displaying ends.
-                    if age >= hosted.length as u64 {
+                    if age >= geometry.length as u64 {
                         if let Some(lease) = s.lease.take() {
                             self.disk.release(lease);
                             self.metrics.playback.add(self.now as f64, -1.0);
-                            self.playback_in_use -= 1;
                         }
                         // Keep the frozen partition until its trailing
                         // readers finish.
@@ -501,32 +528,32 @@ impl VodServer {
     fn start_due_streams(&mut self, t: u64) {
         for movie_idx in 0..self.config.movies.len() {
             let hosted = self.config.movies[movie_idx];
-            if !t.is_multiple_of(hosted.restart_interval as u64) {
+            let geometry = hosted.geometry;
+            if !t.is_multiple_of(geometry.restart_interval as u64) {
                 continue;
             }
             let lease = match self.disk.acquire() {
                 Ok(l) => l,
                 Err(_) => {
-                    self.metrics.restart_failures += 1;
+                    self.metrics.runtime.restart_failures += 1;
                     continue;
                 }
             };
             if self
                 .pool
-                .reserve(hosted.partition_capacity as usize)
+                .reserve(geometry.partition_capacity as usize)
                 .is_err()
             {
                 self.disk.release(lease);
-                self.metrics.restart_failures += 1;
+                self.metrics.runtime.restart_failures += 1;
                 continue;
             }
             self.metrics.playback.add(t as f64, 1.0);
-            self.playback_in_use += 1;
             let stream = ActiveStream {
                 movie_idx,
                 started: t,
                 lease: Some(lease),
-                partition: Partition::new(hosted.movie, hosted.partition_capacity as usize),
+                partition: Partition::new(hosted.movie, geometry.partition_capacity as usize),
                 enrolled: 0,
             };
             if let Some(free) = self.streams.iter_mut().find(|s| s.is_none()) {
@@ -542,7 +569,7 @@ impl VodServer {
             let Some(s) = slot else { continue };
             let hosted = self.config.movies[s.movie_idx];
             let age = t - s.started;
-            if age >= hosted.length as u64 {
+            if age >= hosted.geometry.length as u64 {
                 continue;
             }
             let lease = s.lease.as_ref().expect("playing stream holds a lease");
@@ -623,7 +650,7 @@ impl VodServer {
             };
             (stream.0, sess.position, sess.movie_idx)
         };
-        let hosted = self.config.movies[movie_idx];
+        let length = self.config.movies[movie_idx].geometry.length;
         let verified = {
             let stream = self.streams[stream_idx]
                 .as_ref()
@@ -644,9 +671,9 @@ impl VodServer {
             sess.stats.verify_failures += 1;
             self.metrics.verify_failures += 1;
         }
-        self.metrics.buffer_segments += 1;
+        self.metrics.runtime.buffer_minutes += 1.0;
         sess.position += 1;
-        if sess.position >= hosted.length {
+        if sess.position >= length {
             self.finish_session(t, idx);
         }
     }
@@ -654,9 +681,9 @@ impl VodServer {
     /// Consume via the session's dedicated lease; piggyback toward the
     /// preceding partition when enabled.
     fn consume_dedicated(&mut self, t: u64, idx: usize) {
-        let hosted = {
+        let length = {
             let sess = self.sessions[idx].as_ref().expect("live session");
-            self.config.movies[sess.movie_idx]
+            self.config.movies[sess.movie_idx].geometry.length
         };
         self.read_via_lease(idx);
         // Optional piggyback catch-up segment.
@@ -665,7 +692,7 @@ impl VodServer {
                 let sess = self.sessions[idx].as_mut().expect("live session");
                 sess.piggyback_phase += 1;
                 sess.piggyback_phase >= pb.catchup_period
-                    && sess.position < hosted.length
+                    && sess.position < length
                     && matches!(sess.state, SessionState::Dedicated)
             };
             if due {
@@ -678,18 +705,22 @@ impl VodServer {
             let sess = self.sessions[idx].as_ref().expect("live session");
             (sess.movie_idx, sess.position)
         };
-        if position >= hosted.length {
+        if position >= length {
             self.finish_session(t, idx);
             return;
         }
         // Merge back if a window now covers us (piggyback payoff).
         if let Some(stream_idx) = self.joinable_stream(movie_idx, position) {
-            let sess = self.sessions[idx].as_mut().expect("live session");
-            if let Some(lease) = sess.lease.take() {
-                self.disk.release(lease);
-                self.metrics.dedicated.add(t as f64, -1.0);
+            let lease = self.sessions[idx]
+                .as_mut()
+                .expect("live session")
+                .lease
+                .take();
+            if let Some(lease) = lease {
+                self.release_vcr_lease(lease);
                 self.metrics.piggyback_merges += 1;
             }
+            let sess = self.sessions[idx].as_mut().expect("live session");
             sess.state = SessionState::Enrolled {
                 stream: StreamId(stream_idx),
             };
@@ -723,14 +754,14 @@ impl VodServer {
             sess.stats.verify_failures += 1;
             self.metrics.verify_failures += 1;
         }
-        self.metrics.disk_segments += 1;
+        self.metrics.runtime.disk_minutes += 1.0;
         sess.position += 1;
     }
 
     fn sweep_forward(&mut self, t: u64, idx: usize) {
-        let hosted = {
+        let length = {
             let sess = self.sessions[idx].as_ref().expect("live session");
-            self.config.movies[sess.movie_idx]
+            self.config.movies[sess.movie_idx].geometry.length
         };
         let steps = {
             let sess = self.sessions[idx].as_mut().expect("live session");
@@ -745,13 +776,19 @@ impl VodServer {
             self.read_via_lease(idx);
         }
         let sess = self.sessions[idx].as_mut().expect("live session");
-        if sess.position >= hosted.length {
+        if sess.position >= length {
             // FF ran to the end: the viewing is over (the model's P(end)).
+            // Counted as a hit, matching the simulator's default
+            // `count_ff_end_as_hit` convention.
+            self.metrics.runtime.ff_end += 1;
+            self.metrics
+                .runtime
+                .record_resume(VcrKind::FastForward, true);
             self.finish_session(t, idx);
             return;
         }
         if matches!(sess.state, SessionState::VcrActive { remaining: 0, .. }) {
-            self.resume(t, idx, true);
+            self.resume(t, idx, true, VcrKind::FastForward);
         }
     }
 
@@ -787,14 +824,14 @@ impl VodServer {
                 sess.stats.verify_failures += 1;
                 self.metrics.verify_failures += 1;
             }
-            self.metrics.disk_segments += 1;
+            self.metrics.runtime.disk_minutes += 1.0;
             sess.position -= 1;
         }
         let sess = self.sessions[idx].as_mut().expect("live session");
         let done = matches!(sess.state, SessionState::VcrActive { remaining: 0, .. })
             || sess.position == 0;
         if done {
-            self.resume(t, idx, true);
+            self.resume(t, idx, true, VcrKind::Rewind);
         }
     }
 
@@ -814,24 +851,32 @@ impl VodServer {
             }
         };
         if resume_now {
-            self.resume(t, idx, false);
+            self.resume(t, idx, false, VcrKind::Pause);
         }
     }
 
     /// Resume to normal playback: join a covering partition (hit) or fall
-    /// back to a dedicated stream (miss).
-    fn resume(&mut self, t: u64, idx: usize, holds_lease: bool) {
+    /// back to a dedicated stream (miss). The classification itself —
+    /// covered ⇒ hit — is [`ResumeClass::classify`], shared with the
+    /// simulator; the window probe is the live-stream join rule.
+    fn resume(&mut self, _t: u64, idx: usize, holds_lease: bool, kind: VcrKind) {
         let (movie_idx, position) = {
             let sess = self.sessions[idx].as_ref().expect("live session");
             (sess.movie_idx, sess.position)
         };
-        if let Some(stream_idx) = self.joinable_stream(movie_idx, position) {
-            self.metrics.resume_hits.push(true);
-            let sess = self.sessions[idx].as_mut().expect("live session");
-            if let Some(lease) = sess.lease.take() {
-                self.disk.release(lease);
-                self.metrics.dedicated.add(t as f64, -1.0);
+        let joinable = self.joinable_stream(movie_idx, position);
+        let class = ResumeClass::classify(joinable.is_some());
+        self.metrics.runtime.record_resume(kind, class.is_hit());
+        if let Some(stream_idx) = joinable {
+            let lease = self.sessions[idx]
+                .as_mut()
+                .expect("live session")
+                .lease
+                .take();
+            if let Some(lease) = lease {
+                self.release_vcr_lease(lease);
             }
+            let sess = self.sessions[idx].as_mut().expect("live session");
             sess.state = SessionState::Enrolled {
                 stream: StreamId(stream_idx),
             };
@@ -842,7 +887,6 @@ impl VodServer {
             return;
         }
         // Miss: continue on a dedicated stream.
-        self.metrics.resume_hits.push(false);
         if holds_lease {
             let sess = self.sessions[idx].as_mut().expect("live session");
             debug_assert!(sess.lease.is_some());
@@ -851,17 +895,18 @@ impl VodServer {
             return;
         }
         // Paused viewer resuming on a miss must acquire a stream now; if
-        // none is free it stays paused and retries next tick.
-        match self.acquire_vcr_lease().ok_or(()) {
-            Ok(lease) => {
+        // none is free the resume is starved: the session stays paused and
+        // retries next tick (recovery policy — the simulator instead drops
+        // the viewer; the *event* counted is the same).
+        match self.try_vcr_lease() {
+            Some(lease) => {
                 let sess = self.sessions[idx].as_mut().expect("live session");
                 sess.lease = Some(lease);
                 sess.state = SessionState::Dedicated;
                 sess.piggyback_phase = 0;
-                self.metrics.dedicated.add(t as f64, 1.0);
             }
-            Err(_) => {
-                self.metrics.vcr_denied += 1;
+            None => {
+                self.metrics.runtime.resume_starved += 1;
                 let sess = self.sessions[idx].as_mut().expect("live session");
                 sess.state = SessionState::VcrActive {
                     kind: VcrKind::Pause,
@@ -871,56 +916,36 @@ impl VodServer {
         }
     }
 
-    /// Any live stream of `movie_idx` a session at `position` can join.
-    ///
-    /// Joining means the session consumes `position` *after the stream's
-    /// next advance*, so membership is checked against the window one
-    /// advance ahead: a still-displaying stream's window shifts forward by
-    /// one (possibly evicting its tail); a finished stream's window is
-    /// frozen. Checking the current window instead would let a session
-    /// join exactly at the trailing edge and underrun one tick later.
+    /// Any live stream of `movie_idx` a session at `position` can join —
+    /// [`QuantizedGeometry::stream_join_covers`] applied to each live
+    /// partition's actual `(front, filled)` state.
     fn joinable_stream(&self, movie_idx: usize, position: u32) -> Option<usize> {
-        let hosted = self.config.movies[movie_idx];
+        let geometry = self.config.movies[movie_idx].geometry;
         self.streams
             .iter()
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
             .find(|(_, s)| {
-                if s.movie_idx != movie_idx {
-                    return false;
-                }
-                let (Some(tail), Some(front)) =
-                    (s.partition.tail_index(), s.partition.front_index())
-                else {
-                    return false;
-                };
-                let will_advance = front < hosted.length - 1;
-                if will_advance {
-                    let next_tail = if s.partition.len() == s.partition.capacity() {
-                        tail + 1
-                    } else {
-                        tail
-                    };
-                    (next_tail..=front + 1).contains(&position)
-                } else {
-                    (tail..=front).contains(&position)
-                }
+                s.movie_idx == movie_idx
+                    && s.partition.front_index().is_some_and(|front| {
+                        geometry.stream_join_covers(front, s.partition.len() as u32, position)
+                    })
             })
             .map(|(i, _)| i)
     }
 
-    fn finish_session(&mut self, t: u64, idx: usize) {
+    fn finish_session(&mut self, _t: u64, idx: usize) {
         let sess = self.sessions[idx].as_mut().expect("live session");
         if let SessionState::Enrolled { stream } = sess.state {
             if let Some(s) = self.streams[stream.0].as_mut() {
                 s.enrolled -= 1;
             }
         }
-        if let Some(lease) = sess.lease.take() {
-            self.disk.release(lease);
-            self.metrics.dedicated.add(t as f64, -1.0);
+        let lease = sess.lease.take();
+        if let Some(lease) = lease {
+            self.release_vcr_lease(lease);
         }
-        sess.state = SessionState::Done;
+        self.sessions[idx].as_mut().expect("live session").state = SessionState::Done;
         self.metrics.sessions_done += 1;
     }
 }

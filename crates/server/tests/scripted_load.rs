@@ -70,14 +70,14 @@ fn scripted_load_preserves_invariants() {
     let m = server.metrics();
     assert_eq!(m.verify_failures, 0, "data path must be byte-exact");
     assert_eq!(
-        m.restart_failures, 0,
+        m.runtime.restart_failures, 0,
         "headroom guard must protect restarts"
     );
     assert!(m.sessions_done > 300, "done: {}", m.sessions_done);
     assert!(
-        m.resume_hits.trials() > 100,
+        m.runtime.resumes.trials() > 100,
         "resumes: {}",
-        m.resume_hits.trials()
+        m.runtime.resumes.trials()
     );
     assert!(
         m.buffer_service_fraction() > 0.6,

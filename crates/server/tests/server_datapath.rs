@@ -10,8 +10,8 @@ use vod_workload::VcrKind;
 fn one_movie_server() -> VodServer {
     // l = 120, n = 10 → T = 12; B = 60 → b = 6, w = 6.
     let movie = HostedMovie::from_allocation(MovieId(0), 120, 10, 60.0);
-    assert_eq!(movie.restart_interval, 12);
-    assert_eq!(movie.partition_capacity, 6);
+    assert_eq!(movie.geometry.restart_interval, 12);
+    assert_eq!(movie.geometry.partition_capacity, 6);
     VodServer::new(ServerConfig::provisioned(vec![movie], 6))
 }
 
@@ -87,8 +87,8 @@ fn pause_short_enough_hits_next_partition() {
     server.run(13);
     assert_eq!(server.session_status(s).unwrap(), SessionStatus::Shared);
     let m = server.metrics();
-    assert_eq!(m.resume_hits.hits(), 1);
-    assert_eq!(m.resume_hits.trials(), 1);
+    assert_eq!(m.runtime.resumes.hits(), 1);
+    assert_eq!(m.runtime.resumes.trials(), 1);
     server.run(140);
     let stats = server.session_stats(s).unwrap();
     assert_eq!(stats.verify_failures, 0);
@@ -107,7 +107,7 @@ fn long_pause_misses_and_piggyback_merges_back() {
     server.run(10);
     let status = server.session_status(s).unwrap();
     assert_eq!(status, SessionStatus::Dedicated, "mid-gap resume must miss");
-    assert_eq!(server.metrics().resume_hits.hits(), 0);
+    assert_eq!(server.metrics().runtime.resumes.hits(), 0);
     // Piggyback at one catch-up segment per 20 ticks must eventually
     // merge the session back into a partition (gap ≤ 6 minutes to close).
     server.run(150);
@@ -163,7 +163,7 @@ fn vcr_denied_when_reserve_exhausted() {
         }
     }
     assert!(denied > 0, "with no reserve, some VCR must be denied");
-    assert_eq!(server.metrics().vcr_denied as usize, denied);
+    assert_eq!(server.metrics().runtime.vcr_denied as usize, denied);
 }
 
 #[test]
@@ -174,7 +174,7 @@ fn no_restart_failures_when_provisioned() {
         server.run(17);
     }
     server.run(500);
-    assert_eq!(server.metrics().restart_failures, 0);
+    assert_eq!(server.metrics().runtime.restart_failures, 0);
     assert_eq!(server.metrics().verify_failures, 0);
 }
 
@@ -209,7 +209,7 @@ fn disk_capacity_never_exceeded_under_random_load() {
     }
     assert_eq!(server.metrics().verify_failures, 0);
     // The server actually did work.
-    assert!(server.metrics().buffer_segments > 1000);
+    assert!(server.metrics().runtime.buffer_minutes > 1000.0);
 }
 
 #[test]
@@ -275,7 +275,7 @@ fn close_session_releases_resources() {
     // The server keeps running cleanly afterwards.
     server.run(200);
     assert_eq!(server.metrics().verify_failures, 0);
-    assert_eq!(server.metrics().restart_failures, 0);
+    assert_eq!(server.metrics().runtime.restart_failures, 0);
 }
 
 #[test]
@@ -288,7 +288,7 @@ fn close_enrolled_session_frees_partition_eventually() {
     // The stream it was enrolled in must retire on schedule (no stuck
     // enrolled-count), so long runs keep the pool bounded.
     server.run(400);
-    assert_eq!(server.metrics().restart_failures, 0);
+    assert_eq!(server.metrics().runtime.restart_failures, 0);
     assert!(server.buffer_pool().used() <= server.buffer_pool().budget());
     assert!(matches!(
         server.close_session(vod_server::SessionId(99)),

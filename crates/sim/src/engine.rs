@@ -11,20 +11,17 @@
 //! * viewer positions are whatever the dynamics produce — the model's
 //!   uniformity assumptions are not imposed.
 //!
-//! Because streams restart every `T = l/n` minutes forever, the partition
-//! pattern never needs explicit stream objects: position `p` is buffered
-//! at time `t` iff some integer `k ≥ 0` satisfies
-//! `t − kT ∈ [p, min(p + B/n, l)]` — an O(1) membership test.
-//!
-//! The engine natively simulates a *catalog* of movies sharing one
-//! dedicated-stream reserve (the coupling §5's multi-movie sizing
-//! creates); the single-movie entry points are thin wrappers.
+//! The mechanism semantics — window membership, VCR sweep rules, the
+//! dedicated reserve, the metric vocabulary — live in `vod-runtime`;
+//! this engine is a thin event-loop driver over them: it owns the clock,
+//! the heap, and the viewer population, never the rules.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use vod_dist::rng::{exponential, seeded, SeededRng};
-use vod_workload::{TimeWeighted, VcrKind, VcrTraceRecord, Welford};
+use vod_runtime::{plan_vcr, PartitionWindows, StreamReserve};
+use vod_workload::{VcrKind, VcrTraceRecord, Welford};
 
 use crate::{CatalogConfig, CatalogReport, SimConfig, SimReport};
 
@@ -97,7 +94,10 @@ struct Engine<'a> {
     heap: BinaryHeap<Ev>,
     seq: u64,
     viewers: Vec<Option<Viewer>>,
-    dedicated: TimeWeighted,
+    /// One window geometry per movie, in catalog order.
+    windows: Vec<PartitionWindows>,
+    /// The shared dedicated-stream reserve.
+    reserve: StreamReserve,
     warmed: bool,
     report: CatalogReport,
 }
@@ -110,7 +110,12 @@ impl<'a> Engine<'a> {
             heap: BinaryHeap::new(),
             seq: 0,
             viewers: Vec::new(),
-            dedicated: TimeWeighted::new(0.0, 0.0),
+            windows: cfg
+                .movies
+                .iter()
+                .map(|m| PartitionWindows::from_params(&m.params))
+                .collect(),
+            reserve: StreamReserve::new(cfg.dedicated_capacity),
             warmed: false,
             report: CatalogReport::with_movies(cfg.movies.len()),
         }
@@ -162,10 +167,8 @@ impl<'a> Engine<'a> {
                 EvKind::Finish { viewer } => self.on_finish(ev.time, viewer),
             }
         }
-        self.report.dedicated_avg = self
-            .dedicated
-            .average(horizon, if self.warmed { self.cfg.warmup } else { 0.0 });
-        self.report.dedicated_peak = self.dedicated.peak();
+        self.report.runtime.dedicated_avg = self.reserve.average(horizon);
+        self.report.runtime.dedicated_peak = self.reserve.peak();
         let measured = horizon - self.cfg.warmup;
         for m in &mut self.report.per_movie {
             m.measured_minutes = measured;
@@ -177,41 +180,12 @@ impl<'a> Engine<'a> {
     fn ensure_warm(&mut self, t: f64) {
         if !self.warmed && t >= self.cfg.warmup {
             self.warmed = true;
-            let current = self.dedicated.current();
-            self.dedicated = TimeWeighted::new(self.cfg.warmup, current);
+            self.reserve.rebaseline(self.cfg.warmup);
         }
     }
 
     fn measuring(&self) -> bool {
         self.warmed
-    }
-
-    // ---- partition geometry ------------------------------------------------
-
-    /// Is position `p` inside some live partition window of `movie` at
-    /// time `t`?
-    fn partition_hit(&self, movie: usize, t: f64, p: f64) -> bool {
-        let params = &self.cfg.movies[movie].params;
-        let b = params.partition_len();
-        if b <= 0.0 {
-            return false;
-        }
-        let l = params.movie_len();
-        let tt = params.restart_interval();
-        let hi_a = (p + b).min(l);
-        if hi_a < p {
-            return false;
-        }
-        // Need integer k ≥ 0 with stream age a = t − kT in [p, hi_a].
-        let k_min = ((t - hi_a) / tt - 1e-9).ceil().max(0.0);
-        let k_max = ((t - p) / tt + 1e-9).floor();
-        k_min <= k_max
-    }
-
-    /// Stream age of the most recent restart of `movie` at time `t`.
-    fn latest_age(&self, movie: usize, t: f64) -> f64 {
-        let tt = self.cfg.movies[movie].params.restart_interval();
-        t - (t / tt).floor() * tt
     }
 
     // ---- dedicated stream accounting ---------------------------------------
@@ -229,16 +203,13 @@ impl<'a> Engine<'a> {
             return true;
         }
         if self.measuring() {
-            self.report.acquisition_attempts += 1;
+            self.report.runtime.acquisition_attempts += 1;
         }
-        if let Some(cap) = self.cfg.dedicated_capacity {
-            if self.dedicated.current() >= cap as f64 - 0.5 {
-                return false;
-            }
+        if !self.reserve.try_acquire(t) {
+            return false;
         }
         let v = self.viewers[viewer].as_mut().expect("live viewer");
         v.holds_dedicated = true;
-        self.dedicated.add(t, 1.0);
         true
     }
 
@@ -246,7 +217,45 @@ impl<'a> Engine<'a> {
         let v = self.viewers[viewer].as_mut().expect("live viewer");
         if v.holds_dedicated {
             v.holds_dedicated = false;
-            self.dedicated.add(t, -1.0);
+            self.reserve.release(t);
+        }
+    }
+
+    // ---- measurement helpers -----------------------------------------------
+
+    /// Record one resume classification, per-movie and catalog-wide.
+    fn record_resume(&mut self, movie: usize, kind: VcrKind, hit: bool) {
+        self.report.runtime.record_resume(kind, hit);
+        self.report.per_movie[movie]
+            .runtime
+            .record_resume(kind, hit);
+    }
+
+    /// Account the playback interval `[t_base, now]` to buffer or disk
+    /// service, clipped to the measured window. Intervals still open at
+    /// the horizon are dropped (a bounded-horizon approximation; the
+    /// server counts delivered segments exactly).
+    fn account_playback(&mut self, movie: usize, t_base: f64, now: f64, dedicated: bool) {
+        let start = t_base.max(self.cfg.warmup);
+        if !self.warmed || now <= start {
+            return;
+        }
+        let minutes = now - start;
+        if dedicated {
+            self.report.runtime.disk_minutes += minutes;
+            self.report.per_movie[movie].runtime.disk_minutes += minutes;
+        } else {
+            self.report.runtime.buffer_minutes += minutes;
+            self.report.per_movie[movie].runtime.buffer_minutes += minutes;
+        }
+    }
+
+    /// Account a completed FF/RW sweep's display: `swept` movie-minutes
+    /// read through the dedicated stream.
+    fn account_sweep(&mut self, movie: usize, swept: f64) {
+        if self.measuring() && swept > 0.0 {
+            self.report.runtime.disk_minutes += swept;
+            self.report.per_movie[movie].runtime.disk_minutes += swept;
         }
     }
 
@@ -272,11 +281,8 @@ impl<'a> Engine<'a> {
             holds_dedicated: false,
         }));
 
-        let age = self.latest_age(movie, t);
-        let params = &self.cfg.movies[movie].params;
-        let b = params.partition_len();
-        let restart = params.restart_interval();
-        if age <= b + 1e-12 {
+        let windows = self.windows[movie];
+        if windows.enrollment_open(t) {
             // Type-2: the enrollment window is open; start immediately,
             // reading position 0 from the buffer partition.
             if self.measuring() {
@@ -287,7 +293,7 @@ impl<'a> Engine<'a> {
             self.begin_playback(t, id, 0.0);
         } else {
             // Type-1: queue for the next restart.
-            let start = t - age + restart;
+            let start = windows.next_restart_at(t);
             if self.measuring() {
                 let r = self.movie_report(movie);
                 r.type2_fraction.push(false);
@@ -321,33 +327,26 @@ impl<'a> Engine<'a> {
     }
 
     fn on_vcr(&mut self, t: f64, viewer: usize) {
-        let (movie, p) = {
+        let (movie, p, t_base, was_dedicated) = {
             let v = self.viewers[viewer].as_ref().expect("live viewer");
-            (v.movie, v.pos_base + (t - v.t_base))
+            (
+                v.movie,
+                v.pos_base + (t - v.t_base),
+                v.t_base,
+                v.holds_dedicated,
+            )
         };
+        // The playback interval ends here; bill it to its source.
+        self.account_playback(movie, t_base, t, was_dedicated);
         let spec = &self.cfg.movies[movie];
-        let l = spec.params.movie_len();
         let req = spec.behavior.sample_request(&mut self.rng);
-        let rates = spec.params.rates();
-        let (duration, end_pos, reached_end, truncated_start) = match req.kind {
-            VcrKind::FastForward => {
-                let sweep = req.magnitude.min(l - p);
-                (
-                    sweep / rates.fast_forward(),
-                    p + sweep,
-                    req.magnitude >= l - p,
-                    false,
-                )
-            }
-            VcrKind::Rewind => {
-                let sweep = req.magnitude.min(p);
-                (sweep / rates.rewind(), p - sweep, false, req.magnitude >= p)
-            }
-            // A pause consumes no display bandwidth; its duration is the
-            // pause length itself (converted by the playback rate so that
-            // duration distributions stay in movie-minute units).
-            VcrKind::Pause => (req.magnitude / rates.playback(), p, false, false),
-        };
+        let plan = plan_vcr(
+            req.kind,
+            req.magnitude,
+            p,
+            spec.params.movie_len(),
+            spec.params.rates(),
+        );
         // FF/RW with viewing consume a dedicated stream during phase 1;
         // a paused viewer consumes nothing until resume.
         if matches!(req.kind, VcrKind::FastForward | VcrKind::Rewind)
@@ -356,22 +355,22 @@ impl<'a> Engine<'a> {
             // Reserve exhausted: the request is denied and the viewer
             // stays in his batch (Erlang loss semantics).
             if self.measuring() {
-                self.report.vcr_denied += 1;
+                self.report.runtime.vcr_denied += 1;
             }
             self.begin_playback(t, viewer, p);
             return;
         }
         self.push(
-            t + duration,
+            t + plan.duration,
             EvKind::VcrEnd {
                 viewer,
                 kind: req.kind,
                 magnitude: req.magnitude,
                 issued_at: t,
                 issued_pos: p,
-                end_pos,
-                reached_end,
-                truncated_start,
+                end_pos: plan.end_pos,
+                reached_end: plan.reached_end,
+                truncated_start: plan.truncated_start,
             },
         );
     }
@@ -390,17 +389,17 @@ impl<'a> Engine<'a> {
         truncated_start: bool,
     ) {
         let movie = self.viewers[viewer].as_ref().expect("live viewer").movie;
+        self.account_sweep(movie, (end_pos - issued_pos).abs());
         if reached_end {
             // FF ran to the end: the viewing is over and phase-1 resources
             // are released (the model's P(end) path).
             self.release_dedicated(t, viewer);
             if self.measuring() {
                 let hit = self.cfg.count_ff_end_as_hit;
-                let r = self.movie_report(movie);
-                r.ff_end_count += 1;
-                r.overall.push(hit);
-                r.hit_ratio_mut(kind).push(hit);
-                r.viewers_completed += 1;
+                self.report.runtime.ff_end += 1;
+                self.movie_report(movie).runtime.ff_end += 1;
+                self.record_resume(movie, kind, hit);
+                self.movie_report(movie).viewers_completed += 1;
                 self.record_trace(movie, issued_at, issued_pos, kind, magnitude, hit);
             }
             self.viewers[viewer] = None;
@@ -411,9 +410,10 @@ impl<'a> Engine<'a> {
         // live window — including position 0 after a truncated rewind,
         // where the latest stream's enrollment window may still be open
         // (the model counts those as misses; see §4 of the paper).
-        let hit = self.partition_hit(movie, t, end_pos);
+        let hit = self.windows[movie].classify_resume(t, end_pos).is_hit();
         if truncated_start && self.measuring() {
-            self.movie_report(movie).rw_start_count += 1;
+            self.report.runtime.rw_truncated += 1;
+            self.movie_report(movie).runtime.rw_truncated += 1;
         }
         if hit {
             self.release_dedicated(t, viewer);
@@ -421,26 +421,26 @@ impl<'a> Engine<'a> {
             // A missed pause-resume with no free stream: the viewer is
             // cleared from the system (blocked customers cleared).
             if self.measuring() {
-                let r = self.movie_report(movie);
-                r.overall.push(false);
-                r.hit_ratio_mut(kind).push(false);
-                self.report.abandoned += 1;
+                self.record_resume(movie, kind, false);
+                self.report.runtime.resume_starved += 1;
                 self.record_trace(movie, issued_at, issued_pos, kind, magnitude, false);
             }
             self.viewers[viewer] = None;
             return;
         }
         if self.measuring() {
-            let r = self.movie_report(movie);
-            r.overall.push(hit);
-            r.hit_ratio_mut(kind).push(hit);
+            self.record_resume(movie, kind, hit);
             self.record_trace(movie, issued_at, issued_pos, kind, magnitude, hit);
         }
         self.begin_playback(t, viewer, end_pos);
     }
 
     fn on_finish(&mut self, t: f64, viewer: usize) {
-        let movie = self.viewers[viewer].as_ref().expect("live viewer").movie;
+        let (movie, t_base, was_dedicated) = {
+            let v = self.viewers[viewer].as_ref().expect("live viewer");
+            (v.movie, v.t_base, v.holds_dedicated)
+        };
+        self.account_playback(movie, t_base, t, was_dedicated);
         self.release_dedicated(t, viewer);
         if self.measuring() {
             self.movie_report(movie).viewers_completed += 1;
@@ -485,11 +485,9 @@ pub fn run_seeded(cfg: &SimConfig, seed: u64) -> SimReport {
     let catalog: CatalogConfig = cfg.clone().into();
     let mut report = run_catalog_seeded(&catalog, seed);
     let mut movie = report.per_movie.pop().expect("one movie");
-    movie.dedicated_avg = report.dedicated_avg;
-    movie.dedicated_peak = report.dedicated_peak;
-    movie.acquisition_attempts = report.acquisition_attempts;
-    movie.vcr_denied = report.vcr_denied;
-    movie.abandoned = report.abandoned;
+    // With one movie the catalog-wide aggregate *is* the movie's view,
+    // and it additionally carries the shared-reserve counters.
+    movie.runtime = report.runtime;
     movie
 }
 
@@ -513,9 +511,9 @@ pub fn hit_ratio_over_replications(cfg: &SimConfig, base_seed: u64, replications
     run_replications(cfg, base_seed, replications).overall
 }
 
-/// Expose the O(1) membership test for property tests.
+/// Expose the O(1) membership test for property tests (the semantics
+/// live in [`vod_runtime::PartitionWindows`]).
 #[doc(hidden)]
 pub fn partition_hit_for_tests(cfg: &SimConfig, t: f64, p: f64) -> bool {
-    let catalog: CatalogConfig = cfg.clone().into();
-    Engine::new(&catalog, 0).partition_hit(0, t, p)
+    PartitionWindows::from_params(&cfg.params).covers(t, p)
 }

@@ -21,8 +21,12 @@
 //!     Arc::new(Gamma::paper_fig7()),
 //! );
 //! let report = run_seeded(&SimConfig::new(params, behavior), 42);
-//! println!("simulated P(hit) = {:.3}", report.overall.value());
+//! println!("simulated P(hit) = {:.3}", report.runtime.hit_ratio());
 //! ```
+//!
+//! The mechanism semantics (window membership, VCR sweep rules, reserve
+//! accounting, metric vocabulary) live in `vod-runtime`; this crate is
+//! the event-driven driver over them.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

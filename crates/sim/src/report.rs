@@ -1,24 +1,19 @@
 //! Simulation output.
 
+use vod_runtime::{kind_index, RuntimeMetrics};
 use vod_workload::{Ratio, VcrKind, VcrTraceRecord, Welford};
 
 /// Everything one simulation run measured (after warm-up).
+///
+/// The mechanism-level counters live in [`RuntimeMetrics`] — the same
+/// vocabulary `vod-server` reports — so a simulator run and a server run
+/// of the same configuration can be diffed field by field. Simulation-
+/// specific observables (waits, arrival counts, traces) sit alongside.
 #[derive(Debug, Clone, Default)]
 pub struct SimReport {
-    /// Hit ratio across all VCR resumes.
-    pub overall: Ratio,
-    /// Hit ratio per VCR type, indexed as `[FF, RW, PAU]`.
-    pub per_kind: [Ratio; 3],
-    /// Fast-forwards that ran off the end of the movie (released via the
-    /// model's `P(end)` path).
-    pub ff_end_count: u64,
-    /// Rewinds truncated at the movie start.
-    pub rw_start_count: u64,
-    /// Time-averaged number of dedicated I/O streams in use (phase-1 VCR
-    /// service plus post-miss holds).
-    pub dedicated_avg: f64,
-    /// Peak dedicated streams in use.
-    pub dedicated_peak: f64,
+    /// Shared mechanism counters (resume classifications, denials,
+    /// starvation, service minutes, reserve occupancy).
+    pub runtime: RuntimeMetrics,
     /// Viewers that finished the movie during the measured window.
     pub viewers_completed: u64,
     /// Viewers that arrived during the measured window.
@@ -28,12 +23,6 @@ pub struct SimReport {
     /// Fraction of arrivals that found the enrollment window open (type-2
     /// viewers).
     pub type2_fraction: Ratio,
-    /// Dedicated-stream acquisition attempts (grants + denials).
-    pub acquisition_attempts: u64,
-    /// FF/RW requests denied because the reserve was exhausted.
-    pub vcr_denied: u64,
-    /// Paused viewers cleared because no stream was free at resume.
-    pub abandoned: u64,
     /// Per-operation trace (empty unless `collect_trace`).
     pub trace: Vec<VcrTraceRecord>,
     /// Simulated minutes measured (horizon − warmup).
@@ -43,40 +32,23 @@ pub struct SimReport {
 impl SimReport {
     /// Hit ratio for one VCR kind.
     pub fn hit_ratio(&self, kind: VcrKind) -> &Ratio {
-        &self.per_kind[kind_index(kind)]
-    }
-
-    /// Mutable access used by the engine.
-    pub(crate) fn hit_ratio_mut(&mut self, kind: VcrKind) -> &mut Ratio {
-        &mut self.per_kind[kind_index(kind)]
+        self.runtime.resume_ratio(kind)
     }
 }
 
-pub(crate) fn kind_index(kind: VcrKind) -> usize {
-    match kind {
-        VcrKind::FastForward => 0,
-        VcrKind::Rewind => 1,
-        VcrKind::Pause => 2,
-    }
-}
-
-/// Output of a catalog simulation: per-movie statistics plus the shared
-/// reserve's counters.
+/// Output of a catalog simulation: per-movie statistics plus the
+/// catalog-wide aggregate.
 #[derive(Debug, Clone, Default)]
 pub struct CatalogReport {
-    /// Per-movie reports, in catalog order (their dedicated/denial fields
-    /// are unused — the reserve is shared and reported here).
+    /// Per-movie reports, in catalog order. Their runtime metrics carry
+    /// the *per-movie* resume/sweep counters; the shared-reserve counters
+    /// (denials, starvation, acquisition attempts, occupancy) belong to
+    /// the catalog-wide [`CatalogReport::runtime`], because the reserve
+    /// is shared.
     pub per_movie: Vec<SimReport>,
-    /// Time-averaged dedicated streams in use across the catalog.
-    pub dedicated_avg: f64,
-    /// Peak dedicated streams in use.
-    pub dedicated_peak: f64,
-    /// Dedicated-stream acquisition attempts (grants + denials).
-    pub acquisition_attempts: u64,
-    /// FF/RW requests denied by the shared reserve.
-    pub vcr_denied: u64,
-    /// Paused viewers cleared for lack of a stream.
-    pub abandoned: u64,
+    /// Catalog-wide runtime metrics: resume classifications aggregated
+    /// over every movie, plus the shared reserve's counters.
+    pub runtime: RuntimeMetrics,
 }
 
 impl CatalogReport {
@@ -89,14 +61,7 @@ impl CatalogReport {
 
     /// Combined hit ratio across all movies.
     pub fn overall_hit_ratio(&self) -> f64 {
-        let (hits, trials) = self.per_movie.iter().fold((0u64, 0u64), |(h, t), m| {
-            (h + m.overall.hits(), t + m.overall.trials())
-        });
-        if trials == 0 {
-            0.0
-        } else {
-            hits as f64 / trials as f64
-        }
+        self.runtime.hit_ratio()
     }
 }
 
@@ -116,15 +81,15 @@ pub struct ReplicatedReport {
 impl ReplicatedReport {
     /// Fold one run into the aggregate.
     pub fn push(&mut self, run: &SimReport) {
-        self.overall.push(run.overall.value());
+        self.overall.push(run.runtime.hit_ratio());
         for k in VcrKind::ALL {
             let r = run.hit_ratio(k);
             if r.trials() > 0 {
                 self.per_kind[kind_index(k)].push(r.value());
             }
         }
-        self.dedicated_avg.push(run.dedicated_avg);
-        self.total_ops += run.overall.trials();
+        self.dedicated_avg.push(run.runtime.dedicated_avg);
+        self.total_ops += run.runtime.resumes.trials();
     }
 
     /// Mean hit ratio for one kind across replications.
@@ -141,11 +106,10 @@ mod tests {
     fn catalog_overall_ratio_combines_movies() {
         let mut cat = CatalogReport::with_movies(2);
         for _ in 0..3 {
-            cat.per_movie[0].overall.push(true);
+            cat.runtime.record_resume(VcrKind::Pause, true);
         }
-        cat.per_movie[0].overall.push(false);
-        for _ in 0..4 {
-            cat.per_movie[1].overall.push(false);
+        for _ in 0..5 {
+            cat.runtime.record_resume(VcrKind::Pause, false);
         }
         // 3 hits of 8 trials.
         assert!((cat.overall_hit_ratio() - 3.0 / 8.0).abs() < 1e-12);
@@ -156,11 +120,9 @@ mod tests {
     #[test]
     fn replicated_report_aggregates() {
         let mut run = SimReport::default();
-        run.overall.push(true);
-        run.overall.push(false);
-        run.hit_ratio_mut(VcrKind::FastForward).push(true);
-        run.hit_ratio_mut(VcrKind::FastForward).push(false);
-        run.dedicated_avg = 2.0;
+        run.runtime.record_resume(VcrKind::FastForward, true);
+        run.runtime.record_resume(VcrKind::FastForward, false);
+        run.runtime.dedicated_avg = 2.0;
         let mut agg = ReplicatedReport::default();
         agg.push(&run);
         agg.push(&run);
@@ -169,5 +131,6 @@ mod tests {
         assert!((agg.kind_mean(VcrKind::FastForward) - 0.5).abs() < 1e-12);
         // RW never observed: its Welford stays empty.
         assert_eq!(agg.per_kind[1].count(), 0);
+        assert!((agg.dedicated_avg.mean() - 2.0).abs() < 1e-12);
     }
 }

@@ -23,10 +23,10 @@ fn identical_seeds_identical_reports() {
     let cfg = config(60.0, 20, (0.2, 0.2, 0.6));
     let a = run_seeded(&cfg, 7);
     let b = run_seeded(&cfg, 7);
-    assert_eq!(a.overall.trials(), b.overall.trials());
-    assert_eq!(a.overall.hits(), b.overall.hits());
+    assert_eq!(a.runtime.resumes.trials(), b.runtime.resumes.trials());
+    assert_eq!(a.runtime.resumes.hits(), b.runtime.resumes.hits());
     assert_eq!(a.viewers_completed, b.viewers_completed);
-    assert!((a.dedicated_avg - b.dedicated_avg).abs() < 1e-12);
+    assert!((a.runtime.dedicated_avg - b.runtime.dedicated_avg).abs() < 1e-12);
 }
 
 #[test]
@@ -35,8 +35,8 @@ fn different_seeds_differ() {
     let a = run_seeded(&cfg, 1);
     let b = run_seeded(&cfg, 2);
     assert_ne!(
-        (a.overall.trials(), a.overall.hits()),
-        (b.overall.trials(), b.overall.hits())
+        (a.runtime.resumes.trials(), a.runtime.resumes.hits()),
+        (b.runtime.resumes.trials(), b.runtime.resumes.hits())
     );
 }
 
@@ -67,7 +67,7 @@ fn pure_batching_never_hits_rw_pau() {
     // FF can still "hit" by running off the end of the movie.
     assert_eq!(
         report.hit_ratio(VcrKind::FastForward).hits(),
-        report.ff_end_count
+        report.runtime.ff_end
     );
 }
 
@@ -126,14 +126,18 @@ fn partition_geometry_matches_window_arithmetic() {
 fn dedicated_streams_tracked() {
     let cfg = config(30.0, 10, (0.4, 0.4, 0.2));
     let report = run_seeded(&cfg, 11);
-    assert!(report.dedicated_avg > 0.0, "avg {}", report.dedicated_avg);
-    assert!(report.dedicated_peak >= report.dedicated_avg);
+    assert!(
+        report.runtime.dedicated_avg > 0.0,
+        "avg {}",
+        report.runtime.dedicated_avg
+    );
+    assert!(report.runtime.dedicated_peak >= report.runtime.dedicated_avg);
     // With ~60 concurrent viewers and sporadic VCR ops, dedicated use
     // must stay well below the viewer population.
     assert!(
-        report.dedicated_peak < 80.0,
+        report.runtime.dedicated_peak < 80.0,
         "peak {}",
-        report.dedicated_peak
+        report.runtime.dedicated_peak
     );
 }
 
@@ -235,7 +239,7 @@ fn trace_collection_works() {
     cfg.collect_trace = true;
     cfg.horizon = 10.0 * 120.0;
     let report = run_seeded(&cfg, 17);
-    assert_eq!(report.trace.len() as u64, report.overall.trials());
+    assert_eq!(report.trace.len() as u64, report.runtime.resumes.trials());
     for r in &report.trace {
         // Ops issued shortly before warmup can resume (and be recorded)
         // after it; only the resume instant is inside the window.

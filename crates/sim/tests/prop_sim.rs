@@ -42,17 +42,17 @@ proptest! {
     fn reports_are_internally_consistent(cfg in any_config(), seed in 0u64..500) {
         let r = run_seeded(&cfg, seed);
         // Ratios are probabilities.
-        prop_assert!((0.0..=1.0).contains(&r.overall.value()));
+        prop_assert!((0.0..=1.0).contains(&r.runtime.resumes.value()));
         // Per-kind trials sum to the overall count.
-        let per: u64 = r.per_kind.iter().map(|k| k.trials()).sum();
-        prop_assert_eq!(per, r.overall.trials());
-        let hits: u64 = r.per_kind.iter().map(|k| k.hits()).sum();
-        prop_assert_eq!(hits, r.overall.hits());
+        let per: u64 = r.runtime.resumes_by_kind.iter().map(|k| k.trials()).sum();
+        prop_assert_eq!(per, r.runtime.resumes.trials());
+        let hits: u64 = r.runtime.resumes_by_kind.iter().map(|k| k.hits()).sum();
+        prop_assert_eq!(hits, r.runtime.resumes.hits());
         // Waits bounded by w; type-2 viewers wait zero.
         prop_assert!(r.wait.mean() <= cfg.params.max_wait() + 1e-9);
         // Resource usage sane.
-        prop_assert!(r.dedicated_avg >= 0.0);
-        prop_assert!(r.dedicated_peak >= r.dedicated_avg - 1e-9);
+        prop_assert!(r.runtime.dedicated_avg >= 0.0);
+        prop_assert!(r.runtime.dedicated_peak >= r.runtime.dedicated_avg - 1e-9);
         // Population sanity: completions never exceed arrivals plus the
         // pre-warmup backlog. (A *tight* conservation bound is impossible
         // for arbitrary behavior: a mix dominated by long rewinds gives
@@ -73,9 +73,9 @@ proptest! {
     fn determinism(cfg in any_config(), seed in 0u64..500) {
         let a = run_seeded(&cfg, seed);
         let b = run_seeded(&cfg, seed);
-        prop_assert_eq!(a.overall.trials(), b.overall.trials());
-        prop_assert_eq!(a.overall.hits(), b.overall.hits());
-        prop_assert!((a.dedicated_avg - b.dedicated_avg).abs() < 1e-12);
+        prop_assert_eq!(a.runtime.resumes.trials(), b.runtime.resumes.trials());
+        prop_assert_eq!(a.runtime.resumes.hits(), b.runtime.resumes.hits());
+        prop_assert!((a.runtime.dedicated_avg - b.runtime.dedicated_avg).abs() < 1e-12);
     }
 
     #[test]

@@ -28,10 +28,10 @@ fn base_config() -> SimConfig {
 fn denial_rate_tracks_erlang_b() {
     // 1. Offered load from the uncapped system (carried == offered).
     let free = run_seeded(&base_config(), 77);
-    let offered = free.dedicated_avg;
+    let offered = free.runtime.dedicated_avg;
     assert!(offered > 3.0, "load too light to test blocking: {offered}");
-    assert_eq!(free.vcr_denied, 0);
-    assert_eq!(free.abandoned, 0);
+    assert_eq!(free.runtime.vcr_denied, 0);
+    assert_eq!(free.runtime.resume_starved, 0);
 
     // 2. Cap the reserve at/above the offered load — the regime a sized
     //    system operates in. Denials must appear and match Erlang-B
@@ -43,17 +43,17 @@ fn denial_rate_tracks_erlang_b() {
         let mut cfg = base_config();
         cfg.dedicated_capacity = Some(cap);
         let run = run_seeded(&cfg, 78);
-        let denials = run.vcr_denied + run.abandoned;
-        assert!(run.acquisition_attempts > 500, "too few attempts");
-        let measured = denials as f64 / run.acquisition_attempts as f64;
+        let denials = run.runtime.vcr_denied + run.runtime.resume_starved;
+        assert!(run.runtime.acquisition_attempts > 500, "too few attempts");
+        let measured = denials as f64 / run.runtime.acquisition_attempts as f64;
         let predicted = erlang_b(cap, offered);
         assert!(
             (measured - predicted).abs() < 0.06,
             "cap {cap} (offered {offered:.2}): measured {measured:.3} vs Erlang-B {predicted:.3}"
         );
         // Carried load cannot exceed the cap.
-        assert!(run.dedicated_avg <= cap as f64 + 1e-9);
-        assert!(run.dedicated_peak <= cap as f64 + 1e-9);
+        assert!(run.runtime.dedicated_avg <= cap as f64 + 1e-9);
+        assert!(run.runtime.dedicated_peak <= cap as f64 + 1e-9);
     }
 
     // 3. Deep overload (cap = 0.6·offered): denied viewers stay batched
@@ -64,7 +64,8 @@ fn denial_rate_tracks_erlang_b() {
     let mut cfg = base_config();
     cfg.dedicated_capacity = Some(cap);
     let run = run_seeded(&cfg, 78);
-    let measured = (run.vcr_denied + run.abandoned) as f64 / run.acquisition_attempts as f64;
+    let measured = (run.runtime.vcr_denied + run.runtime.resume_starved) as f64
+        / run.runtime.acquisition_attempts as f64;
     let predicted = erlang_b(cap, offered);
     assert!(
         measured >= predicted - 0.02 && measured < predicted + 0.3,
@@ -76,14 +77,14 @@ fn denial_rate_tracks_erlang_b() {
 fn generous_reserve_never_denies() {
     let mut cfg = base_config();
     let free = run_seeded(&cfg, 79);
-    cfg.dedicated_capacity = Some((free.dedicated_peak as u32) + 5);
+    cfg.dedicated_capacity = Some((free.runtime.dedicated_peak as u32) + 5);
     let run = run_seeded(&cfg, 79);
-    assert_eq!(run.vcr_denied, 0);
-    assert_eq!(run.abandoned, 0);
+    assert_eq!(run.runtime.vcr_denied, 0);
+    assert_eq!(run.runtime.resume_starved, 0);
     // Identical seed and effectively-uncapped reserve: statistics match
     // the free run exactly.
-    assert_eq!(run.overall.trials(), free.overall.trials());
-    assert_eq!(run.overall.hits(), free.overall.hits());
+    assert_eq!(run.runtime.resumes.trials(), free.runtime.resumes.trials());
+    assert_eq!(run.runtime.resumes.hits(), free.runtime.resumes.hits());
 }
 
 #[test]
@@ -93,7 +94,7 @@ fn tighter_reserve_more_denials() {
         let mut cfg = base_config();
         cfg.dedicated_capacity = Some(cap);
         let run = run_seeded(&cfg, 80);
-        let denials = run.vcr_denied + run.abandoned;
+        let denials = run.runtime.vcr_denied + run.runtime.resume_starved;
         assert!(
             denials <= prev,
             "cap {cap}: denials {denials} did not decrease (prev {prev})"

@@ -66,34 +66,36 @@ fn main() {
         server.tick();
     }
 
-    // 4. Report.
+    // 4. Report — the runtime snapshot uses the same metric vocabulary
+    // the simulator reports, so the two are directly comparable.
+    let rt = server.runtime_metrics();
     let m = server.metrics();
     println!("after {} simulated minutes:", server.now());
     println!("  sessions completed        : {}", m.sessions_done);
-    println!("  segments from buffer      : {}", m.buffer_segments);
-    println!("  segments from disk        : {}", m.disk_segments);
+    println!("  minutes from buffer       : {}", rt.buffer_minutes);
+    println!("  minutes from disk         : {}", rt.disk_minutes);
     println!(
         "  buffer service fraction   : {:.1}%",
-        100.0 * m.buffer_service_fraction()
+        100.0 * rt.buffer_service_fraction()
     );
     println!("  byte verification failures: {}", m.verify_failures);
     println!(
         "  VCR resume hit ratio      : {:.3} ({} of {})",
-        m.resume_hits.value(),
-        m.resume_hits.hits(),
-        m.resume_hits.trials()
+        rt.resumes.value(),
+        rt.resumes.hits(),
+        rt.resumes.trials()
     );
     println!("  piggyback merges          : {}", m.piggyback_merges);
-    println!("  VCR denials               : {}", m.vcr_denied);
-    println!("  restart failures          : {}", m.restart_failures);
+    println!("  VCR denials               : {}", rt.vcr_denied);
+    println!("  resume starvations        : {}", rt.resume_starved);
+    println!("  restart failures          : {}", rt.restart_failures);
     println!(
         "  avg dedicated streams     : {:.2} (peak {:.0})",
-        m.dedicated.average(server.now() as f64, 0.0),
-        m.dedicated.peak()
+        rt.dedicated_avg, rt.dedicated_peak
     );
     assert_eq!(m.verify_failures, 0, "data path must be byte-exact");
     assert_eq!(
-        m.restart_failures, 0,
+        rt.restart_failures, 0,
         "provisioning must cover the schedule"
     );
 }

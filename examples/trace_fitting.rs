@@ -72,7 +72,7 @@ fn main() {
     println!("P(hit) with the fitted law     : {with_fit:.4}");
     println!(
         "simulated hit ratio            : {:.4}",
-        report.overall.value()
+        report.runtime.resumes.value()
     );
     assert!(
         (with_true - with_fit).abs() < 0.02,

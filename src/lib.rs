@@ -14,6 +14,10 @@
 //! * [`server`] — a byte-exact virtual-time VOD server implementing
 //!   batching, static partitioned buffering, VCR service, and
 //!   piggybacking.
+//! * [`runtime`] — the shared mechanism semantics both drivers (`sim`
+//!   and `server`) are built on: partition-window membership, the
+//!   `(l, B, n) → (T, b)` quantization rule, resume classification,
+//!   stream-reserve accounting, and the common metric vocabulary.
 //! * [`dist`] — numerics and VCR-duration distributions.
 //! * [`workload`] — arrival processes, viewer behavior, traces,
 //!   statistics.
@@ -27,6 +31,7 @@ pub mod cli;
 
 pub use vod_dist as dist;
 pub use vod_model as model;
+pub use vod_runtime as runtime;
 pub use vod_server as server;
 pub use vod_sim as sim;
 pub use vod_sizing as sizing;

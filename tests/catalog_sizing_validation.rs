@@ -64,11 +64,11 @@ fn example1_catalog_sized_then_simulated() {
     let free = run_catalog_seeded(&cfg, 55);
     for (movie, (report, alloc)) in free.per_movie.iter().zip(&plan.allocations).enumerate() {
         assert!(
-            report.overall.trials() > 300,
+            report.runtime.resumes.trials() > 300,
             "movie {movie}: too few resumes ({})",
-            report.overall.trials()
+            report.runtime.resumes.trials()
         );
-        let sim = report.overall.value();
+        let sim = report.runtime.resumes.value();
         // The simulator's boundary behaviors bias RW/PAU upward, so the
         // plan's promise is a (noisy) lower bound.
         assert!(
@@ -81,7 +81,7 @@ fn example1_catalog_sized_then_simulated() {
 
     // 2. Size the shared reserve for ≤ 2% denials at the measured load
     //    and verify the capped run meets the target.
-    let offered = free.dedicated_avg;
+    let offered = free.runtime.dedicated_avg;
     assert!(offered > 0.5, "offered load {offered}");
     let mut cap = 1u32;
     while erlang_b(cap, offered) > 0.02 {
@@ -90,11 +90,11 @@ fn example1_catalog_sized_then_simulated() {
     let mut capped = cfg.clone();
     capped.dedicated_capacity = Some(cap);
     let run = run_catalog_seeded(&capped, 56);
-    let denial_rate =
-        (run.vcr_denied + run.abandoned) as f64 / run.acquisition_attempts.max(1) as f64;
+    let denial_rate = (run.runtime.vcr_denied + run.runtime.resume_starved) as f64
+        / run.runtime.acquisition_attempts.max(1) as f64;
     assert!(
         denial_rate <= 0.05,
         "reserve of {cap} streams (offered {offered:.2}) denied {denial_rate:.3}"
     );
-    assert!(run.dedicated_peak <= cap as f64 + 1e-9);
+    assert!(run.runtime.dedicated_peak <= cap as f64 + 1e-9);
 }

@@ -59,7 +59,7 @@ fn planned_catalog_serves_cleanly() {
     let m = server.metrics();
     assert_eq!(m.verify_failures, 0, "data path must be byte-exact");
     assert_eq!(
-        m.restart_failures, 0,
+        m.runtime.restart_failures, 0,
         "provisioning must cover the schedule"
     );
     assert!(
@@ -68,14 +68,14 @@ fn planned_catalog_serves_cleanly() {
         m.sessions_done
     );
     assert!(
-        m.resume_hits.trials() > 50,
+        m.runtime.resumes.trials() > 50,
         "VCR ops actually resumed: {}",
-        m.resume_hits.trials()
+        m.runtime.resumes.trials()
     );
     // The server quantizes to integer minutes and its piggyback merges
     // change the position distribution, so require only the neighborhood:
     // clearly better than pure batching (0) and consistent with P* ≈ 0.5.
-    let hit = m.resume_hits.value();
+    let hit = m.runtime.resumes.value();
     assert!(
         hit > 0.35,
         "resume hit ratio {hit} too far below the planned P* = 0.5"
@@ -104,7 +104,7 @@ fn under_provisioned_catalog_reports_denials_not_corruption() {
         .iter()
         .map(|m| {
             // Just enough for the playback schedule, nothing spare.
-            (m.length + m.partition_capacity) / m.restart_interval + 1
+            (m.geometry.length + m.geometry.partition_capacity) / m.geometry.restart_interval + 1
         })
         .sum();
     let mut server = VodServer::new(config);
