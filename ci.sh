@@ -4,18 +4,27 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Single source of truth for the clippy invocation. The hard lint wall
+# (clippy::float_cmp, clippy::unwrap_used, forbid(unsafe_code)) lives in
+# [workspace.lints] in Cargo.toml; this only adds the blanket -D warnings.
+CLIPPY_FLAGS="-D warnings"
+
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- ${CLIPPY_FLAGS}
+
+echo "== vod-lint (workspace invariant checker, see DESIGN.md §9) =="
+mkdir -p results
+cargo run -p vod-lint --release -- --workspace --json results/LINT_REPORT.json
 
 echo "== cargo doc (deny rustdoc warnings, incl. broken intra-doc links) =="
 # First-party crates only: the vendored offline stand-ins (vendor/) are
 # path dependencies and would otherwise be documented too.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p vod-prealloc -p vod-dist -p vod-model -p vod-sizing -p vod-workload \
-  -p vod-runtime -p vod-sim -p vod-server -p vod-bench
+  -p vod-runtime -p vod-sim -p vod-server -p vod-bench -p vod-lint
 
 echo "== tier-1: build + test =="
 cargo build --release

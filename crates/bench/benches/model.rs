@@ -2,6 +2,7 @@
 //! scaling with the stream count, distribution sensitivity, and the
 //! decomposed-vs-oracle gap.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -2,6 +2,7 @@
 //! quadrature, root finding, and distribution kernels — the primitives
 //! every model evaluation is built from.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 

@@ -1,6 +1,7 @@
 //! Criterion benchmarks of the discrete-event simulator and the data-path
 //! server: events per second and ticks per second under load.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use std::sync::Arc;

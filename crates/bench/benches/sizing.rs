@@ -2,6 +2,7 @@
 //! allocation, and cost-curve tracing (with and without a prebuilt
 //! catalog — the ablation behind `Catalog`).
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;

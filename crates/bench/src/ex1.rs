@@ -41,6 +41,8 @@ pub fn run(mix: VcrMix) -> Example1 {
         },
         &ModelOptions::default(),
     )
+    // vod-lint: allow(no-panic) — paper Example 1 constants are satisfiable by
+    // construction; a failure means the model itself regressed.
     .expect("Example 1 is satisfiable");
     Example1 {
         pure_batching_streams: pure,

@@ -30,6 +30,7 @@ pub struct Example2 {
 /// Run Example 2.
 pub fn run(mix: VcrMix) -> Example2 {
     let hardware = HardwareSpec::paper_example2();
+    // vod-lint: allow(no-panic) — paper Example 2 hardware constants are valid.
     let prices = hardware.resource_cost().expect("paper constants are valid");
     let ex1 = run_ex1(mix);
     let plan_cost = ex1.plan.cost(&prices);

@@ -34,6 +34,7 @@ pub fn data_for(movies: &[MovieSpec], stride: u32) -> Vec<CostCurve> {
 /// to the serial sweep.
 pub fn data_for_with(movies: &[MovieSpec], stride: u32, exec: &SweepExecutor) -> Vec<CostCurve> {
     let opts = ModelOptions::default();
+    // vod-lint: allow(no-panic) — the fig9 catalog is the paper's fixed example set.
     let catalog = Catalog::new_with(movies, &opts, exec).expect("satisfiable catalog");
     let n_lo = movies.len() as u32;
     let n_hi = catalog.max_total_streams();
@@ -42,6 +43,7 @@ pub fn data_for_with(movies: &[MovieSpec], stride: u32, exec: &SweepExecutor) ->
         .map(|&phi| {
             cost_curve_with_catalog(
                 &catalog,
+                // vod-lint: allow(no-panic) — PAPER_PHIS are in-range constants.
                 ResourceCost::from_phi(phi).expect("valid phi"),
                 n_lo,
                 n_hi,

@@ -123,6 +123,8 @@ impl SweepExecutor {
         });
         slots
             .into_iter()
+            // vod-lint: allow(no-panic) — the scoped workers claim each index
+            // exactly once, so every slot is Some once they have joined.
             .map(|slot| slot.expect("every index claimed exactly once"))
             .collect()
     }
@@ -164,7 +166,7 @@ impl Clone for HitMemo {
     /// Clones the cached entries (statistics reset to the cloned values).
     fn clone(&self) -> Self {
         Self {
-            map: Mutex::new(self.map.lock().expect("memo poisoned").clone()),
+            map: Mutex::new(self.locked().clone()),
             hits: AtomicUsize::new(self.hits.load(Ordering::Relaxed)),
             misses: AtomicUsize::new(self.misses.load(Ordering::Relaxed)),
         }
@@ -175,6 +177,13 @@ impl HitMemo {
     /// An empty memo.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Lock the memo table.
+    fn locked(&self) -> std::sync::MutexGuard<'_, HashMap<u32, f64>> {
+        // vod-lint: allow(no-panic) — a poisoned lock means another worker
+        // already panicked mid-insert; propagating that panic is correct.
+        self.map.lock().expect("memo poisoned")
     }
 
     /// Return the cached value for `n`, or run `compute`, cache its `Ok`
@@ -188,23 +197,19 @@ impl HitMemo {
         n: u32,
         compute: impl FnOnce() -> Result<f64, E>,
     ) -> Result<f64, E> {
-        if let Some(&p) = self.map.lock().expect("memo poisoned").get(&n) {
+        if let Some(&p) = self.locked().get(&n) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(p);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let p = compute()?;
-        self.map
-            .lock()
-            .expect("memo poisoned")
-            .entry(n)
-            .or_insert(p);
+        self.locked().entry(n).or_insert(p);
         Ok(p)
     }
 
     /// Number of distinct `n` values cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("memo poisoned").len()
+        self.locked().len()
     }
 
     /// True when nothing is cached yet.

@@ -65,6 +65,7 @@ impl Rates {
 
     /// The paper's §4 configuration: FF and RW at 3x playback.
     pub fn paper() -> Self {
+        // vod-lint: allow(no-panic) — 3.0 is a fixed in-domain constant.
         Self::symmetric(3.0).expect("constants are valid")
     }
 
@@ -241,7 +242,7 @@ impl SystemParams {
 
     /// True for the pure-batching degenerate case `B = 0`.
     pub fn is_pure_batching(&self) -> bool {
-        self.buffer == 0.0
+        vod_dist::exact_zero(self.buffer)
     }
 }
 

@@ -2,6 +2,7 @@
 //! monotonicity, decomposition-vs-oracle agreement, and degenerate-case
 //! behavior under arbitrary valid configurations.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use proptest::prelude::*;
 
 use vod_dist::kinds::{Exponential, Gamma, Uniform};

@@ -1,0 +1,78 @@
+//! Float comparison helpers: the only sanctioned way to compare floats
+//! for equality outside `#[cfg(test)]`.
+//!
+//! The workspace lint wall (`vod-lint`'s `float-cmp` rule and clippy's
+//! `float_cmp`) bans raw `==`/`!=` on floats in library code: the PR 1
+//! `scan_by_buffer_step` regression came from exactly that kind of
+//! drift-sensitive comparison. Code that genuinely needs *exact* bit
+//! equality (sentinel zeros, root-finding early exits, sign bookkeeping)
+//! routes through [`exact_zero`]/[`exact_eq`], which name the intent and
+//! concentrate the suppressions in one audited place; tolerance-based
+//! comparisons use [`approx_eq`]/[`approx_zero`].
+
+/// Is `x` exactly zero (either signed zero)?
+///
+/// Use only where exact zero is semantically special — a quantile at
+/// `p == 0`, a residual that is *bitwise* zero so no further refinement
+/// is possible — never to test "small".
+#[allow(clippy::float_cmp)]
+pub fn exact_zero(x: f64) -> bool {
+    // vod-lint: allow(float-cmp) — this is the blessed exact-zero site the
+    // float-cmp rule points everyone at; the comparison is intentional.
+    x == 0.0
+}
+
+/// Are `a` and `b` exactly (bitwise-as-values) equal?
+///
+/// For sign bookkeeping (`exact_eq(fa.signum(), fb.signum())`) and
+/// degenerate-denominator guards in interpolation formulas, where a
+/// tolerance would be wrong. NaN compares unequal to everything,
+/// including itself, matching IEEE semantics.
+#[allow(clippy::float_cmp)]
+pub fn exact_eq(a: f64, b: f64) -> bool {
+    // vod-lint: allow(float-cmp) — blessed exact-equality site; see the doc
+    // comment for when exactness (not tolerance) is the correct semantics.
+    a == b
+}
+
+/// Is `|x| ≤ eps`? The tolerance-based zero test.
+pub fn approx_zero(x: f64, eps: f64) -> bool {
+    x.abs() <= eps
+}
+
+/// Relative-scale equality: `|a − b| ≤ eps · max(1, |a|, |b|)`.
+///
+/// The `max(1, …)` floor makes the test absolute near zero and relative
+/// for large magnitudes, the standard mixed criterion for quadrature and
+/// sweep outputs.
+pub fn approx_eq(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps * 1.0_f64.max(a.abs()).max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_zero_accepts_both_signed_zeros() {
+        assert!(exact_zero(0.0));
+        assert!(exact_zero(-0.0));
+        assert!(!exact_zero(f64::MIN_POSITIVE));
+        assert!(!exact_zero(f64::NAN));
+    }
+
+    #[test]
+    fn exact_eq_is_ieee() {
+        assert!(exact_eq(1.5, 1.5));
+        assert!(!exact_eq(1.5, 1.5 + f64::EPSILON * 2.0));
+        assert!(!exact_eq(f64::NAN, f64::NAN));
+        assert!(exact_eq(0.0, -0.0));
+    }
+
+    #[test]
+    fn approx_eq_mixed_criterion() {
+        assert!(approx_eq(1e-12, 0.0, 1e-9));
+        assert!(approx_eq(1e9, 1e9 * (1.0 + 1e-12), 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-3));
+    }
+}

@@ -67,7 +67,7 @@ pub trait DurationDist: std::fmt::Debug + Send + Sync {
     /// Panics if `p` is outside `[0, 1]`.
     fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "quantile domain: p in [0,1]");
-        if p == 0.0 {
+        if crate::approx::exact_zero(p) {
             return 0.0;
         }
         let (lo, hint_hi) = self.support_hint();

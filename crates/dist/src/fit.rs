@@ -100,7 +100,7 @@ pub fn fit_weibull(samples: &[f64]) -> Result<Weibull, DistError> {
 pub fn ks_statistic(dist: &dyn DurationDist, samples: &[f64]) -> f64 {
     assert!(!samples.is_empty(), "need samples");
     let mut xs: Vec<f64> = samples.to_vec();
-    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    xs.sort_by(|a, b| a.total_cmp(b));
     let n = xs.len() as f64;
     let mut d: f64 = 0.0;
     for (i, &x) in xs.iter().enumerate() {
@@ -145,7 +145,7 @@ pub fn fit_all(samples: &[f64]) -> Result<Vec<FitCandidate>, DistError> {
     if out.is_empty() {
         return Err(DistError::Empty("fit candidates"));
     }
-    out.sort_by(|a, b| a.ks.partial_cmp(&b.ks).expect("finite KS"));
+    out.sort_by(|a, b| a.ks.total_cmp(&b.ks));
     Ok(out)
 }
 

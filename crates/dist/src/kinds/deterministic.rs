@@ -66,7 +66,7 @@ impl DurationDist for Deterministic {
 
     fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p), "quantile domain: p in [0,1]");
-        if p == 0.0 {
+        if crate::approx::exact_zero(p) {
             0.0
         } else {
             self.value

@@ -47,7 +47,7 @@ impl Empirical {
             }
             xs.push(s);
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        xs.sort_by(|a, b| a.total_cmp(b));
         let n = xs.len();
 
         // Breakpoints: distinct order statistics, with plotting positions
@@ -60,10 +60,10 @@ impl Empirical {
             } else {
                 i as f64 / (n - 1) as f64
             };
-            if let Some(&last) = bx.last() {
-                if x == last {
+            if let (Some(&last), Some(last_f)) = (bx.last(), bf.last_mut()) {
+                if crate::approx::exact_eq(x, last) {
                     // Duplicate x: keep the larger cdf value (a jump).
-                    *bf.last_mut().expect("parallel vectors") = f;
+                    *last_f = f;
                     continue;
                 }
             }
@@ -120,15 +120,14 @@ impl Empirical {
 
     /// Largest observed value (upper edge of the support).
     pub fn max_value(&self) -> f64 {
+        // vod-lint: allow(no-panic) — the constructor rejects empty sample
+        // sets, so `xs` always has at least one breakpoint.
         *self.xs.last().expect("non-empty by construction")
     }
 
     /// Index of the segment containing `x`: largest `i` with `xs[i] <= x`.
     fn segment(&self, x: f64) -> usize {
-        match self
-            .xs
-            .binary_search_by(|probe| probe.partial_cmp(&x).expect("finite breakpoints"))
-        {
+        match self.xs.binary_search_by(|probe| probe.total_cmp(&x)) {
             Ok(i) => i,
             Err(i) => i.saturating_sub(1),
         }
@@ -194,10 +193,7 @@ impl DurationDist for Empirical {
         if p >= 1.0 {
             return self.max_value();
         }
-        let i = match self
-            .fs
-            .binary_search_by(|probe| probe.partial_cmp(&p).expect("finite cdf values"))
-        {
+        let i = match self.fs.binary_search_by(|probe| probe.total_cmp(&p)) {
             Ok(i) => return self.xs[i],
             Err(i) => i - 1, // fs[0] = 0 < p, so i >= 1 here.
         };

@@ -36,7 +36,10 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
+pub mod approx;
 mod duration;
 mod error;
 pub mod fit;
@@ -47,6 +50,7 @@ pub mod root;
 pub mod spec;
 pub mod special;
 
+pub use approx::{approx_eq, approx_zero, exact_eq, exact_zero};
 pub use duration::{numeric_cdf_integral, DurationDist};
 pub use error::DistError;
 pub use spec::{parse_spec, DistSpec};

@@ -221,7 +221,7 @@ pub fn integrate_with_breakpoints<F: FnMut(f64) -> f64>(
         .copied()
         .filter(|&x| x > a && x < b)
         .collect();
-    cuts.sort_by(|p, q| p.partial_cmp(q).expect("non-NaN breakpoints"));
+    cuts.sort_by(|p, q| p.total_cmp(q));
     cuts.dedup();
     let mut lo = a;
     let mut acc = 0.0;

@@ -46,13 +46,13 @@ pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Resul
     if !fhi.is_finite() {
         return Err(RootError::NonFinite { at: hi });
     }
-    if flo == 0.0 {
+    if crate::approx::exact_zero(flo) {
         return Ok(lo);
     }
-    if fhi == 0.0 {
+    if crate::approx::exact_zero(fhi) {
         return Ok(hi);
     }
-    if flo.signum() == fhi.signum() {
+    if crate::approx::exact_eq(flo.signum(), fhi.signum()) {
         return Err(RootError::NotBracketed { fa: flo, fb: fhi });
     }
     // 200 halvings take any finite interval below f64 resolution.
@@ -65,10 +65,10 @@ pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Resul
         if !fmid.is_finite() {
             return Err(RootError::NonFinite { at: mid });
         }
-        if fmid == 0.0 {
+        if crate::approx::exact_zero(fmid) {
             return Ok(mid);
         }
-        if fmid.signum() == flo.signum() {
+        if crate::approx::exact_eq(fmid.signum(), flo.signum()) {
             lo = mid;
             flo = fmid;
         } else {
@@ -91,13 +91,13 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result
     if !fb.is_finite() {
         return Err(RootError::NonFinite { at: b });
     }
-    if fa == 0.0 {
+    if crate::approx::exact_zero(fa) {
         return Ok(a);
     }
-    if fb == 0.0 {
+    if crate::approx::exact_zero(fb) {
         return Ok(b);
     }
-    if fa.signum() == fb.signum() {
+    if crate::approx::exact_eq(fa.signum(), fb.signum()) {
         return Err(RootError::NotBracketed { fa, fb });
     }
     if fa.abs() < fb.abs() {
@@ -109,10 +109,10 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result
     let mut d = b - a;
     let mut mflag = true;
     for _ in 0..200 {
-        if fb == 0.0 || (b - a).abs() <= tol {
+        if crate::approx::exact_zero(fb) || (b - a).abs() <= tol {
             return Ok(b);
         }
-        let s = if fa != fc && fb != fc {
+        let s = if !crate::approx::exact_eq(fa, fc) && !crate::approx::exact_eq(fb, fc) {
             // Inverse quadratic interpolation.
             a * fb * fc / ((fa - fb) * (fa - fc))
                 + b * fa * fc / ((fb - fa) * (fb - fc))
@@ -151,7 +151,7 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result
         d = c;
         c = b;
         fc = fb;
-        if fa.signum() != fs.signum() {
+        if !crate::approx::exact_eq(fa.signum(), fs.signum()) {
             b = s;
             fb = fs;
         } else {

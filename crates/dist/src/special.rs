@@ -135,7 +135,7 @@ fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
 /// Error function `erf(x)`, accurate to ~1e-13, via the incomplete gamma
 /// identity `erf(x) = sgn(x) · P(1/2, x²)`.
 pub fn erf(x: f64) -> f64 {
-    if x == 0.0 {
+    if crate::approx::exact_zero(x) {
         0.0
     } else if x > 0.0 {
         gamma_p(0.5, x * x)

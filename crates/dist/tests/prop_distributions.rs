@@ -1,6 +1,7 @@
 //! Property-based tests of the distribution substrate: every kind must
 //! satisfy the `DurationDist` contract for arbitrary valid parameters.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use proptest::prelude::*;
 
 use vod_dist::kinds::{Deterministic, Exponential, Gamma, LogNormal, Truncated, Uniform, Weibull};

@@ -1,0 +1,55 @@
+//! `vod-lint` — workspace invariant checker for the VOD reproduction.
+//!
+//! A dependency-free static-analysis pass (hand-rolled tokenizer, no
+//! `syn`) that walks the first-party crate sources and enforces the
+//! domain invariants the test suite can only probabilistically catch:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `float-cmp` | no `==`/`!=` with float-literal operands outside `#[cfg(test)]` — use the `vod_dist::approx` helpers |
+//! | `no-panic` | no `unwrap`/`expect`/`panic!`/`todo!`/`dbg!` in library code paths |
+//! | `quantize-cast` | no ad-hoc `floor`/`round`/`ceil`/`trunc` or float→int `as` casts in files touching partition geometry — quantization goes through `QuantizedGeometry` |
+//! | `nondet` | no `std::time`, `HashMap`/`HashSet`, or thread-identity sources in the runtime/sim/server deterministic core |
+//! | `pub-fn-doc` | every `pub fn` in `vod-dist`/`vod-runtime` carries a doc comment |
+//! | `suppression` | every inline suppression names a known rule and carries a justification |
+//!
+//! Findings print as `file:line rule message`, a machine-readable JSON
+//! report is written with `--json`, and the binary exits nonzero on any
+//! unsuppressed, un-baselined finding. Suppress a single site with
+//! a comment on (or directly above) the offending line:
+//!
+//! ```text
+//! // vod-lint: allow(quantize-cast) — this IS the blessed rounding site
+//! ```
+//!
+//! See DESIGN.md §9 for the rule catalog rationale and suppression policy.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod rules;
+pub mod tokenizer;
+pub mod walk;
+
+pub use report::{Baseline, Report};
+pub use rules::{lint_source, FileClass, FileLint, Finding, Rule};
+
+use std::path::Path;
+
+/// Lint every first-party file under `root`, returning the aggregated
+/// (sorted) report. IO errors carry the offending path.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let files =
+        walk::workspace_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut report = Report::default();
+    for path in files {
+        let label = walk::rel_label(root, &path);
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("reading {label}: {e}"))?;
+        let lint = lint_source(&label, &src, walk::classify(&label));
+        report.findings.extend(lint.findings);
+        report.suppressed += lint.suppressed;
+        report.files_scanned += 1;
+    }
+    report.sort();
+    Ok(report)
+}

@@ -1,0 +1,407 @@
+//! Hand-rolled Rust tokenizer.
+//!
+//! `vod-lint` deliberately does not depend on `syn` (the workspace is
+//! vendored-offline and the rules only need token-level context), so this
+//! module implements just enough of the Rust lexical grammar to drive the
+//! rule engine: identifiers, integer/float literals, string/char/lifetime
+//! literals, multi-character operators, and comments. Comments are kept
+//! (with line numbers) because suppression directives live in them.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `QuantizedGeometry`, ...).
+    Ident,
+    /// Integer literal, including hex/octal/binary forms.
+    Int,
+    /// Float literal (`1.0`, `2.`, `1e-3`, `1f64`).
+    Float,
+    /// String literal of any flavour (plain, raw, byte).
+    Str,
+    /// Character literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Operator or delimiter; multi-char operators are single tokens.
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+/// A `//` or `/* */` comment, kept for suppression parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the leading `//` or `/*`.
+    pub text: String,
+    /// 1-indexed line the comment starts on.
+    pub line: u32,
+}
+
+/// Output of [`tokenize`]: the token stream plus the comment stream.
+#[derive(Debug, Default)]
+pub struct TokenStream {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so greedy matching works.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "==", "!=", "<=", ">=", "&&", "||", "::", "->", "=>", "..", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Tokenize `src`. The lexer is lossy in ways the rules don't care about
+/// (no spans, no keyword classification) but is careful about the cases
+/// that would corrupt rule matching: nested block comments, raw strings,
+/// lifetimes vs char literals, float vs method-call-on-int (`1.max(2)`),
+/// and range expressions (`0..10`).
+pub fn tokenize(src: &str) -> TokenStream {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = TokenStream::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    macro_rules! bump_lines {
+        ($text:expr) => {
+            line += $text.chars().filter(|&c| c == '\n').count() as u32
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment {
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r"", r#""#, b"", br#""#.
+        if (c == 'r' || c == 'b') && {
+            let mut j = i + 1;
+            if c == 'b' && j < n && chars[j] == 'r' {
+                j += 1;
+            }
+            while j < n && chars[j] == '#' {
+                j += 1;
+            }
+            j < n && chars[j] == '"' && matches!(chars[i + 1], '"' | '#' | 'r')
+        } {
+            let start = i;
+            let start_line = line;
+            let mut j = i + 1;
+            if c == 'b' && chars[j] == 'r' {
+                j += 1;
+            }
+            let mut hashes = 0;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            // Opening quote.
+            j += 1;
+            // Scan to closing quote followed by `hashes` hash marks.
+            loop {
+                if j >= n {
+                    break;
+                }
+                if chars[j] == '"' {
+                    let mut k = j + 1;
+                    let mut seen = 0;
+                    while k < n && seen < hashes && chars[k] == '#' {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        j = k;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let text: String = chars[start..j.min(n)].iter().collect();
+            bump_lines!(text);
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Byte char b'x'.
+        if c == 'b' && i + 1 < n && chars[i + 1] == '\'' {
+            let (tok, next) = lex_char_from(&chars, i + 1, line);
+            out.tokens.push(Token {
+                kind: tok.kind,
+                text: format!("b{}", tok.text),
+                line,
+            });
+            i = next;
+            continue;
+        }
+        // Identifier / keyword (raw idents r#x handled by the `r` not
+        // matching the raw-string arm above when followed by `#ident`).
+        if is_ident_start(c) {
+            let start = i;
+            if c == 'r'
+                && i + 1 < n
+                && chars[i + 1] == '#'
+                && i + 2 < n
+                && is_ident_start(chars[i + 2])
+            {
+                i += 2; // consume r#
+            }
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut kind = TokKind::Int;
+            if c == '0' && i + 1 < n && matches!(chars[i + 1], 'x' | 'o' | 'b') {
+                i += 2;
+                while i < n && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            } else {
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Fractional part: `.` followed by a digit, or a trailing
+                // `.` that isn't a range (`..`) or method call (`1.max`).
+                if i < n && chars[i] == '.' {
+                    let after = chars.get(i + 1).copied();
+                    match after {
+                        Some(d) if d.is_ascii_digit() => {
+                            kind = TokKind::Float;
+                            i += 1;
+                            while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                                i += 1;
+                            }
+                        }
+                        Some('.') => {}                    // range 0..x
+                        Some(a) if is_ident_start(a) => {} // 1.max(2)
+                        _ => {
+                            kind = TokKind::Float; // trailing-dot float `2.`
+                            i += 1;
+                        }
+                    }
+                }
+                // Exponent.
+                if i < n
+                    && matches!(chars[i], 'e' | 'E')
+                    && chars.get(i + 1).is_some_and(|&a| {
+                        a.is_ascii_digit()
+                            || ((a == '+' || a == '-')
+                                && chars.get(i + 2).is_some_and(|d| d.is_ascii_digit()))
+                    })
+                {
+                    kind = TokKind::Float;
+                    i += 1;
+                    if matches!(chars.get(i), Some('+') | Some('-')) {
+                        i += 1;
+                    }
+                    while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            // Type suffix (u32, f64, ...).
+            let suffix_start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let suffix: String = chars[suffix_start..i].iter().collect();
+            if suffix.starts_with("f32") || suffix.starts_with("f64") {
+                kind = TokKind::Float;
+            }
+            out.tokens.push(Token {
+                kind,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // String literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' {
+                    // A line-continuation escape consumes the newline; it
+                    // still has to count toward the line number.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        line += 1;
+                    }
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: chars[start..i.min(n)].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_lifetime = match next {
+                Some(a) if is_ident_start(a) => {
+                    // 'a is a lifetime unless closed by ' right after the
+                    // single ident char ('x'), which makes a char literal.
+                    let mut j = i + 1;
+                    while j < n && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    chars.get(j).copied() != Some('\'')
+                }
+                _ => false,
+            };
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            } else {
+                let (tok, next_i) = lex_char_from(&chars, i, line);
+                out.tokens.push(tok);
+                i = next_i;
+            }
+            continue;
+        }
+        // Multi-char operator, longest match first.
+        let rest: String = chars[i..n.min(i + 3)].iter().collect();
+        if let Some(op) = OPERATORS.iter().find(|op| rest.starts_with(**op)) {
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: (*op).to_string(),
+                line,
+            });
+            i += op.len();
+            continue;
+        }
+        // Single-char punct.
+        out.tokens.push(Token {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Lex a char literal starting at the `'` at `chars[i]`.
+fn lex_char_from(chars: &[char], i: usize, line: u32) -> (Token, usize) {
+    let n = chars.len();
+    let start = i;
+    let mut j = i + 1;
+    if j < n && chars[j] == '\\' {
+        j += 2;
+        // \u{...}
+        if j <= n && chars.get(j - 1) == Some(&'{') {
+            while j < n && chars[j] != '}' {
+                j += 1;
+            }
+            j += 1;
+        }
+    } else if j < n {
+        j += 1;
+    }
+    if j < n && chars[j] == '\'' {
+        j += 1;
+    }
+    (
+        Token {
+            kind: TokKind::Char,
+            text: chars[start..j.min(n)].iter().collect(),
+            line,
+        },
+        j,
+    )
+}

@@ -1,0 +1,26 @@
+//! Known-good fixture: passes every rule with every class enabled.
+
+use std::collections::BTreeMap;
+
+/// Sum the values of a documented, deterministic map.
+pub fn total(m: &BTreeMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+/// Fallible lookup propagates the miss instead of panicking.
+pub fn lookup(m: &BTreeMap<u32, u64>, k: u32) -> Option<u64> {
+    m.get(&k).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_unwrap_and_compare_floats() {
+        let mut m = BTreeMap::new();
+        m.insert(1, 2);
+        assert!(lookup(&m, 1).unwrap() == 2);
+        assert!(1.5 == 1.5);
+    }
+}

@@ -1,0 +1,27 @@
+//! Known-bad fixture for the float-cmp rule.
+
+pub fn bad_right(x: f64) -> bool {
+    x == 0.0 // LINT: float-cmp
+}
+
+pub fn bad_left(x: f64) -> bool {
+    1.5 != x // LINT: float-cmp
+}
+
+pub fn bad_negated(x: f64) -> bool {
+    x == -(2.5) // LINT: float-cmp
+}
+
+pub fn fine_ints(x: u32) -> bool {
+    x == 3
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_comparison_allowed_in_tests() {
+        assert!(super::bad_right(0.0));
+        let y = 1.0_f64;
+        assert!(y == 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Known-bad fixture for the no-panic rule (class: library).
+
+pub fn bad(v: Option<u32>) -> u32 {
+    let a = v.unwrap(); // LINT: no-panic
+    let b = Some(a).expect("present"); // LINT: no-panic
+    if a > b {
+        panic!("unreachable"); // LINT: no-panic
+    }
+    let c = dbg!(a + b); // LINT: no-panic
+    c
+}
+
+pub fn stubbed() -> u32 {
+    todo!() // LINT: no-panic
+}
+
+pub fn asserts_are_allowed(v: &[u32]) -> u32 {
+    assert!(!v.is_empty(), "documented invariant");
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(Some(3_u32).unwrap(), 3);
+    }
+}

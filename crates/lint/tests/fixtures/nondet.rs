@@ -1,0 +1,33 @@
+//! Known-bad fixture for the nondet rule (class: deterministic core).
+
+use std::collections::HashMap; // LINT: nondet
+use std::collections::BTreeMap;
+
+pub fn wall_clock() {
+    let _t = std::time::SystemTime::now(); // LINT: nondet nondet
+}
+
+pub fn stopwatch() {
+    let _start = Instant::now(); // LINT: nondet
+}
+
+pub fn thread_identity() {
+    let _id = std::thread::current(); // LINT: nondet
+}
+
+pub fn unseeded() -> u32 {
+    let _r = thread_rng(); // LINT: nondet
+    0
+}
+
+pub fn sanctioned(m: &BTreeMap<u32, u32>) -> usize {
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_themselves() {
+        let _t = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,30 @@
+//! Known-bad fixture for the pub-fn-doc rule (class: doc-required).
+
+/// Documented function — fine.
+pub fn documented() {}
+
+pub fn undocumented() {} // LINT: pub-fn-doc
+
+/// Documented, with an attribute between the doc comment and the item.
+#[inline]
+pub fn attr_between() {}
+
+pub struct Wide;
+
+impl Wide {
+    /// Documented method.
+    pub fn ok(&self) {}
+
+    pub fn bad(&self) {} // LINT: pub-fn-doc
+
+    pub(crate) fn internal(&self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_in_tests_need_no_docs() {
+        pub fn helper() {}
+        helper();
+    }
+}

@@ -1,0 +1,29 @@
+//! Known-bad fixture for the quantize-cast rule. The `QuantizedGeometry`
+//! type mention below opts the whole file into the rule.
+
+pub struct QuantizedGeometry;
+
+pub fn bad_floor(x: f64) -> f64 {
+    x.floor() // LINT: quantize-cast
+}
+
+pub fn bad_chain(x: f64) -> f64 {
+    (x * 2.0).ceil() // LINT: quantize-cast
+}
+
+pub fn bad_cast() -> u32 {
+    7.5 as u32 // LINT: quantize-cast
+}
+
+pub fn blessed(x: f64) -> f64 {
+    // vod-lint: allow(quantize-cast) — fixture: the one blessed rounding site
+    x.round()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ad_hoc_rounding_allowed_in_tests() {
+        assert!((super::blessed(1.4) - 1.0) < 0.5);
+    }
+}

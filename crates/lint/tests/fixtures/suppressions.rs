@@ -1,0 +1,26 @@
+//! Fixture for suppression-directive handling: two good directives (one
+//! standalone, one trailing) and three malformed ones.
+
+pub fn suppressed_standalone(v: Option<u32>) -> u32 {
+    // vod-lint: allow(no-panic) — fixture justification: invariant held by caller
+    v.unwrap()
+}
+
+pub fn suppressed_trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // vod-lint: allow(no-panic) — fixture: trailing directive form
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // vod-lint: allow(bogus-rule) — justification text long enough
+    v.unwrap()
+}
+
+pub fn missing_justification(v: Option<u32>) -> u32 {
+    // vod-lint: allow(no-panic)
+    v.unwrap()
+}
+
+pub fn not_an_allow() -> u32 {
+    // vod-lint: deny(no-panic) — wrong verb entirely
+    0
+}

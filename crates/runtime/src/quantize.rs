@@ -39,7 +39,11 @@ impl QuantizedGeometry {
         assert!(n_streams >= 1, "need at least one stream");
         assert!(length >= 1, "empty movie");
         let n = n_streams as f64;
+        // vod-lint: allow(quantize-cast) — this IS the single blessed rounding
+        // site the rule exists to protect; see the rounding rule above.
         let t = ((length as f64 / n).round() as u32).clamp(1, length);
+        // vod-lint: allow(quantize-cast) — second half of the same single-rounding
+        // rule: w is the one other quantity rounded, b = T − w is derived.
         let wait = ((length as f64 - buffer_minutes).max(0.0) / n).round() as u32;
         let wait = wait.min(t - 1);
         Self {

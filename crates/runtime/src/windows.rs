@@ -79,7 +79,10 @@ impl PartitionWindows {
         if hi_a < p {
             return false;
         }
+        // vod-lint: allow(quantize-cast) — continuous-time candidate-k bound, not
+        // (l,B,n) quantization; the epsilon nudge is documented above.
         let k_min = ((t - hi_a) / tt - 1e-9).ceil().max(0.0);
+        // vod-lint: allow(quantize-cast) — same closed-form k-range bound as k_min.
         let k_max = ((t - p) / tt + 1e-9).floor();
         k_min <= k_max
     }
@@ -108,6 +111,8 @@ impl PartitionWindows {
     /// Age of the most recent restart at time `t` (in `[0, T)`).
     pub fn latest_age(&self, t: f64) -> f64 {
         let tt = self.restart_interval;
+        // vod-lint: allow(quantize-cast) — continuous-time modulo (latest restart
+        // age), not geometry quantization; stays in f64 throughout.
         t - (t / tt).floor() * tt
     }
 

@@ -2,6 +2,7 @@
 //! membership against brute force, quantization invariants, and VCR
 //! sweep-plan conservation.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use proptest::prelude::*;
 
 use vod_runtime::{plan_vcr, PartitionWindows, QuantizedGeometry};

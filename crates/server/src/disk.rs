@@ -64,7 +64,7 @@ pub struct DiskSubsystem {
     next_lease: u64,
     reads: u64,
     /// Known movie lengths for bounds checking, indexed by `MovieId`.
-    lengths: std::collections::HashMap<MovieId, u32>,
+    lengths: std::collections::BTreeMap<MovieId, u32>,
 }
 
 impl DiskSubsystem {
@@ -75,7 +75,7 @@ impl DiskSubsystem {
             active: Vec::new(),
             next_lease: 0,
             reads: 0,
-            lengths: std::collections::HashMap::new(),
+            lengths: std::collections::BTreeMap::new(),
         }
     }
 

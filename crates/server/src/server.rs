@@ -19,7 +19,7 @@
 //!    VCR-active sessions sweep at the configured rate, paused sessions
 //!    count down; resumes are classified hit/miss against live windows.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vod_runtime::{QuantizedGeometry, ResumeClass, RuntimeMetrics, StreamReserve};
 use vod_workload::{TimeWeighted, VcrKind};
@@ -182,6 +182,39 @@ struct Session {
     piggyback_phase: u32,
 }
 
+/// The session-slot liveness invariant: callers index `sessions` only with
+/// ids they observed live earlier in the same call (slots stay `Some` for
+/// the server's lifetime; `Done` is a state, not an empty slot). Free
+/// functions rather than methods so a call borrows only the `sessions`
+/// field and the disjoint-field borrows in the tick path keep compiling.
+fn live(sessions: &[Option<Session>], idx: usize) -> &Session {
+    // vod-lint: allow(no-panic) — an empty slot here means the liveness invariant
+    // above is broken; continuing would corrupt accounting, so abort loudly.
+    sessions[idx].as_ref().expect("live session")
+}
+
+/// Mutable twin of [`live`], same invariant.
+fn live_mut(sessions: &mut [Option<Session>], idx: usize) -> &mut Session {
+    // vod-lint: allow(no-panic) — same slot-liveness invariant as `live`.
+    sessions[idx].as_mut().expect("live session")
+}
+
+/// Stream-slot liveness: indices come from `joinable_stream` or a
+/// position scan over live slots within the same tick, and streams are
+/// only retired at the top of a tick — never between the scan and this
+/// dereference.
+fn stream_live_mut(streams: &mut [Option<ActiveStream>], idx: usize) -> &mut ActiveStream {
+    // vod-lint: allow(no-panic) — scan-to-use gap is within one &mut self call, so
+    // the slot cannot have been retired; an empty slot is an indexing bug.
+    streams[idx].as_mut().expect("live stream")
+}
+
+/// Shared twin of [`stream_live_mut`], same invariant.
+fn stream_live(streams: &[Option<ActiveStream>], idx: usize) -> &ActiveStream {
+    // vod-lint: allow(no-panic) — same slot-liveness invariant as `stream_live_mut`.
+    streams[idx].as_ref().expect("live stream")
+}
+
 /// The server.
 pub struct VodServer {
     now: u64,
@@ -191,7 +224,7 @@ pub struct VodServer {
     streams: Vec<Option<ActiveStream>>,
     sessions: Vec<Option<Session>>,
     metrics: ServerMetrics,
-    movie_index: HashMap<MovieId, usize>,
+    movie_index: BTreeMap<MovieId, usize>,
     /// Dedicated-stream accountant for VCR service. Its capacity is the
     /// disk streams left over once the restart schedule's worst case is
     /// pre-allocated, so VCR service can never eat into the headroom a
@@ -206,7 +239,7 @@ impl VodServer {
     /// Build a server from a configuration.
     pub fn new(config: ServerConfig) -> Self {
         let mut disk = DiskSubsystem::new(config.disk_streams);
-        let mut movie_index = HashMap::new();
+        let mut movie_index = BTreeMap::new();
         for (i, m) in config.movies.iter().enumerate() {
             disk.register_movie(m.movie, m.geometry.length);
             movie_index.insert(m.movie, i);
@@ -311,10 +344,7 @@ impl VodServer {
         let join = self.joinable_stream(movie_idx, 0);
         let state = match join {
             Some(stream_idx) => {
-                self.streams[stream_idx]
-                    .as_mut()
-                    .expect("stream checked live")
-                    .enrolled += 1;
+                stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
                 SessionState::Enrolled {
                     stream: StreamId(stream_idx),
                 }
@@ -379,7 +409,7 @@ impl VodServer {
             None
         };
         let length = self.config.movies[movie_idx].geometry.length;
-        let sess = self.sessions[id.0].as_mut().expect("checked above");
+        let sess = live_mut(&mut self.sessions, id.0);
         if let Some(lease) = new_lease {
             sess.lease = Some(lease);
         }
@@ -400,7 +430,7 @@ impl VodServer {
             self.metrics.runtime.rw_truncated += 1;
         }
         let remaining = vod_runtime::truncate_sweep(kind, magnitude, position, length);
-        let sess = self.sessions[id.0].as_mut().expect("checked above");
+        let sess = live_mut(&mut self.sessions, id.0);
         sess.state = SessionState::VcrActive { kind, remaining };
         Ok(())
     }
@@ -419,26 +449,19 @@ impl VodServer {
                 .ok_or(ServerError::UnknownSession(id))?;
             sess.stats
         };
-        let already_done = matches!(
-            self.sessions[idx].as_ref().expect("checked above").state,
-            SessionState::Done
-        );
+        let already_done = matches!(live(&self.sessions, idx).state, SessionState::Done);
         if !already_done {
-            let sess = self.sessions[idx].as_mut().expect("checked above");
+            let sess = live_mut(&mut self.sessions, idx);
             if let SessionState::Enrolled { stream } = sess.state {
                 if let Some(st) = self.streams[stream.0].as_mut() {
                     st.enrolled -= 1;
                 }
             }
-            let lease = self.sessions[idx]
-                .as_mut()
-                .expect("checked above")
-                .lease
-                .take();
+            let lease = live_mut(&mut self.sessions, idx).lease.take();
             if let Some(lease) = lease {
                 self.release_vcr_lease(lease);
             }
-            self.sessions[idx].as_mut().expect("checked above").state = SessionState::Done;
+            live_mut(&mut self.sessions, idx).state = SessionState::Done;
             self.metrics.sessions_closed_early += 1;
         }
         Ok(stats)
@@ -519,8 +542,9 @@ impl VodServer {
                 None => false,
             };
             if retire {
-                let s = slot.take().expect("checked above");
-                self.pool.release(s.partition.capacity());
+                if let Some(s) = slot.take() {
+                    self.pool.release(s.partition.capacity());
+                }
             }
         }
     }
@@ -572,10 +596,13 @@ impl VodServer {
             if age >= hosted.geometry.length as u64 {
                 continue;
             }
+            // vod-lint: allow(no-panic) — retire_streams only drops the lease once
+            // age ≥ length, and the guard above skips exactly those streams.
             let lease = s.lease.as_ref().expect("playing stream holds a lease");
             let seg = self
                 .disk
                 .read(lease, hosted.movie, age as u32)
+                // vod-lint: allow(no-panic) — age < length two lines up bounds the read.
                 .expect("scheduled read is in range");
             s.partition.advance(seg);
         }
@@ -615,22 +642,26 @@ impl VodServer {
             Act::StartWaiting => {
                 // The restart happened earlier in this tick; enroll in the
                 // stream that just started.
-                let movie_idx = self.sessions[idx].as_ref().expect("live session").movie_idx;
-                let stream_idx = self
-                    .streams
-                    .iter()
-                    .position(|s| {
-                        s.as_ref()
-                            .is_some_and(|s| s.movie_idx == movie_idx && s.started == t)
-                    })
-                    .expect("restart is scheduled every T minutes");
-                self.sessions[idx].as_mut().expect("live session").state = SessionState::Enrolled {
+                let movie_idx = live(&self.sessions, idx).movie_idx;
+                let stream_idx = self.streams.iter().position(|s| {
+                    s.as_ref()
+                        .is_some_and(|s| s.movie_idx == movie_idx && s.started == t)
+                });
+                let Some(stream_idx) = stream_idx else {
+                    // The scheduled restart failed to start (under-provisioned
+                    // disk or buffer, counted in `restart_failures`). The
+                    // batch keeps waiting for the next restart instant
+                    // instead of aborting the server.
+                    let t_int = self.config.movies[movie_idx].geometry.restart_interval as u64;
+                    live_mut(&mut self.sessions, idx).state = SessionState::Waiting {
+                        start_at: t + t_int,
+                    };
+                    return;
+                };
+                live_mut(&mut self.sessions, idx).state = SessionState::Enrolled {
                     stream: StreamId(stream_idx),
                 };
-                self.streams[stream_idx]
-                    .as_mut()
-                    .expect("stream just found")
-                    .enrolled += 1;
+                stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
                 self.consume_enrolled(t, idx);
             }
             Act::Enrolled => self.consume_enrolled(t, idx),
@@ -644,7 +675,7 @@ impl VodServer {
     /// Consume the next segment from the enrolled partition.
     fn consume_enrolled(&mut self, t: u64, idx: usize) {
         let (stream_idx, position, movie_idx) = {
-            let sess = self.sessions[idx].as_ref().expect("live session");
+            let sess = live(&self.sessions, idx);
             let SessionState::Enrolled { stream } = sess.state else {
                 unreachable!("caller checked state")
             };
@@ -652,10 +683,11 @@ impl VodServer {
         };
         let length = self.config.movies[movie_idx].geometry.length;
         let verified = {
-            let stream = self.streams[stream_idx]
-                .as_ref()
-                .expect("enrolled stream is alive");
+            let stream = stream_live(&self.streams, stream_idx);
             let seg = stream.partition.get(position).unwrap_or_else(|| {
+                // vod-lint: allow(no-panic) — an underrun means the enrollment
+                // invariant is broken; serving a wrong segment silently would
+                // corrupt the data path, so abort loudly.
                 panic!(
                     "buffer underrun: session at {position} not covered by \
                      partition [{:?}, {:?}] (enrollment invariant broken)",
@@ -665,7 +697,7 @@ impl VodServer {
             });
             verify_segment(seg)
         };
-        let sess = self.sessions[idx].as_mut().expect("live session");
+        let sess = live_mut(&mut self.sessions, idx);
         sess.stats.from_buffer += 1;
         if !verified {
             sess.stats.verify_failures += 1;
@@ -682,27 +714,27 @@ impl VodServer {
     /// preceding partition when enabled.
     fn consume_dedicated(&mut self, t: u64, idx: usize) {
         let length = {
-            let sess = self.sessions[idx].as_ref().expect("live session");
+            let sess = live(&self.sessions, idx);
             self.config.movies[sess.movie_idx].geometry.length
         };
         self.read_via_lease(idx);
         // Optional piggyback catch-up segment.
         if let Some(pb) = self.config.piggyback {
             let due = {
-                let sess = self.sessions[idx].as_mut().expect("live session");
+                let sess = live_mut(&mut self.sessions, idx);
                 sess.piggyback_phase += 1;
                 sess.piggyback_phase >= pb.catchup_period
                     && sess.position < length
                     && matches!(sess.state, SessionState::Dedicated)
             };
             if due {
-                let sess = self.sessions[idx].as_mut().expect("live session");
+                let sess = live_mut(&mut self.sessions, idx);
                 sess.piggyback_phase = 0;
                 self.read_via_lease(idx);
             }
         }
         let (movie_idx, position) = {
-            let sess = self.sessions[idx].as_ref().expect("live session");
+            let sess = live(&self.sessions, idx);
             (sess.movie_idx, sess.position)
         };
         if position >= length {
@@ -711,44 +743,41 @@ impl VodServer {
         }
         // Merge back if a window now covers us (piggyback payoff).
         if let Some(stream_idx) = self.joinable_stream(movie_idx, position) {
-            let lease = self.sessions[idx]
-                .as_mut()
-                .expect("live session")
-                .lease
-                .take();
+            let lease = live_mut(&mut self.sessions, idx).lease.take();
             if let Some(lease) = lease {
                 self.release_vcr_lease(lease);
                 self.metrics.piggyback_merges += 1;
             }
-            let sess = self.sessions[idx].as_mut().expect("live session");
+            let sess = live_mut(&mut self.sessions, idx);
             sess.state = SessionState::Enrolled {
                 stream: StreamId(stream_idx),
             };
-            self.streams[stream_idx]
-                .as_mut()
-                .expect("covering stream is alive")
-                .enrolled += 1;
+            stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
         }
     }
 
     /// Read `position` via the session's own lease and advance.
     fn read_via_lease(&mut self, idx: usize) {
         let (movie, position) = {
-            let sess = self.sessions[idx].as_ref().expect("live session");
+            let sess = live(&self.sessions, idx);
             (self.config.movies[sess.movie_idx].movie, sess.position)
         };
         let seg = {
-            let sess = self.sessions[idx].as_ref().expect("live session");
+            let sess = live(&self.sessions, idx);
             let lease = sess
                 .lease
                 .as_ref()
+                // vod-lint: allow(no-panic) — Dedicated/VcrActive states imply a
+                // held lease; the state machine never drops one while reading.
                 .expect("dedicated session holds a lease");
             self.disk
                 .read(lease, movie, position)
+                // vod-lint: allow(no-panic) — callers check position < length
+                // before every dedicated read.
                 .expect("dedicated read in range")
         };
         let ok = verify_segment(&seg);
-        let sess = self.sessions[idx].as_mut().expect("live session");
+        let sess = live_mut(&mut self.sessions, idx);
         sess.stats.from_disk += 1;
         if !ok {
             sess.stats.verify_failures += 1;
@@ -760,11 +789,11 @@ impl VodServer {
 
     fn sweep_forward(&mut self, t: u64, idx: usize) {
         let length = {
-            let sess = self.sessions[idx].as_ref().expect("live session");
+            let sess = live(&self.sessions, idx);
             self.config.movies[sess.movie_idx].geometry.length
         };
         let steps = {
-            let sess = self.sessions[idx].as_mut().expect("live session");
+            let sess = live_mut(&mut self.sessions, idx);
             let SessionState::VcrActive { remaining, .. } = &mut sess.state else {
                 unreachable!("caller checked state")
             };
@@ -775,7 +804,7 @@ impl VodServer {
         for _ in 0..steps {
             self.read_via_lease(idx);
         }
-        let sess = self.sessions[idx].as_mut().expect("live session");
+        let sess = live_mut(&mut self.sessions, idx);
         if sess.position >= length {
             // FF ran to the end: the viewing is over (the model's P(end)).
             // Counted as a hit, matching the simulator's default
@@ -794,7 +823,7 @@ impl VodServer {
 
     fn sweep_backward(&mut self, t: u64, idx: usize) {
         let steps = {
-            let sess = self.sessions[idx].as_mut().expect("live session");
+            let sess = live_mut(&mut self.sessions, idx);
             let SessionState::VcrActive { remaining, .. } = &mut sess.state else {
                 unreachable!("caller checked state")
             };
@@ -806,19 +835,22 @@ impl VodServer {
         // read through the dedicated lease.
         for _ in 0..steps {
             let (movie, target) = {
-                let sess = self.sessions[idx].as_ref().expect("live session");
+                let sess = live(&self.sessions, idx);
                 (self.config.movies[sess.movie_idx].movie, sess.position - 1)
             };
             let seg = {
-                let sess = self.sessions[idx].as_ref().expect("live session");
+                let sess = live(&self.sessions, idx);
                 let lease = sess
                     .lease
                     .as_ref()
+                    // vod-lint: allow(no-panic) — a rewinding session acquired its
+                    // lease in request_vcr and keeps it until resume.
                     .expect("rewinding session holds a lease");
+                // vod-lint: allow(no-panic) — target < position ≤ length bounds the read.
                 self.disk.read(lease, movie, target).expect("in range")
             };
             let ok = verify_segment(&seg);
-            let sess = self.sessions[idx].as_mut().expect("live session");
+            let sess = live_mut(&mut self.sessions, idx);
             sess.stats.from_disk += 1;
             if !ok {
                 sess.stats.verify_failures += 1;
@@ -827,7 +859,7 @@ impl VodServer {
             self.metrics.runtime.disk_minutes += 1.0;
             sess.position -= 1;
         }
-        let sess = self.sessions[idx].as_mut().expect("live session");
+        let sess = live_mut(&mut self.sessions, idx);
         let done = matches!(sess.state, SessionState::VcrActive { remaining: 0, .. })
             || sess.position == 0;
         if done {
@@ -837,7 +869,7 @@ impl VodServer {
 
     fn pause_countdown(&mut self, t: u64, idx: usize) {
         let resume_now = {
-            let sess = self.sessions[idx].as_mut().expect("live session");
+            let sess = live_mut(&mut self.sessions, idx);
             let SessionState::VcrActive { remaining, .. } = &mut sess.state else {
                 unreachable!("caller checked state")
             };
@@ -861,34 +893,27 @@ impl VodServer {
     /// simulator; the window probe is the live-stream join rule.
     fn resume(&mut self, _t: u64, idx: usize, holds_lease: bool, kind: VcrKind) {
         let (movie_idx, position) = {
-            let sess = self.sessions[idx].as_ref().expect("live session");
+            let sess = live(&self.sessions, idx);
             (sess.movie_idx, sess.position)
         };
         let joinable = self.joinable_stream(movie_idx, position);
         let class = ResumeClass::classify(joinable.is_some());
         self.metrics.runtime.record_resume(kind, class.is_hit());
         if let Some(stream_idx) = joinable {
-            let lease = self.sessions[idx]
-                .as_mut()
-                .expect("live session")
-                .lease
-                .take();
+            let lease = live_mut(&mut self.sessions, idx).lease.take();
             if let Some(lease) = lease {
                 self.release_vcr_lease(lease);
             }
-            let sess = self.sessions[idx].as_mut().expect("live session");
+            let sess = live_mut(&mut self.sessions, idx);
             sess.state = SessionState::Enrolled {
                 stream: StreamId(stream_idx),
             };
-            self.streams[stream_idx]
-                .as_mut()
-                .expect("covering stream is alive")
-                .enrolled += 1;
+            stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
             return;
         }
         // Miss: continue on a dedicated stream.
         if holds_lease {
-            let sess = self.sessions[idx].as_mut().expect("live session");
+            let sess = live_mut(&mut self.sessions, idx);
             debug_assert!(sess.lease.is_some());
             sess.state = SessionState::Dedicated;
             sess.piggyback_phase = 0;
@@ -900,14 +925,14 @@ impl VodServer {
         // the viewer; the *event* counted is the same).
         match self.try_vcr_lease() {
             Some(lease) => {
-                let sess = self.sessions[idx].as_mut().expect("live session");
+                let sess = live_mut(&mut self.sessions, idx);
                 sess.lease = Some(lease);
                 sess.state = SessionState::Dedicated;
                 sess.piggyback_phase = 0;
             }
             None => {
                 self.metrics.runtime.resume_starved += 1;
-                let sess = self.sessions[idx].as_mut().expect("live session");
+                let sess = live_mut(&mut self.sessions, idx);
                 sess.state = SessionState::VcrActive {
                     kind: VcrKind::Pause,
                     remaining: 1,
@@ -935,7 +960,7 @@ impl VodServer {
     }
 
     fn finish_session(&mut self, _t: u64, idx: usize) {
-        let sess = self.sessions[idx].as_mut().expect("live session");
+        let sess = live_mut(&mut self.sessions, idx);
         if let SessionState::Enrolled { stream } = sess.state {
             if let Some(s) = self.streams[stream.0].as_mut() {
                 s.enrolled -= 1;
@@ -945,7 +970,7 @@ impl VodServer {
         if let Some(lease) = lease {
             self.release_vcr_lease(lease);
         }
-        self.sessions[idx].as_mut().expect("live session").state = SessionState::Done;
+        live_mut(&mut self.sessions, idx).state = SessionState::Done;
         self.metrics.sessions_done += 1;
     }
 }

@@ -3,6 +3,7 @@
 //! popularity, behavior-model VCR interactions) and check the global
 //! invariants hold under sustained realistic traffic.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::sync::Arc;
 
 use vod_dist::kinds::Gamma;

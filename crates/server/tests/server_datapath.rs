@@ -2,6 +2,7 @@
 //! buffering, VCR operations, and piggybacking, with resource invariants
 //! enforced throughout.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use rand::RngCore;
 use vod_dist::rng::seeded;
 use vod_server::{HostedMovie, MovieId, ServerConfig, ServerError, SessionStatus, VodServer};

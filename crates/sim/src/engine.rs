@@ -73,8 +73,7 @@ impl Ord for Ev {
         // BinaryHeap is a max-heap: invert so earliest time pops first.
         other
             .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
+            .total_cmp(&self.time)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -86,6 +85,23 @@ struct Viewer {
     pos_base: f64,
     t_base: f64,
     holds_dedicated: bool,
+}
+
+/// A viewer slot referenced by a scheduled event is always occupied:
+/// slots are cleared only in `on_finish`, which also stops scheduling
+/// events for that viewer.
+fn live(viewers: &[Option<Viewer>], idx: usize) -> &Viewer {
+    // vod-lint: allow(no-panic) — an empty slot here means the event/slot
+    // liveness invariant above is broken; continuing would corrupt the
+    // accounting, so abort loudly.
+    viewers[idx].as_ref().expect("live viewer")
+}
+
+/// Mutable twin of [`live`]; same liveness invariant.
+fn live_mut(viewers: &mut [Option<Viewer>], idx: usize) -> &mut Viewer {
+    // vod-lint: allow(no-panic) — see `live`: an empty slot is a broken
+    // liveness invariant, abort loudly.
+    viewers[idx].as_mut().expect("live viewer")
 }
 
 struct Engine<'a> {
@@ -195,10 +211,7 @@ impl<'a> Engine<'a> {
     /// (the caller decides whether the operation is denied or the viewer
     /// abandons). Viewers already holding a stream always succeed.
     fn acquire_dedicated(&mut self, t: f64, viewer: usize) -> bool {
-        let holds = self.viewers[viewer]
-            .as_ref()
-            .expect("live viewer")
-            .holds_dedicated;
+        let holds = live(&self.viewers, viewer).holds_dedicated;
         if holds {
             return true;
         }
@@ -208,13 +221,13 @@ impl<'a> Engine<'a> {
         if !self.reserve.try_acquire(t) {
             return false;
         }
-        let v = self.viewers[viewer].as_mut().expect("live viewer");
+        let v = live_mut(&mut self.viewers, viewer);
         v.holds_dedicated = true;
         true
     }
 
     fn release_dedicated(&mut self, t: f64, viewer: usize) {
-        let v = self.viewers[viewer].as_mut().expect("live viewer");
+        let v = live_mut(&mut self.viewers, viewer);
         if v.holds_dedicated {
             v.holds_dedicated = false;
             self.reserve.release(t);
@@ -311,7 +324,7 @@ impl<'a> Engine<'a> {
     /// interaction or the finish, whichever comes first.
     fn begin_playback(&mut self, t: f64, viewer: usize, p: f64) {
         let movie = {
-            let v = self.viewers[viewer].as_mut().expect("live viewer");
+            let v = live_mut(&mut self.viewers, viewer);
             v.pos_base = p;
             v.t_base = t;
             v.movie
@@ -328,7 +341,7 @@ impl<'a> Engine<'a> {
 
     fn on_vcr(&mut self, t: f64, viewer: usize) {
         let (movie, p, t_base, was_dedicated) = {
-            let v = self.viewers[viewer].as_ref().expect("live viewer");
+            let v = live(&self.viewers, viewer);
             (
                 v.movie,
                 v.pos_base + (t - v.t_base),
@@ -388,7 +401,7 @@ impl<'a> Engine<'a> {
         reached_end: bool,
         truncated_start: bool,
     ) {
-        let movie = self.viewers[viewer].as_ref().expect("live viewer").movie;
+        let movie = live(&self.viewers, viewer).movie;
         self.account_sweep(movie, (end_pos - issued_pos).abs());
         if reached_end {
             // FF ran to the end: the viewing is over and phase-1 resources
@@ -437,7 +450,7 @@ impl<'a> Engine<'a> {
 
     fn on_finish(&mut self, t: f64, viewer: usize) {
         let (movie, t_base, was_dedicated) = {
-            let v = self.viewers[viewer].as_ref().expect("live viewer");
+            let v = live(&self.viewers, viewer);
             (v.movie, v.t_base, v.holds_dedicated)
         };
         self.account_playback(movie, t_base, t, was_dedicated);
@@ -470,7 +483,14 @@ impl<'a> Engine<'a> {
 }
 
 /// Run a catalog simulation with an explicit seed.
+///
+/// # Panics
+///
+/// Panics if `cfg.validate()` rejects the configuration; call
+/// `validate()` first to handle configuration errors gracefully.
 pub fn run_catalog_seeded(cfg: &CatalogConfig, seed: u64) -> CatalogReport {
+    // vod-lint: allow(no-panic) — documented panic: an invalid config is a
+    // caller bug, and callers can pre-check with `cfg.validate()`.
     cfg.validate().expect("invalid simulation configuration");
     Engine::new(cfg, seed).run()
 }
@@ -484,6 +504,8 @@ pub fn run(cfg: &SimConfig) -> SimReport {
 pub fn run_seeded(cfg: &SimConfig, seed: u64) -> SimReport {
     let catalog: CatalogConfig = cfg.clone().into();
     let mut report = run_catalog_seeded(&catalog, seed);
+    // vod-lint: allow(no-panic) — the SimConfig→CatalogConfig conversion
+    // above builds a catalog with exactly one movie.
     let mut movie = report.per_movie.pop().expect("one movie");
     // With one movie the catalog-wide aggregate *is* the movie's view,
     // and it additionally carries the shared-reserve counters.

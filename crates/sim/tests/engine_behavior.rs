@@ -2,6 +2,7 @@
 //! conservation laws, geometry, and agreement with the analytic model
 //! (the paper's §4 claim).
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::sync::Arc;
 
 use vod_dist::kinds::{Exponential, Gamma};

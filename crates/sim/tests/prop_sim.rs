@@ -1,6 +1,7 @@
 //! Property-based tests of the simulator: conservation laws and geometry
 //! under arbitrary valid configurations.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::sync::Arc;
 
 use proptest::prelude::*;

@@ -3,6 +3,7 @@
 //! infinite reserve, then check that a finite reserve's denial rate
 //! tracks the Erlang-B prediction.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::sync::Arc;
 
 use vod_dist::kinds::Gamma;

@@ -205,11 +205,7 @@ fn water_fill(
     let mut ns: Vec<u32> = vec![1; cands.len()];
     let mut remaining = stream_budget.saturating_sub(m);
     let mut order: Vec<usize> = (0..cands.len()).collect();
-    order.sort_by(|&a, &b| {
-        benefit(cands[b].movie)
-            .partial_cmp(&benefit(cands[a].movie))
-            .expect("finite benefits")
-    });
+    order.sort_by(|&a, &b| benefit(cands[b].movie).total_cmp(&benefit(cands[a].movie)));
     for &idx in &order {
         if remaining == 0 {
             break;

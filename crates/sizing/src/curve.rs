@@ -34,9 +34,7 @@ pub struct CostCurve {
 impl CostCurve {
     /// The minimum-cost point — the paper's "optimal system sizing choice".
     pub fn optimum(&self) -> Option<&CostPoint> {
-        self.points
-            .iter()
-            .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+        self.points.iter().min_by(|a, b| a.cost.total_cmp(&b.cost))
     }
 }
 

@@ -154,9 +154,11 @@ pub fn example1_movies(mix: VcrMix) -> Vec<MovieSpec> {
             0.1,
             0.5,
             mix,
+            // vod-lint: allow(no-panic) — fixed Example 1 paper constants.
             Arc::new(Gamma::new(2.0, 4.0).expect("valid constants")),
             rates,
         )
+        // vod-lint: allow(no-panic) — fixed Example 1 paper constants.
         .expect("valid constants"),
         MovieSpec::new(
             "movie-2",
@@ -164,9 +166,11 @@ pub fn example1_movies(mix: VcrMix) -> Vec<MovieSpec> {
             0.5,
             0.5,
             mix,
+            // vod-lint: allow(no-panic) — fixed Example 1 paper constants.
             Arc::new(Exponential::with_mean(5.0).expect("valid constants")),
             rates,
         )
+        // vod-lint: allow(no-panic) — fixed Example 1 paper constants.
         .expect("valid constants"),
         MovieSpec::new(
             "movie-3",
@@ -174,9 +178,11 @@ pub fn example1_movies(mix: VcrMix) -> Vec<MovieSpec> {
             0.25,
             0.5,
             mix,
+            // vod-lint: allow(no-panic) — fixed Example 1 paper constants.
             Arc::new(Exponential::with_mean(2.0).expect("valid constants")),
             rates,
         )
+        // vod-lint: allow(no-panic) — fixed Example 1 paper constants.
         .expect("valid constants"),
     ]
 }

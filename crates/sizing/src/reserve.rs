@@ -29,7 +29,7 @@ pub fn erlang_b(servers: u32, offered_load: f64) -> f64 {
         offered_load.is_finite() && offered_load >= 0.0,
         "offered load must be non-negative"
     );
-    if offered_load == 0.0 {
+    if vod_dist::exact_zero(offered_load) {
         return if servers == 0 { 1.0 } else { 0.0 };
     }
     let mut b = 1.0;

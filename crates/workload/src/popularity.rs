@@ -64,10 +64,7 @@ impl Zipf {
     /// Sample a 0-based rank.
     pub fn sample(&self, rng: &mut dyn RngCore) -> usize {
         let u = u01(rng);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&u).expect("finite cumulative"))
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) => i,
             Err(i) => i.min(self.len() - 1),
         }
@@ -78,10 +75,7 @@ impl Zipf {
     /// resources to.
     pub fn head_for_mass(&self, fraction: f64) -> usize {
         assert!((0.0..=1.0).contains(&fraction));
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&fraction).expect("finite cumulative"))
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&fraction)) {
             Ok(i) => i + 1,
             Err(i) => (i + 1).min(self.len()),
         }

@@ -93,7 +93,7 @@ pub fn generate_script(
         }
         session_seq += 1;
     }
-    events.sort_by(|a, b| a.at.partial_cmp(&b.at).expect("finite times"));
+    events.sort_by(|a, b| a.at.total_cmp(&b.at));
     events
 }
 

@@ -263,8 +263,8 @@ pub fn run(opts: &Options) -> Result<String, CliError> {
         .allocations
         .iter()
         .zip(&opts.movies)
-        .min_by(|(a, _), (b, _)| a.p_hit.partial_cmp(&b.p_hit).expect("finite"))
-        .expect("non-empty plan");
+        .min_by(|(a, _), (b, _)| a.p_hit.total_cmp(&b.p_hit))
+        .ok_or_else(|| CliError("plan has no allocations".to_string()))?;
     let params = worst
         .1
         .params_for_streams(worst.0.n_streams)

@@ -26,6 +26,8 @@
 //! `EXPERIMENTS.md` for paper-vs-measured results per figure/table.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 pub mod cli;
 

@@ -7,6 +7,7 @@
 //! 2. a reserve sized by the Erlang-B extension keeps denials below the
 //!    design target.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::sync::Arc;
 
 use vod_prealloc::model::{ModelOptions, VcrMix};

@@ -18,6 +18,7 @@
 //! A second pair of same-seed runs must reproduce each leg's
 //! `RuntimeMetrics` bitwise (`PartialEq` over every counter and f64).
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::sync::Arc;
 
 use vod_prealloc::dist::kinds::Gamma;

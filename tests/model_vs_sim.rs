@@ -3,6 +3,7 @@
 //! waits, and stream counts (Figure 7), with the bias directions the
 //! paper describes.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use std::sync::Arc;
 
 use vod_prealloc::dist::kinds::{Exponential, Gamma};

@@ -3,6 +3,7 @@
 //! (a) a correct data path, (b) zero restart failures, and (c) a VCR
 //! resume hit ratio in the neighborhood the model promised.
 
+#![allow(clippy::unwrap_used, clippy::float_cmp)]
 use rand::RngCore;
 use vod_prealloc::dist::rng::seeded;
 use vod_prealloc::model::{ModelOptions, VcrMix};
