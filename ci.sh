@@ -33,4 +33,7 @@ cargo test -q
 echo "== cross-validation: model vs sim vs server =="
 cargo test --release -q --test cross_validation
 
+echo "== chaos: fault-injection matrix (determinism + conservation, see DESIGN.md §10) =="
+cargo run --release -p vod-bench --bin chaos
+
 echo "CI OK"

@@ -80,6 +80,7 @@ fn main() {
         count_ff_end_as_hit: true,
         collect_trace: false,
         dedicated_capacity: None,
+        faults: vod_runtime::FaultPlan::empty(),
     };
     let free = run_catalog_seeded(&cfg, 2026);
 

@@ -1,0 +1,346 @@
+//! Deterministic fault injection and graceful-degradation policy knobs.
+//!
+//! The paper's sizing model assumes pre-allocated disk streams and buffer
+//! partitions always deliver; the only failure it prices is a resume miss
+//! costing a dedicated stream. This module supplies the vocabulary for the
+//! failures the model omits: a [`FaultPlan`] schedules faults at virtual-time
+//! tick boundaries (so every run is reproducible from `(seed, plan)` alone),
+//! and a [`DegradePolicy`] parameterizes how a driver responds — bounded
+//! re-wait for batch viewers, deterministic retry backoff for dedicated
+//! streams, and a timeout that falls back to batch admission. The types are
+//! driver-agnostic: `vod-server` applies them on its integer tick grid, and
+//! `vod-sim` mirrors the capacity effects in continuous time.
+
+/// One kind of injected fault. All parameters are integers on the virtual
+/// tick grid, so a plan has a single meaning on every driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Permanently remove `count` disk streams from service. Free streams
+    /// fail first; if the free pool is short, in-use streams are revoked
+    /// (the server picks victims deterministically).
+    DiskStreamLoss {
+        /// Streams removed.
+        count: u32,
+    },
+    /// Transient outage: remove `count` disk streams now, restore however
+    /// many were actually removed `recover_after` ticks later.
+    DiskOutage {
+        /// Streams removed at the fault instant.
+        count: u32,
+        /// Ticks until the removed streams return to service.
+        recover_after: u64,
+    },
+    /// Disk slowdown: for `duration` ticks, streams serve a segment only
+    /// on ticks divisible by `period` (so `period = 1` is a no-op and
+    /// `period = 2` halves throughput).
+    DiskSlowdown {
+        /// Serve only every `period`-th tick.
+        period: u32,
+        /// Ticks the slowdown lasts.
+        duration: u64,
+    },
+    /// Shrink the shared buffer budget by `segments` segments. A driver
+    /// that is overcommitted afterwards must evict partitions (degrading
+    /// their enrolled viewers) until accounting is conserved again.
+    BufferShrink {
+        /// Segments removed from the budget.
+        segments: u32,
+    },
+    /// Return `segments` segments to the buffer budget (recovery from an
+    /// earlier [`FaultKind::BufferShrink`]).
+    BufferRestore {
+        /// Segments returned to the budget.
+        segments: u32,
+    },
+}
+
+impl FaultKind {
+    /// Stable machine-readable tag used in JSON reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::DiskStreamLoss { .. } => "disk_stream_loss",
+            FaultKind::DiskOutage { .. } => "disk_outage",
+            FaultKind::DiskSlowdown { .. } => "disk_slowdown",
+            FaultKind::BufferShrink { .. } => "buffer_shrink",
+            FaultKind::BufferRestore { .. } => "buffer_restore",
+        }
+    }
+
+    fn json_params(&self) -> String {
+        match *self {
+            FaultKind::DiskStreamLoss { count } => format!("\"count\":{count}"),
+            FaultKind::DiskOutage {
+                count,
+                recover_after,
+            } => format!("\"count\":{count},\"recover_after\":{recover_after}"),
+            FaultKind::DiskSlowdown { period, duration } => {
+                format!("\"period\":{period},\"duration\":{duration}")
+            }
+            FaultKind::BufferShrink { segments } => format!("\"segments\":{segments}"),
+            FaultKind::BufferRestore { segments } => format!("\"segments\":{segments}"),
+        }
+    }
+}
+
+/// A fault scheduled at a virtual-time tick boundary: applied at the top
+/// of tick `at`, before any stream advances or session acts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Tick at which the fault is applied.
+    pub at: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// JSON object (stable key order) for chaos reports.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"at\":{},\"kind\":\"{}\",{}}}",
+            self.at,
+            self.kind.tag(),
+            self.kind.json_params()
+        )
+    }
+}
+
+/// A deterministic, serializable schedule of faults. Events are kept
+/// sorted by tick (stable for equal ticks, preserving push order), so a
+/// driver consumes them with a single forward cursor and two runs with the
+/// same `(seed, plan)` see bitwise-identical fault sequences.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: injects nothing, leaving driver behavior bitwise
+    /// identical to a run without fault injection.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// A plan from explicit events (sorted by tick, stably).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { events }
+    }
+
+    /// Add one event, keeping the schedule sorted.
+    pub fn push(&mut self, event: FaultEvent) {
+        let idx = self.events.partition_point(|e| e.at <= event.at);
+        self.events.insert(idx, event);
+    }
+
+    /// No events scheduled?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// All events in schedule order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The events scheduled exactly at tick `t`.
+    pub fn events_at(&self, t: u64) -> &[FaultEvent] {
+        let lo = self.events.partition_point(|e| e.at < t);
+        let hi = self.events.partition_point(|e| e.at <= t);
+        &self.events[lo..hi]
+    }
+
+    /// Generate a random plan of `events` faults over `[horizon/8, horizon)`
+    /// from `seed`, using an inline SplitMix64 generator (integer-only, so
+    /// the plan is identical on every platform). The mix cycles through all
+    /// five fault kinds with small, recoverable magnitudes; `BufferRestore`
+    /// events are paired after shrinks so the budget trends back up.
+    pub fn generate(seed: u64, horizon: u64, events: u32) -> Self {
+        let mut state = seed ^ 0x5DEECE66D;
+        let lo = horizon / 8;
+        let span = horizon.saturating_sub(lo).max(1);
+        let mut plan = Vec::new();
+        let mut shrunk: u32 = 0;
+        for i in 0..events {
+            let at = lo + splitmix64(&mut state) % span;
+            let roll = splitmix64(&mut state);
+            let kind = match i % 5 {
+                0 => FaultKind::DiskStreamLoss {
+                    count: 1 + (roll % 2) as u32,
+                },
+                1 => FaultKind::DiskOutage {
+                    count: 1 + (roll % 2) as u32,
+                    recover_after: 5 + roll % 40,
+                },
+                2 => FaultKind::DiskSlowdown {
+                    period: 2 + (roll % 2) as u32,
+                    duration: 10 + roll % 50,
+                },
+                3 => {
+                    let segments = 1 + (roll % 8) as u32;
+                    shrunk += segments;
+                    FaultKind::BufferShrink { segments }
+                }
+                _ => {
+                    let segments = shrunk.max(1);
+                    shrunk = 0;
+                    FaultKind::BufferRestore { segments }
+                }
+            };
+            plan.push(FaultEvent { at, kind });
+        }
+        Self::new(plan)
+    }
+
+    /// JSON array of events (one line, stable key order) so chaos reports
+    /// embed the exact plan they ran.
+    pub fn to_json(&self) -> String {
+        let body = self
+            .events
+            .iter()
+            .map(FaultEvent::to_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("[{body}]")
+    }
+}
+
+/// SplitMix64 step: the standard finalizer-mix generator, inlined so this
+/// crate stays dependency-free while fault-plan generation remains seeded
+/// and platform-independent.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Knobs for a driver's graceful-degradation state machine. All delays are
+/// virtual-time ticks, so the policy is deterministic by construction.
+///
+/// The server applies it to sessions whose stream or partition was lost:
+///
+/// 1. For the first [`DegradePolicy::rewait_bound`] ticks the session only
+///    waits for a live partition window to sweep back over its position
+///    (batch rejoin — free, and structurally bounded by one restart
+///    interval `T` when restarts keep succeeding).
+/// 2. After the bound, the session additionally retries dedicated-stream
+///    acquisition with exponential backoff from
+///    [`DegradePolicy::retry_backoff`] up to
+///    [`DegradePolicy::retry_backoff_cap`].
+/// 3. After [`DegradePolicy::retry_timeout`] ticks degraded, retries stop
+///    (their denials resolve as permanent) and the session falls back to
+///    pure batch admission: it keeps waiting for a window rejoin and is
+///    never dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Ticks a degraded session waits batch-only before dedicated retries.
+    pub rewait_bound: u64,
+    /// Initial backoff (ticks) between dedicated-stream retries.
+    pub retry_backoff: u64,
+    /// Backoff cap (ticks); doubling stops here.
+    pub retry_backoff_cap: u64,
+    /// Ticks after degradation entry when dedicated retries stop for good.
+    pub retry_timeout: u64,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        Self {
+            rewait_bound: 2,
+            retry_backoff: 1,
+            retry_backoff_cap: 8,
+            retry_timeout: 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_sorts_and_indexes_by_tick() {
+        let mut plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: 9,
+                kind: FaultKind::DiskStreamLoss { count: 1 },
+            },
+            FaultEvent {
+                at: 3,
+                kind: FaultKind::BufferShrink { segments: 2 },
+            },
+        ]);
+        plan.push(FaultEvent {
+            at: 3,
+            kind: FaultKind::DiskSlowdown {
+                period: 2,
+                duration: 5,
+            },
+        });
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.events()[0].at, 3);
+        assert_eq!(plan.events_at(3).len(), 2);
+        // Stable for equal ticks: the pushed slowdown lands after the shrink.
+        assert_eq!(
+            plan.events_at(3)[0].kind,
+            FaultKind::BufferShrink { segments: 2 }
+        );
+        assert_eq!(plan.events_at(9).len(), 1);
+        assert!(plan.events_at(4).is_empty());
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::empty().is_empty());
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_bounded() {
+        let a = FaultPlan::generate(42, 1000, 10);
+        let b = FaultPlan::generate(42, 1000, 10);
+        assert_eq!(a, b, "same seed must give the same plan");
+        assert_ne!(a, FaultPlan::generate(43, 1000, 10));
+        assert_eq!(a.len(), 10);
+        for e in a.events() {
+            assert!(e.at >= 125 && e.at < 1000, "event at {} out of range", e.at);
+        }
+        // All five kinds appear with a 10-event cycle.
+        let tags: Vec<_> = a.events().iter().map(|e| e.kind.tag()).collect();
+        for tag in [
+            "disk_stream_loss",
+            "disk_outage",
+            "disk_slowdown",
+            "buffer_shrink",
+            "buffer_restore",
+        ] {
+            assert!(tags.contains(&tag), "missing kind {tag}");
+        }
+    }
+
+    #[test]
+    fn json_embeds_kind_and_params() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 7,
+            kind: FaultKind::DiskOutage {
+                count: 2,
+                recover_after: 11,
+            },
+        }]);
+        let j = plan.to_json();
+        assert_eq!(
+            j,
+            "[{\"at\":7,\"kind\":\"disk_outage\",\"count\":2,\"recover_after\":11}]"
+        );
+        assert_eq!(FaultPlan::empty().to_json(), "[]");
+    }
+
+    #[test]
+    fn default_policy_orders_its_phases() {
+        let p = DegradePolicy::default();
+        assert!(p.rewait_bound < p.retry_timeout);
+        assert!(p.retry_backoff <= p.retry_backoff_cap);
+    }
+}

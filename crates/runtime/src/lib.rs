@@ -22,6 +22,9 @@
 //! * [`RuntimeMetrics`] — the unified measurement vocabulary
 //!   `ServerMetrics` and `SimReport` are built on, with JSON export so
 //!   bench bins can diff server-vs-sim-vs-model directly.
+//! * [`FaultPlan`] / [`DegradePolicy`] — deterministic, virtual-time
+//!   fault schedules and the graceful-degradation knobs (bounded re-wait,
+//!   retry backoff, batch-admission fallback) both drivers honor.
 //!
 //! The drivers (`vod-server`, `vod-sim`) stay thin: they own event loops
 //! and data paths, never semantics.
@@ -31,12 +34,14 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
+mod degrade;
 mod metrics;
 mod quantize;
 mod reserve;
 mod vcr;
 mod windows;
 
+pub use degrade::{DegradePolicy, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{kind_index, RuntimeMetrics};
 pub use quantize::QuantizedGeometry;
 pub use reserve::StreamReserve;

@@ -60,9 +60,41 @@ pub struct RuntimeMetrics {
     pub dedicated_avg: f64,
     /// Peak dedicated streams in use over the measured window.
     pub dedicated_peak: f64,
+    /// Dedicated-stream denials whose retry later succeeded (classified at
+    /// resolution time by [`StreamReserve`](crate::StreamReserve)
+    /// accounting). Counted at issue-time denials and at the server's
+    /// degraded-session retries; the pre-existing pause-starvation retry
+    /// loop keeps its own `resume_starved` counter and is not reclassified.
+    pub denied_transient: u64,
+    /// Dedicated-stream denials refused for good: issue-time Erlang loss,
+    /// or a degraded session whose retry sequence timed out.
+    pub denied_permanent: u64,
+    /// Fault events actually applied by the driver (a sim run ignores
+    /// tick-grid-only kinds such as disk slowdown and does not count them).
+    pub faults_injected: u64,
+    /// Sessions that entered the degraded re-wait state after losing their
+    /// stream or partition (server-only; the sim has no session objects to
+    /// degrade — capacity faults surface there as denials/starvation).
+    pub degraded_entries: u64,
+    /// Degraded sessions recovered by a partition window sweeping back
+    /// over their position (batch rejoin — the free path).
+    pub degraded_rejoined: u64,
+    /// Degraded sessions recovered by a successful dedicated-stream retry.
+    pub degraded_dedicated: u64,
+    /// Viewer-minutes spent in the degraded re-wait state.
+    pub rewait_minutes: f64,
+    /// Viewer-minutes in which delivery stalled because the disk was in a
+    /// slowdown fault and the session's segment was not yet produced.
+    pub stall_minutes: f64,
 }
 
 impl RuntimeMetrics {
+    /// Version of the JSON shape emitted by [`RuntimeMetrics::to_json`];
+    /// bumped whenever fields are added or renamed so `results/*.json`
+    /// consumers can detect shape changes. Version 2 added the fault /
+    /// degradation fields and this marker itself (version 1 had neither).
+    pub const SCHEMA_VERSION: u32 = 2;
+
     /// Fresh, all-zero metrics.
     pub fn new() -> Self {
         Self::default()
@@ -112,6 +144,102 @@ impl RuntimeMetrics {
         self.disk_minutes += other.disk_minutes;
         self.dedicated_avg = self.dedicated_avg.max(other.dedicated_avg);
         self.dedicated_peak = self.dedicated_peak.max(other.dedicated_peak);
+        self.denied_transient += other.denied_transient;
+        self.denied_permanent += other.denied_permanent;
+        self.faults_injected += other.faults_injected;
+        self.degraded_entries += other.degraded_entries;
+        self.degraded_rejoined += other.degraded_rejoined;
+        self.degraded_dedicated += other.degraded_dedicated;
+        self.rewait_minutes += other.rewait_minutes;
+        self.stall_minutes += other.stall_minutes;
+    }
+
+    /// Counters in `later` that went *backwards* relative to `self`
+    /// (field names). Every cumulative counter must be non-decreasing
+    /// tick over tick; the chaos harness checks this each tick.
+    /// Occupancy statistics (`dedicated_avg`/`dedicated_peak`) are
+    /// time-averaged/windowed, not cumulative, and are excluded.
+    pub fn monotone_violations(&self, later: &RuntimeMetrics) -> Vec<&'static str> {
+        let mut bad = Vec::new();
+        let u64_fields: [(&'static str, u64, u64); 16] = [
+            ("resume_hits", self.resumes.hits(), later.resumes.hits()),
+            (
+                "resume_trials",
+                self.resumes.trials(),
+                later.resumes.trials(),
+            ),
+            ("ff_end", self.ff_end, later.ff_end),
+            ("rw_truncated", self.rw_truncated, later.rw_truncated),
+            ("vcr_denied", self.vcr_denied, later.vcr_denied),
+            ("resume_starved", self.resume_starved, later.resume_starved),
+            (
+                "acquisition_attempts",
+                self.acquisition_attempts,
+                later.acquisition_attempts,
+            ),
+            (
+                "restart_failures",
+                self.restart_failures,
+                later.restart_failures,
+            ),
+            (
+                "denied_transient",
+                self.denied_transient,
+                later.denied_transient,
+            ),
+            (
+                "denied_permanent",
+                self.denied_permanent,
+                later.denied_permanent,
+            ),
+            (
+                "faults_injected",
+                self.faults_injected,
+                later.faults_injected,
+            ),
+            (
+                "degraded_entries",
+                self.degraded_entries,
+                later.degraded_entries,
+            ),
+            (
+                "degraded_rejoined",
+                self.degraded_rejoined,
+                later.degraded_rejoined,
+            ),
+            (
+                "degraded_dedicated",
+                self.degraded_dedicated,
+                later.degraded_dedicated,
+            ),
+            (
+                "ff_trials",
+                self.resumes_by_kind[0].trials(),
+                later.resumes_by_kind[0].trials(),
+            ),
+            (
+                "rw_trials",
+                self.resumes_by_kind[1].trials(),
+                later.resumes_by_kind[1].trials(),
+            ),
+        ];
+        for (name, before, after) in u64_fields {
+            if after < before {
+                bad.push(name);
+            }
+        }
+        let f64_fields: [(&'static str, f64, f64); 4] = [
+            ("buffer_minutes", self.buffer_minutes, later.buffer_minutes),
+            ("disk_minutes", self.disk_minutes, later.disk_minutes),
+            ("rewait_minutes", self.rewait_minutes, later.rewait_minutes),
+            ("stall_minutes", self.stall_minutes, later.stall_minutes),
+        ];
+        for (name, before, after) in f64_fields {
+            if after < before {
+                bad.push(name);
+            }
+        }
+        bad
     }
 
     /// JSON object (one line, stable key order) for bench bins that diff
@@ -133,13 +261,19 @@ impl RuntimeMetrics {
             .join(",");
         format!(
             concat!(
-                "{{\"hit_ratio\":{},\"resume_hits\":{},\"resume_trials\":{},",
+                "{{\"schema_version\":{},",
+                "\"hit_ratio\":{},\"resume_hits\":{},\"resume_trials\":{},",
                 "\"per_kind\":{{{}}},\"ff_end\":{},\"rw_truncated\":{},",
                 "\"vcr_denied\":{},\"resume_starved\":{},",
                 "\"acquisition_attempts\":{},\"restart_failures\":{},",
                 "\"buffer_minutes\":{},\"disk_minutes\":{},",
-                "\"dedicated_avg\":{},\"dedicated_peak\":{}}}"
+                "\"dedicated_avg\":{},\"dedicated_peak\":{},",
+                "\"denied_transient\":{},\"denied_permanent\":{},",
+                "\"faults_injected\":{},\"degraded_entries\":{},",
+                "\"degraded_rejoined\":{},\"degraded_dedicated\":{},",
+                "\"rewait_minutes\":{},\"stall_minutes\":{}}}"
             ),
+            Self::SCHEMA_VERSION,
             self.hit_ratio(),
             self.resumes.hits(),
             self.resumes.trials(),
@@ -154,6 +288,14 @@ impl RuntimeMetrics {
             self.disk_minutes,
             self.dedicated_avg,
             self.dedicated_peak,
+            self.denied_transient,
+            self.denied_permanent,
+            self.faults_injected,
+            self.degraded_entries,
+            self.degraded_rejoined,
+            self.degraded_dedicated,
+            self.rewait_minutes,
+            self.stall_minutes,
         )
     }
 }
@@ -201,12 +343,56 @@ mod tests {
     }
 
     #[test]
+    fn merge_sums_fault_fields() {
+        let mut a = RuntimeMetrics::new();
+        a.denied_transient = 1;
+        a.faults_injected = 2;
+        a.rewait_minutes = 3.0;
+        let mut b = RuntimeMetrics::new();
+        b.denied_transient = 4;
+        b.denied_permanent = 5;
+        b.degraded_entries = 6;
+        b.rewait_minutes = 1.5;
+        a.merge(&b);
+        assert_eq!(a.denied_transient, 5);
+        assert_eq!(a.denied_permanent, 5);
+        assert_eq!(a.faults_injected, 2);
+        assert_eq!(a.degraded_entries, 6);
+        assert_eq!(a.rewait_minutes, 4.5);
+    }
+
+    #[test]
+    fn monotone_violations_flags_regressions_only() {
+        let mut before = RuntimeMetrics::new();
+        before.vcr_denied = 3;
+        before.buffer_minutes = 10.0;
+        before.dedicated_avg = 2.0;
+        let mut after = before.clone();
+        after.vcr_denied = 4;
+        after.buffer_minutes = 12.0;
+        after.dedicated_avg = 1.0; // windowed stat, allowed to fall
+        assert!(before.monotone_violations(&after).is_empty());
+        after.vcr_denied = 2;
+        after.stall_minutes = -1.0;
+        let bad = before.monotone_violations(&after);
+        assert!(bad.contains(&"vcr_denied"));
+        assert!(bad.contains(&"stall_minutes"));
+        assert_eq!(bad.len(), 2);
+    }
+
+    #[test]
     fn json_is_parseable_shape() {
         let mut m = RuntimeMetrics::new();
         m.record_resume(VcrKind::FastForward, true);
         m.buffer_minutes = 12.5;
         let j = m.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(
+            j.starts_with("{\"schema_version\":2,"),
+            "schema marker must lead so consumers can sniff the shape: {j}"
+        );
+        assert!(j.contains("\"denied_transient\":0"));
+        assert!(j.contains("\"stall_minutes\":0"));
         assert!(j.contains("\"hit_ratio\":1"));
         assert!(j.contains("\"buffer_minutes\":12.5"));
         assert!(j.contains("\"ff\":{\"hits\":1,\"trials\":1"));

@@ -16,6 +16,9 @@ use vod_workload::TimeWeighted;
 pub struct StreamReserve {
     capacity: Option<u32>,
     in_use: u32,
+    failed: u32,
+    denied_transient: u64,
+    denied_permanent: u64,
     t0: f64,
     occupancy: TimeWeighted,
 }
@@ -27,6 +30,9 @@ impl StreamReserve {
         Self {
             capacity,
             in_use: 0,
+            failed: 0,
+            denied_transient: 0,
+            denied_permanent: 0,
             t0: 0.0,
             occupancy: TimeWeighted::new(0.0, 0.0),
         }
@@ -52,18 +58,81 @@ impl StreamReserve {
         self.in_use
     }
 
+    /// Streams removed from service by injected faults.
+    pub fn failed(&self) -> u32 {
+        self.failed
+    }
+
+    /// Streams currently free (`capacity − in_use − failed`); `None` for
+    /// an unbounded reserve.
+    pub fn free(&self) -> Option<u32> {
+        self.capacity
+            .map(|cap| cap.saturating_sub(self.in_use).saturating_sub(self.failed))
+    }
+
     /// Try to take one stream at time `t`. Returns `false` — a denial or
     /// a starvation, the *caller's* policy decides which — when the cap
-    /// is reached.
+    /// (less any failed streams) is reached.
     pub fn try_acquire(&mut self, t: f64) -> bool {
         if let Some(cap) = self.capacity {
-            if self.in_use >= cap {
+            if self.in_use + self.failed >= cap {
                 return false;
             }
         }
         self.in_use += 1;
         self.occupancy.add(t, 1.0);
         true
+    }
+
+    /// Remove up to `count` **free** streams from service (fault
+    /// injection). Returns how many were actually removed; in-use holds
+    /// are never revoked here — a driver that must revoke live leases does
+    /// so itself and releases them through [`StreamReserve::release`]
+    /// before re-failing. Unbounded reserves cannot lose streams (0).
+    ///
+    /// Conservation — `in_use + free + failed == capacity` — holds across
+    /// every call.
+    pub fn fail_streams(&mut self, count: u32) -> u32 {
+        let Some(free) = self.free() else { return 0 };
+        let removed = count.min(free);
+        self.failed += removed;
+        removed
+    }
+
+    /// Return up to `count` previously failed streams to service. Returns
+    /// how many actually recovered.
+    pub fn recover_streams(&mut self, count: u32) -> u32 {
+        let recovered = count.min(self.failed);
+        self.failed -= recovered;
+        recovered
+    }
+
+    /// Record `count` classified denial outcomes: `transient` when a
+    /// later retry of the same request obtained a stream, permanent when
+    /// the request was refused for good (issue-time Erlang loss, or a
+    /// degraded session whose retry sequence timed out). Classification
+    /// happens at resolution time, so totals are exact, not provisional.
+    pub fn record_denials(&mut self, count: u64, transient: bool) {
+        if transient {
+            self.denied_transient += count;
+        } else {
+            self.denied_permanent += count;
+        }
+    }
+
+    /// Denials whose retry later succeeded.
+    pub fn denied_transient(&self) -> u64 {
+        self.denied_transient
+    }
+
+    /// Denials refused for good (no retry, or retries timed out).
+    pub fn denied_permanent(&self) -> u64 {
+        self.denied_permanent
+    }
+
+    /// All classified denials.
+    pub fn denied_total(&self) -> u64 {
+        self.denied_transient + self.denied_permanent
     }
 
     /// Return one stream at time `t`.
@@ -78,10 +147,14 @@ impl StreamReserve {
 
     /// Restart occupancy measurement at time `t`, keeping current holds
     /// (used to discard a warm-up period; the peak also resets to the
-    /// current value).
+    /// current value). Denial tallies reset too — they are measured-window
+    /// statistics like occupancy — but failed streams stay failed: a fault
+    /// is a physical condition, not a measurement.
     pub fn rebaseline(&mut self, t: f64) {
         self.t0 = t;
         self.occupancy = TimeWeighted::new(t, self.in_use as f64);
+        self.denied_transient = 0;
+        self.denied_permanent = 0;
     }
 
     /// Time-averaged streams in use over `[baseline, until]`.
@@ -146,5 +219,44 @@ mod tests {
     fn unbalanced_release_panics() {
         let mut r = StreamReserve::unbounded();
         r.release(0.0);
+    }
+
+    #[test]
+    fn failed_streams_shrink_effective_capacity() {
+        let mut r = StreamReserve::with_capacity(3);
+        assert!(r.try_acquire(0.0));
+        assert_eq!(r.fail_streams(5), 2, "only free streams can fail");
+        assert_eq!(r.failed(), 2);
+        assert_eq!(r.free(), Some(0));
+        assert!(!r.try_acquire(1.0), "failed streams are not acquirable");
+        assert_eq!(r.in_use() + r.free().unwrap() + r.failed(), 3);
+        assert_eq!(r.recover_streams(1), 1);
+        assert!(r.try_acquire(2.0), "recovered stream serves again");
+        assert_eq!(r.recover_streams(9), 1, "recovery capped at failed count");
+        assert_eq!(r.failed(), 0);
+    }
+
+    #[test]
+    fn unbounded_reserve_cannot_fail() {
+        let mut r = StreamReserve::unbounded();
+        assert_eq!(r.fail_streams(4), 0);
+        assert_eq!(r.failed(), 0);
+        assert_eq!(r.free(), None);
+        assert!(r.try_acquire(0.0));
+    }
+
+    #[test]
+    fn denial_taxonomy_tallies_and_rebaselines() {
+        let mut r = StreamReserve::with_capacity(1);
+        r.record_denials(2, false);
+        r.record_denials(3, true);
+        assert_eq!(r.denied_permanent(), 2);
+        assert_eq!(r.denied_transient(), 3);
+        assert_eq!(r.denied_total(), 5);
+        assert!(r.try_acquire(0.0));
+        assert_eq!(r.fail_streams(1), 0, "no free stream left to fail");
+        r.rebaseline(10.0);
+        assert_eq!(r.denied_total(), 0, "denials are measured-window stats");
+        assert_eq!(r.in_use(), 1, "holds survive the rebaseline");
     }
 }

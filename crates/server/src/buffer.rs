@@ -61,9 +61,31 @@ impl BufferPool {
         self.used
     }
 
-    /// Segments still unallocated.
+    /// Segments still unallocated (0 while overcommitted after a shrink).
     pub fn available(&self) -> usize {
-        self.budget - self.used
+        self.budget.saturating_sub(self.used)
+    }
+
+    /// Shrink the budget by up to `segments` (fault injection). Existing
+    /// reservations are untouched, so the pool may be left overcommitted;
+    /// the owner must evict partitions until
+    /// [`BufferPool::overcommitted`] is 0 again. Returns the segments
+    /// actually removed from the budget.
+    pub fn shrink(&mut self, segments: usize) -> usize {
+        let removed = segments.min(self.budget);
+        self.budget -= removed;
+        removed
+    }
+
+    /// Return `segments` to the budget (recovery from a shrink).
+    pub fn grow(&mut self, segments: usize) {
+        self.budget += segments;
+    }
+
+    /// Segments reserved beyond the current budget (nonzero only after a
+    /// shrink, until the owner evicts partitions to fit again).
+    pub fn overcommitted(&self) -> usize {
+        self.used.saturating_sub(self.budget)
     }
 
     /// Reserve space for a partition of `capacity` segments.
@@ -194,6 +216,25 @@ mod tests {
         p.release(6);
         assert_eq!(p.available(), 6);
         assert_eq!(p.used(), 4);
+    }
+
+    #[test]
+    fn shrink_and_grow_track_overcommit() {
+        let mut p = BufferPool::new(10);
+        p.reserve(8).unwrap();
+        assert_eq!(p.shrink(4), 4);
+        assert_eq!(p.budget(), 6);
+        assert_eq!(p.overcommitted(), 2);
+        assert_eq!(p.available(), 0, "no headroom while overcommitted");
+        assert!(matches!(p.reserve(1), Err(BufferError::Exhausted { .. })));
+        p.release(4); // evicting a partition clears the overcommit
+        assert_eq!(p.overcommitted(), 0);
+        assert_eq!(p.available(), 2);
+        p.grow(4);
+        assert_eq!(p.budget(), 10);
+        assert_eq!(p.available(), 6);
+        assert_eq!(p.shrink(100), 10, "shrink capped at the budget");
+        assert_eq!(p.budget(), 0);
     }
 
     #[test]

@@ -61,6 +61,9 @@ impl std::error::Error for DiskError {}
 pub struct DiskSubsystem {
     capacity: u32,
     active: Vec<u64>,
+    /// Streams removed from service by injected faults. Conservation —
+    /// `in_use + available + failed == capacity` — holds at all times.
+    failed: u32,
     next_lease: u64,
     reads: u64,
     /// Known movie lengths for bounds checking, indexed by `MovieId`.
@@ -73,6 +76,7 @@ impl DiskSubsystem {
         Self {
             capacity,
             active: Vec::new(),
+            failed: 0,
             next_lease: 0,
             reads: 0,
             lengths: std::collections::BTreeMap::new(),
@@ -94,9 +98,16 @@ impl DiskSubsystem {
         self.active.len() as u32
     }
 
-    /// Streams currently free.
+    /// Streams currently free (capacity less in-use and failed).
     pub fn available(&self) -> u32 {
-        self.capacity - self.in_use()
+        self.capacity
+            .saturating_sub(self.in_use())
+            .saturating_sub(self.failed)
+    }
+
+    /// Streams removed from service by injected faults.
+    pub fn failed(&self) -> u32 {
+        self.failed
     }
 
     /// Total segment reads served (for throughput accounting).
@@ -106,7 +117,7 @@ impl DiskSubsystem {
 
     /// Acquire a stream lease.
     pub fn acquire(&mut self) -> Result<StreamLease, DiskError> {
-        if self.in_use() >= self.capacity {
+        if self.in_use() + self.failed >= self.capacity {
             return Err(DiskError::Saturated {
                 capacity: self.capacity,
             });
@@ -116,6 +127,37 @@ impl DiskSubsystem {
         Ok(StreamLease {
             id: self.next_lease,
         })
+    }
+
+    /// Remove `count` streams from service (fault injection). Free
+    /// streams fail first; any shortfall revokes in-use leases, newest
+    /// lease first (a deterministic victim order — the most recently
+    /// granted stream is the cheapest to lose). Returns the revoked lease
+    /// ids so the server can degrade their holders; reads through a
+    /// revoked lease fail with [`DiskError::StaleLease`] from here on.
+    /// At most `capacity − failed` streams can fail in total.
+    pub fn fail_streams(&mut self, count: u32) -> Vec<u64> {
+        let total = count.min(self.capacity.saturating_sub(self.failed));
+        let from_free = total.min(self.available());
+        self.failed += from_free;
+        let to_revoke = (total - from_free) as usize;
+        let mut revoked = Vec::with_capacity(to_revoke);
+        for _ in 0..to_revoke {
+            let Some((pos, _)) = self.active.iter().enumerate().max_by_key(|(_, &id)| id) else {
+                break;
+            };
+            revoked.push(self.active.swap_remove(pos));
+            self.failed += 1;
+        }
+        revoked
+    }
+
+    /// Return up to `count` previously failed streams to service; returns
+    /// how many actually recovered.
+    pub fn recover_streams(&mut self, count: u32) -> u32 {
+        let recovered = count.min(self.failed);
+        self.failed -= recovered;
+        recovered
     }
 
     /// Release a lease.
@@ -183,6 +225,44 @@ mod tests {
             d.read(&lease, MovieId(7), 120),
             Err(DiskError::OutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn fail_prefers_free_streams_then_revokes_newest() {
+        let mut d = DiskSubsystem::new(4);
+        d.register_movie(MovieId(1), 10);
+        let a = d.acquire().unwrap();
+        let b = d.acquire().unwrap();
+        // 2 free: failing 3 consumes both free streams, then revokes the
+        // newest lease (b).
+        let revoked = d.fail_streams(3);
+        assert_eq!(revoked, vec![b.id()]);
+        assert_eq!(d.failed(), 3);
+        assert_eq!(d.in_use(), 1);
+        assert_eq!(d.available(), 0);
+        assert_eq!(d.in_use() + d.available() + d.failed(), d.capacity());
+        assert!(matches!(d.acquire(), Err(DiskError::Saturated { .. })));
+        assert!(
+            matches!(d.read(&b, MovieId(1), 0), Err(DiskError::StaleLease)),
+            "revoked lease must be dead"
+        );
+        assert!(d.read(&a, MovieId(1), 0).is_ok(), "survivor still serves");
+        assert_eq!(d.recover_streams(2), 2);
+        assert!(d.acquire().is_ok());
+        assert_eq!(d.recover_streams(5), 1, "recovery capped at failed");
+        assert_eq!(d.failed(), 0);
+    }
+
+    #[test]
+    fn fail_capped_at_remaining_capacity() {
+        let mut d = DiskSubsystem::new(2);
+        let a = d.acquire().unwrap();
+        let revoked = d.fail_streams(10);
+        assert_eq!(revoked, vec![a.id()], "everything fails, nothing twice");
+        assert_eq!(d.failed(), 2);
+        assert_eq!(d.fail_streams(1), Vec::<u64>::new());
+        assert_eq!(d.failed(), 2);
+        assert_eq!(d.in_use() + d.available() + d.failed(), d.capacity());
     }
 
     #[test]

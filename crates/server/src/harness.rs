@@ -12,7 +12,7 @@
 //! (tolerances live in the cross-validation test).
 
 use vod_dist::rng::{exponential, seeded};
-use vod_runtime::RuntimeMetrics;
+use vod_runtime::{DegradePolicy, FaultPlan, RuntimeMetrics};
 use vod_workload::BehaviorModel;
 
 use crate::content::MovieId;
@@ -36,24 +36,91 @@ pub struct HarnessConfig {
     pub measure: u64,
 }
 
+/// Result of one [`run_chaos`] run: the measured metrics plus everything
+/// the per-tick invariant checks observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOutcome {
+    /// Measured [`RuntimeMetrics`] (same vocabulary as [`run_harness`]).
+    pub metrics: RuntimeMetrics,
+    /// Total per-tick invariant and monotonicity violations observed.
+    pub violation_count: u64,
+    /// First few violation descriptions, `"t=<tick>: <what>"` (capped so
+    /// a badly broken run cannot exhaust memory).
+    pub violations: Vec<String>,
+    /// Sessions the workload opened over the whole run.
+    pub sessions_opened: u64,
+    /// Sessions that reached `Done` (finished or closed) by the end.
+    pub sessions_done: u64,
+    /// Sessions still degraded when the run ended.
+    pub degraded_at_end: u32,
+    /// Ticks driven (warm-up + measured).
+    pub ticks: u64,
+}
+
+/// Cap on stored violation strings in a [`ChaosOutcome`].
+const MAX_VIOLATION_REPORTS: usize = 16;
+
 /// Drive the server with a seeded workload and return the measured
 /// [`RuntimeMetrics`]. Same seed, same config ⇒ bitwise-identical
 /// metrics (asserted by the cross-validation test).
 pub fn run_harness(cfg: &HarnessConfig, seed: u64) -> RuntimeMetrics {
+    run_driver(
+        cfg,
+        seed,
+        &FaultPlan::empty(),
+        DegradePolicy::default(),
+        false,
+    )
+    .metrics
+}
+
+/// Drive the server with the same seeded workload as [`run_harness`]
+/// while injecting `plan`, checking conservation invariants and metrics
+/// monotonicity after **every tick**. With an empty plan this is
+/// [`run_harness`] plus checks: the same driver runs underneath, so the
+/// metrics are bitwise identical by construction.
+pub fn run_chaos(
+    cfg: &HarnessConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: DegradePolicy,
+) -> ChaosOutcome {
+    run_driver(cfg, seed, plan, policy, true)
+}
+
+/// The single driver underneath [`run_harness`] and [`run_chaos`]. The
+/// RNG consumption order never depends on `plan` or `check`, so the
+/// fault-free workload sequence is identical across both entry points.
+fn run_driver(
+    cfg: &HarnessConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: DegradePolicy,
+    check: bool,
+) -> ChaosOutcome {
     let mut server = VodServer::new(cfg.server.clone());
+    server.inject_faults(plan.clone(), policy);
     let mut rng = seeded(seed);
     let mut next_arrival = exponential(&mut rng, cfg.mean_interarrival);
     // (session, tick at which its next interaction is due)
     let mut pending: Vec<(SessionId, u64)> = Vec::new();
     let horizon = cfg.warmup + cfg.measure;
+    let mut sessions_opened: u64 = 0;
+    let mut violation_count: u64 = 0;
+    let mut violations: Vec<String> = Vec::new();
+    let mut prev_rt: Option<RuntimeMetrics> = None;
     for minute in 0..horizon {
         if minute == cfg.warmup {
             server.reset_metrics();
+            // The reset legitimately zeroes counters; restart the
+            // monotonicity baseline with it.
+            prev_rt = None;
         }
         while next_arrival < (minute + 1) as f64 {
             // vod-lint: allow(no-panic) — HarnessConfig ties `movie` to the
             // ServerConfig hosting it; a miss is a harness-construction bug.
             let id = server.open_session(cfg.movie).expect("movie hosted");
+            sessions_opened += 1;
             let gap = cfg.behavior.next_interaction_gap(&mut rng);
             pending.push((id, minute + (gap.ceil() as u64).max(1)));
             next_arrival += exponential(&mut rng, cfg.mean_interarrival);
@@ -81,17 +148,44 @@ pub fn run_harness(cfg: &HarnessConfig, seed: u64) -> RuntimeMetrics {
                     let gap = cfg.behavior.next_interaction_gap(&mut rng);
                     pending[i].1 = minute + (gap.ceil() as u64).max(1);
                 }
-                // Waiting in the batch queue or mid-VCR: the interaction
-                // clock only runs during playback — defer one tick.
-                SessionStatus::Waiting(_) | SessionStatus::InVcr => {
+                // Waiting in the batch queue, mid-VCR, or degraded: the
+                // interaction clock only runs during playback — defer one
+                // tick.
+                SessionStatus::Waiting(_) | SessionStatus::InVcr | SessionStatus::Degraded => {
                     pending[i].1 = minute + 1;
                 }
             }
             i += 1;
         }
         server.tick();
+        if check {
+            let mut record = |what: String| {
+                violation_count += 1;
+                if violations.len() < MAX_VIOLATION_REPORTS {
+                    violations.push(format!("t={minute}: {what}"));
+                }
+            };
+            for what in server.check_invariants() {
+                record(what);
+            }
+            let rt = server.runtime_metrics();
+            if let Some(prev) = &prev_rt {
+                for field in prev.monotone_violations(&rt) {
+                    record(format!("counter `{field}` went backwards"));
+                }
+            }
+            prev_rt = Some(rt);
+        }
     }
-    server.runtime_metrics()
+    ChaosOutcome {
+        metrics: server.runtime_metrics(),
+        violation_count,
+        violations,
+        sessions_opened,
+        sessions_done: server.metrics().sessions_done + server.metrics().sessions_closed_early,
+        degraded_at_end: server.degraded_sessions(),
+        ticks: horizon,
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,17 @@ pub struct ServerMetrics {
     pub sessions_closed_early: u64,
     /// Dedicated streams released by piggyback merges.
     pub piggyback_merges: u64,
+    /// Disk leases revoked out from under their holders by injected
+    /// stream-loss faults (0 in fault-free runs, like the three below).
+    pub leases_revoked: u64,
+    /// Partitions evicted to clear a buffer-shrink overcommit.
+    pub partitions_evicted: u64,
+    /// FF/RW sweeps aborted mid-flight because their lease was revoked.
+    pub sweeps_aborted: u64,
+    /// New VCR phase-1 grants refused by the starvation policy (degraded
+    /// sessions or failed streams present), over and above the reserve's
+    /// ordinary Erlang-loss denials.
+    pub vcr_denied_degraded: u64,
 }
 
 impl ServerMetrics {
@@ -35,6 +46,10 @@ impl ServerMetrics {
             sessions_done: 0,
             sessions_closed_early: 0,
             piggyback_merges: 0,
+            leases_revoked: 0,
+            partitions_evicted: 0,
+            sweeps_aborted: 0,
+            vcr_denied_degraded: 0,
         }
     }
 

@@ -21,7 +21,10 @@
 
 use std::collections::BTreeMap;
 
-use vod_runtime::{QuantizedGeometry, ResumeClass, RuntimeMetrics, StreamReserve};
+use vod_runtime::{
+    DegradePolicy, FaultKind, FaultPlan, QuantizedGeometry, ResumeClass, RuntimeMetrics,
+    StreamReserve,
+};
 use vod_workload::{TimeWeighted, VcrKind};
 
 use crate::buffer::{BufferPool, Partition};
@@ -169,6 +172,10 @@ struct ActiveStream {
     lease: Option<StreamLease>,
     partition: Partition,
     enrolled: u32,
+    /// Next segment index this stream reads from disk. Equal to the
+    /// stream's age on every fault-free tick; a disk-slowdown fault lets
+    /// it lag behind (the stream then serves only every k-th tick).
+    next_read: u32,
 }
 
 struct Session {
@@ -233,6 +240,23 @@ pub struct VodServer {
     /// equivalent to the dynamic check `available > reserved − in_use`
     /// whenever the schedule stays within its pre-allocation.
     reserve: StreamReserve,
+    /// Injected fault schedule (empty unless [`VodServer::inject_faults`]
+    /// was called — and then every fault-only code path below stays
+    /// unreachable, keeping fault-free runs bitwise identical).
+    plan: FaultPlan,
+    /// Degradation policy applied to sessions that lose their resources.
+    policy: DegradePolicy,
+    /// True once a non-empty plan is injected; gates the fault-tolerant
+    /// recovery paths (a fault-free server still fails loudly on
+    /// impossible states instead of silently re-queueing).
+    fault_mode: bool,
+    /// Active disk slowdown: `(period, until)` — streams serve only on
+    /// ticks divisible by `period`, through tick `until` exclusive.
+    slowdown: Option<(u32, u64)>,
+    /// Outage recoveries scheduled by tick: streams to return to service.
+    recovery_due: BTreeMap<u64, u32>,
+    /// Sessions currently in the degraded re-wait state.
+    degraded_count: u32,
 }
 
 impl VodServer {
@@ -263,7 +287,28 @@ impl VodServer {
             metrics: ServerMetrics::new(),
             movie_index,
             reserve,
+            plan: FaultPlan::empty(),
+            policy: DegradePolicy::default(),
+            fault_mode: false,
+            slowdown: None,
+            recovery_due: BTreeMap::new(),
+            degraded_count: 0,
         }
+    }
+
+    /// Arm the server with a fault schedule and a degradation policy.
+    /// Faults apply at the top of each tick, before streams retire, start
+    /// or advance. Injecting an empty plan leaves behavior bitwise
+    /// identical to a server never armed at all.
+    pub fn inject_faults(&mut self, plan: FaultPlan, policy: DegradePolicy) {
+        self.fault_mode = !plan.is_empty();
+        self.plan = plan;
+        self.policy = policy;
+    }
+
+    /// Sessions currently in the degraded re-wait state.
+    pub fn degraded_sessions(&self) -> u32 {
+        self.degraded_count
     }
 
     /// Acquire a disk lease for VCR/dedicated service out of the VCR
@@ -307,7 +352,124 @@ impl VodServer {
         let mut rt = self.metrics.runtime.clone();
         rt.dedicated_avg = self.reserve.average(self.now as f64);
         rt.dedicated_peak = self.reserve.peak();
+        rt.denied_transient = self.reserve.denied_transient();
+        rt.denied_permanent = self.reserve.denied_permanent();
         rt
+    }
+
+    /// Check the server's conservation invariants and return a
+    /// human-readable description of every violation (empty when
+    /// healthy). The chaos harness calls this after every tick; the
+    /// checks are pure reads.
+    ///
+    /// Invariants: stream conservation (`in_use + free + failed ==
+    /// provisioned`, and every in-use stream is held by exactly one
+    /// lease); the VCR reserve's holds equal the session-held leases;
+    /// buffer accounting (partition capacities sum to the pool's `used`,
+    /// never overcommitted between ticks); enrollment counts match the
+    /// sessions pointing at each stream; no session slot is lost; the
+    /// degraded population matches the states.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let disk = &self.disk;
+        if disk.in_use() + disk.available() + disk.failed() != disk.capacity() {
+            v.push(format!(
+                "disk conservation broken: in_use {} + free {} + failed {} != provisioned {}",
+                disk.in_use(),
+                disk.available(),
+                disk.failed(),
+                disk.capacity()
+            ));
+        }
+        let stream_leases = self
+            .streams
+            .iter()
+            .flatten()
+            .filter(|s| s.lease.is_some())
+            .count() as u32;
+        let session_leases = self
+            .sessions
+            .iter()
+            .flatten()
+            .filter(|s| s.lease.is_some())
+            .count() as u32;
+        if stream_leases + session_leases != disk.in_use() {
+            v.push(format!(
+                "lease conservation broken: streams hold {stream_leases}, sessions hold \
+                 {session_leases}, disk says {} in use",
+                disk.in_use()
+            ));
+        }
+        if session_leases != self.reserve.in_use() {
+            v.push(format!(
+                "reserve drift: sessions hold {session_leases} dedicated leases, reserve says {}",
+                self.reserve.in_use()
+            ));
+        }
+        let partition_segments: usize = self
+            .streams
+            .iter()
+            .flatten()
+            .map(|s| s.partition.capacity())
+            .sum();
+        if partition_segments != self.pool.used() {
+            v.push(format!(
+                "buffer accounting broken: partitions total {partition_segments} segments, \
+                 pool says {} used",
+                self.pool.used()
+            ));
+        }
+        if self.pool.overcommitted() != 0 {
+            v.push(format!(
+                "buffer overcommitted between ticks: {} segments beyond budget",
+                self.pool.overcommitted()
+            ));
+        }
+        for (i, slot) in self.streams.iter().enumerate() {
+            let Some(s) = slot else { continue };
+            let readers = self
+                .sessions
+                .iter()
+                .flatten()
+                .filter(
+                    |sess| matches!(sess.state, SessionState::Enrolled { stream } if stream.0 == i),
+                )
+                .count() as u32;
+            if readers != s.enrolled {
+                v.push(format!(
+                    "enrollment drift on stream {i}: {readers} readers vs enrolled {}",
+                    s.enrolled
+                ));
+            }
+        }
+        for (idx, slot) in self.sessions.iter().enumerate() {
+            match slot {
+                None => v.push(format!("session slot {idx} lost (empty)")),
+                Some(sess) => {
+                    if let SessionState::Enrolled { stream } = sess.state {
+                        if self.streams.get(stream.0).is_none_or(|s| s.is_none()) {
+                            v.push(format!(
+                                "session {idx} enrolled in dead stream {}",
+                                stream.0
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let degraded = self
+            .sessions
+            .iter()
+            .flatten()
+            .filter(|s| matches!(s.state, SessionState::Degraded { .. }))
+            .count() as u32;
+        if degraded != self.degraded_count {
+            v.push(format!(
+                "degraded population drift: {degraded} sessions vs counter {}",
+                self.degraded_count
+            ));
+        }
+        v
     }
 
     /// Reset all counters and re-baseline the occupancy statistics at the
@@ -398,10 +560,24 @@ impl VodServer {
         // FF/RW with viewing need a dedicated stream for phase 1.
         let needs_lease = matches!(kind, VcrKind::FastForward | VcrKind::Rewind);
         let new_lease = if needs_lease && !has_lease {
+            // Starvation policy: while degraded sessions wait for streams
+            // or failed streams shrink the pool, new phase-1 grants are
+            // refused outright — playback (and recovery) has priority
+            // over fresh VCR service. Unreachable without injected
+            // faults, so fault-free denial behavior is unchanged.
+            if self.fault_mode && (self.degraded_count > 0 || self.disk.failed() > 0) {
+                self.metrics.runtime.vcr_denied += 1;
+                self.metrics.vcr_denied_degraded += 1;
+                self.reserve.record_denials(1, false);
+                return Err(ServerError::VcrDenied);
+            }
             match self.try_vcr_lease() {
                 Some(lease) => Some(lease),
                 None => {
                     self.metrics.runtime.vcr_denied += 1;
+                    // Issue-time Erlang loss: the viewer stays in the
+                    // batch and never retries this request — permanent.
+                    self.reserve.record_denials(1, false);
                     return Err(ServerError::VcrDenied);
                 }
             }
@@ -451,6 +627,11 @@ impl VodServer {
         };
         let already_done = matches!(live(&self.sessions, idx).state, SessionState::Done);
         if !already_done {
+            // A degraded session that quits resolves its retry denials as
+            // permanent (no retry ever succeeded) and leaves the degraded
+            // population.
+            let pending = self.exit_degraded(idx);
+            self.reserve.record_denials(pending, false);
             let sess = live_mut(&mut self.sessions, idx);
             if let SessionState::Enrolled { stream } = sess.state {
                 if let Some(st) = self.streams[stream.0].as_mut() {
@@ -479,6 +660,7 @@ impl VodServer {
             SessionState::Enrolled { .. } => SessionStatus::Shared,
             SessionState::Dedicated => SessionStatus::Dedicated,
             SessionState::VcrActive { .. } => SessionStatus::InVcr,
+            SessionState::Degraded { .. } => SessionStatus::Degraded,
             SessionState::Done => SessionStatus::Done,
         })
     }
@@ -504,6 +686,9 @@ impl VodServer {
     /// Advance one virtual minute.
     pub fn tick(&mut self) {
         let t = self.now;
+        if self.fault_mode {
+            self.apply_faults(t);
+        }
         self.retire_streams();
         self.start_due_streams(t);
         self.advance_streams(t);
@@ -518,6 +703,184 @@ impl VodServer {
         }
     }
 
+    // ---- faults ------------------------------------------------------------
+
+    /// Apply scheduled recoveries and fault events for tick `t`.
+    /// Recoveries land first so an outage ending exactly when a new fault
+    /// strikes frees capacity before the new fault consumes it.
+    fn apply_faults(&mut self, t: u64) {
+        if let Some(count) = self.recovery_due.remove(&t) {
+            let recovered = self.disk.recover_streams(count);
+            self.reserve.recover_streams(recovered);
+        }
+        if let Some((_, until)) = self.slowdown {
+            if t >= until {
+                self.slowdown = None;
+            }
+        }
+        let due: Vec<FaultKind> = self.plan.events_at(t).iter().map(|e| e.kind).collect();
+        for kind in due {
+            self.metrics.runtime.faults_injected += 1;
+            match kind {
+                FaultKind::DiskStreamLoss { count } => {
+                    self.fail_disk_streams(t, count);
+                }
+                FaultKind::DiskOutage {
+                    count,
+                    recover_after,
+                } => {
+                    let failed = self.fail_disk_streams(t, count);
+                    if failed > 0 {
+                        let due = t + recover_after.max(1);
+                        *self.recovery_due.entry(due).or_insert(0) += failed;
+                    }
+                }
+                FaultKind::DiskSlowdown { period, duration } => {
+                    if period > 1 {
+                        self.slowdown = Some((period, t + duration));
+                    }
+                }
+                FaultKind::BufferShrink { segments } => {
+                    self.pool.shrink(segments as usize);
+                    self.evict_partitions_to_fit(t);
+                }
+                FaultKind::BufferRestore { segments } => {
+                    self.pool.grow(segments as usize);
+                }
+            }
+        }
+    }
+
+    /// Remove `count` disk streams from service, degrading every holder
+    /// of a revoked lease. Returns how many streams actually failed.
+    fn fail_disk_streams(&mut self, t: u64, count: u32) -> u32 {
+        let failed_before = self.disk.failed();
+        let revoked = self.disk.fail_streams(count);
+        let newly_failed = self.disk.failed() - failed_before;
+        // Mirror the capacity loss into the VCR reserve: the dedicated
+        // share shrinks before the playback pre-allocation does.
+        self.reserve.fail_streams(newly_failed);
+        self.metrics.leases_revoked += revoked.len() as u64;
+        for id in revoked {
+            self.strip_revoked_lease(t, id);
+        }
+        newly_failed
+    }
+
+    /// Find the holder of revoked lease `id`, drop the dead lease, and
+    /// degrade the holder. A playback stream loses its partition (its
+    /// enrolled readers degrade); a dedicated/VCR session loses its
+    /// stream and re-queues.
+    fn strip_revoked_lease(&mut self, t: u64, id: u64) {
+        for stream_idx in 0..self.streams.len() {
+            let holds = self.streams[stream_idx]
+                .as_ref()
+                .is_some_and(|s| s.lease.as_ref().is_some_and(|l| l.id() == id));
+            if holds {
+                self.metrics.playback.add(t as f64, -1.0);
+                self.kill_stream(t, stream_idx);
+                return;
+            }
+        }
+        for idx in 0..self.sessions.len() {
+            let holds = self.sessions[idx]
+                .as_ref()
+                .is_some_and(|s| s.lease.as_ref().is_some_and(|l| l.id() == id));
+            if holds {
+                let sess = live_mut(&mut self.sessions, idx);
+                // The lease is already dead at the disk; drop it without a
+                // disk release, but return the hold to the reserve.
+                sess.lease = None;
+                self.reserve.release(t as f64);
+                if matches!(sess.state, SessionState::VcrActive { .. }) {
+                    self.metrics.sweeps_aborted += 1;
+                }
+                self.enter_degraded(t, idx);
+                return;
+            }
+        }
+    }
+
+    /// Retire stream `stream_idx` immediately: degrade its enrolled
+    /// readers, release its partition, and clear the slot. The caller has
+    /// already settled the disk lease (revoked or released).
+    fn kill_stream(&mut self, t: u64, stream_idx: usize) {
+        for idx in 0..self.sessions.len() {
+            let enrolled_here = self.sessions[idx].as_ref().is_some_and(
+                |s| matches!(s.state, SessionState::Enrolled { stream } if stream.0 == stream_idx),
+            );
+            if enrolled_here {
+                self.enter_degraded(t, idx);
+            }
+        }
+        if let Some(mut s) = self.streams[stream_idx].take() {
+            if let Some(lease) = s.lease.take() {
+                self.disk.release(lease);
+            }
+            self.pool.release(s.partition.capacity());
+        }
+    }
+
+    /// Evict whole partitions (victim order: fewest enrolled readers,
+    /// then oldest start, then lowest slot — deterministic) until the
+    /// pool is no longer overcommitted after a buffer shrink. Evicted
+    /// streams release their disk lease normally; their readers degrade.
+    fn evict_partitions_to_fit(&mut self, t: u64) {
+        while self.pool.overcommitted() > 0 {
+            let victim = self
+                .streams
+                .iter()
+                .enumerate()
+                .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
+                .min_by_key(|(i, s)| (s.enrolled, s.started, *i))
+                .map(|(i, _)| i);
+            let Some(stream_idx) = victim else { break };
+            let held_lease = self.streams[stream_idx]
+                .as_ref()
+                .is_some_and(|s| s.lease.is_some());
+            if held_lease {
+                self.metrics.playback.add(t as f64, -1.0);
+            }
+            self.metrics.partitions_evicted += 1;
+            self.kill_stream(t, stream_idx);
+        }
+    }
+
+    /// Is disk service stalled at tick `t` by an active slowdown fault?
+    fn disk_stalled(&self, t: u64) -> bool {
+        match self.slowdown {
+            Some((period, until)) => t < until && !t.is_multiple_of(period as u64),
+            None => false,
+        }
+    }
+
+    /// Move session `idx` into the degraded re-wait state (it has already
+    /// been detached from any stream, partition, or lease).
+    fn enter_degraded(&mut self, t: u64, idx: usize) {
+        let sess = live_mut(&mut self.sessions, idx);
+        if let SessionState::Enrolled { stream } = sess.state {
+            if let Some(s) = self.streams[stream.0].as_mut() {
+                s.enrolled -= 1;
+            }
+        }
+        if matches!(
+            sess.state,
+            SessionState::Degraded { .. } | SessionState::Done
+        ) {
+            return;
+        }
+        sess.state = SessionState::Degraded {
+            since: t,
+            next_retry: t + self.policy.rewait_bound.max(1),
+            backoff: self.policy.retry_backoff.max(1),
+            pending_denials: 0,
+            retries_exhausted: false,
+        };
+        sess.piggyback_phase = 0;
+        self.degraded_count += 1;
+        self.metrics.runtime.degraded_entries += 1;
+    }
+
     // ---- streams -----------------------------------------------------------
 
     fn retire_streams(&mut self) {
@@ -525,9 +888,11 @@ impl VodServer {
             let retire = match slot {
                 Some(s) => {
                     let geometry = self.config.movies[s.movie_idx].geometry;
-                    let age = self.now - s.started;
-                    // Release the disk lease as soon as displaying ends.
-                    if age >= geometry.length as u64 {
+                    // Displaying ends once every segment has been read —
+                    // `next_read` equals the stream's age on fault-free
+                    // ticks and lags it under a disk slowdown.
+                    if s.next_read >= geometry.length {
+                        // Release the disk lease as soon as displaying ends.
                         if let Some(lease) = s.lease.take() {
                             self.disk.release(lease);
                             self.metrics.playback.add(self.now as f64, -1.0);
@@ -579,6 +944,7 @@ impl VodServer {
                 lease: Some(lease),
                 partition: Partition::new(hosted.movie, geometry.partition_capacity as usize),
                 enrolled: 0,
+                next_read: 0,
             };
             if let Some(free) = self.streams.iter_mut().find(|s| s.is_none()) {
                 *free = Some(stream);
@@ -589,22 +955,28 @@ impl VodServer {
     }
 
     fn advance_streams(&mut self, t: u64) {
+        let stalled = self.disk_stalled(t);
         for slot in &mut self.streams {
             let Some(s) = slot else { continue };
             let hosted = self.config.movies[s.movie_idx];
-            let age = t - s.started;
-            if age >= hosted.geometry.length as u64 {
+            if s.next_read >= hosted.geometry.length {
+                continue;
+            }
+            if stalled {
+                // Disk slowdown: no stream reads this tick; `next_read`
+                // holds and enrolled readers at the front stall with it.
                 continue;
             }
             // vod-lint: allow(no-panic) — retire_streams only drops the lease once
-            // age ≥ length, and the guard above skips exactly those streams.
+            // next_read ≥ length, and the guard above skips exactly those streams.
             let lease = s.lease.as_ref().expect("playing stream holds a lease");
             let seg = self
                 .disk
-                .read(lease, hosted.movie, age as u32)
-                // vod-lint: allow(no-panic) — age < length two lines up bounds the read.
+                .read(lease, hosted.movie, s.next_read)
+                // vod-lint: allow(no-panic) — next_read < length above bounds the read.
                 .expect("scheduled read is in range");
             s.partition.advance(seg);
+            s.next_read += 1;
         }
     }
 
@@ -623,6 +995,7 @@ impl VodServer {
             Enrolled,
             Dedicated,
             Vcr(VcrKind),
+            Degraded,
         }
         let act = {
             let Some(sess) = self.sessions[idx].as_ref() else {
@@ -635,6 +1008,7 @@ impl VodServer {
                 SessionState::Enrolled { .. } => Act::Enrolled,
                 SessionState::Dedicated => Act::Dedicated,
                 SessionState::VcrActive { kind, .. } => Act::Vcr(kind),
+                SessionState::Degraded { .. } => Act::Degraded,
             }
         };
         match act {
@@ -669,7 +1043,117 @@ impl VodServer {
             Act::Vcr(VcrKind::FastForward) => self.sweep_forward(t, idx),
             Act::Vcr(VcrKind::Rewind) => self.sweep_backward(t, idx),
             Act::Vcr(VcrKind::Pause) => self.pause_countdown(t, idx),
+            Act::Degraded => self.degraded_tick(t, idx),
         }
+    }
+
+    /// One degraded re-wait tick: free batch rejoin if a live window
+    /// covers the position; otherwise, past the re-wait bound, retry
+    /// dedicated acquisition with exponential backoff until the timeout,
+    /// after which only batch admission remains. See [`DegradePolicy`].
+    fn degraded_tick(&mut self, t: u64, idx: usize) {
+        self.metrics.runtime.rewait_minutes += 1.0;
+        let (movie_idx, position) = {
+            let sess = live(&self.sessions, idx);
+            (sess.movie_idx, sess.position)
+        };
+        if let Some(stream_idx) = self.joinable_stream(movie_idx, position) {
+            // Rejoined the batch: the dedicated retries (if any) never
+            // succeeded, so their denials resolve as permanent.
+            let pending = self.exit_degraded(idx);
+            self.reserve.record_denials(pending, false);
+            self.metrics.runtime.degraded_rejoined += 1;
+            let sess = live_mut(&mut self.sessions, idx);
+            sess.state = SessionState::Enrolled {
+                stream: StreamId(stream_idx),
+            };
+            stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
+            self.consume_enrolled(t, idx);
+            return;
+        }
+        let (since, next_retry, backoff, pending, exhausted) = {
+            let sess = live(&self.sessions, idx);
+            let SessionState::Degraded {
+                since,
+                next_retry,
+                backoff,
+                pending_denials,
+                retries_exhausted,
+            } = sess.state
+            else {
+                unreachable!("caller checked state")
+            };
+            (
+                since,
+                next_retry,
+                backoff,
+                pending_denials,
+                retries_exhausted,
+            )
+        };
+        if exhausted || t < next_retry {
+            return;
+        }
+        if t.saturating_sub(since) >= self.policy.retry_timeout {
+            // Timeout: give up on dedicated service, classify the whole
+            // retry sequence as permanently denied, and fall back to
+            // batch admission (keep waiting for a window rejoin).
+            self.reserve.record_denials(pending, false);
+            let sess = live_mut(&mut self.sessions, idx);
+            if let SessionState::Degraded {
+                pending_denials,
+                retries_exhausted,
+                ..
+            } = &mut sess.state
+            {
+                *pending_denials = 0;
+                *retries_exhausted = true;
+            }
+            return;
+        }
+        match self.try_vcr_lease() {
+            Some(lease) => {
+                // Retry succeeded: earlier refusals in this sequence were
+                // transient denials.
+                let pending = self.exit_degraded(idx);
+                self.reserve.record_denials(pending, true);
+                self.metrics.runtime.degraded_dedicated += 1;
+                let sess = live_mut(&mut self.sessions, idx);
+                sess.lease = Some(lease);
+                sess.state = SessionState::Dedicated;
+                sess.piggyback_phase = 0;
+            }
+            None => {
+                let next_backoff = (backoff * 2).min(self.policy.retry_backoff_cap.max(1));
+                let sess = live_mut(&mut self.sessions, idx);
+                if let SessionState::Degraded {
+                    next_retry,
+                    backoff,
+                    pending_denials,
+                    ..
+                } = &mut sess.state
+                {
+                    *pending_denials = pending + 1;
+                    *next_retry = t + next_backoff;
+                    *backoff = next_backoff;
+                }
+            }
+        }
+    }
+
+    /// Leave the degraded state (recovery or close); returns the pending
+    /// denial count awaiting classification and fixes the population
+    /// counter. The caller sets the next state.
+    fn exit_degraded(&mut self, idx: usize) -> u64 {
+        let sess = live_mut(&mut self.sessions, idx);
+        let SessionState::Degraded {
+            pending_denials, ..
+        } = sess.state
+        else {
+            return 0;
+        };
+        self.degraded_count -= 1;
+        pending_denials
     }
 
     /// Consume the next segment from the enrolled partition.
@@ -684,18 +1168,37 @@ impl VodServer {
         let length = self.config.movies[movie_idx].geometry.length;
         let verified = {
             let stream = stream_live(&self.streams, stream_idx);
-            let seg = stream.partition.get(position).unwrap_or_else(|| {
-                // vod-lint: allow(no-panic) — an underrun means the enrollment
-                // invariant is broken; serving a wrong segment silently would
-                // corrupt the data path, so abort loudly.
-                panic!(
-                    "buffer underrun: session at {position} not covered by \
-                     partition [{:?}, {:?}] (enrollment invariant broken)",
-                    stream.partition.tail_index(),
-                    stream.partition.front_index()
-                )
-            });
-            verify_segment(seg)
+            match stream.partition.get(position) {
+                Some(seg) => verify_segment(seg),
+                None if self.fault_mode => {
+                    // Under faults an uncovered position has two honest
+                    // outcomes instead of a panic: the stream has not yet
+                    // produced the segment (disk slowdown — stall with it),
+                    // or the window moved past us (degraded re-wait).
+                    let ahead = stream
+                        .partition
+                        .front_index()
+                        .is_none_or(|front| position > front);
+                    if ahead {
+                        self.metrics.runtime.stall_minutes += 1.0;
+                    } else {
+                        self.enter_degraded(t, idx);
+                    }
+                    return;
+                }
+                None => {
+                    // vod-lint: allow(no-panic) — without injected faults an
+                    // underrun means the enrollment invariant is broken; serving
+                    // a wrong segment silently would corrupt the data path, so
+                    // abort loudly.
+                    panic!(
+                        "buffer underrun: session at {position} not covered by \
+                         partition [{:?}, {:?}] (enrollment invariant broken)",
+                        stream.partition.tail_index(),
+                        stream.partition.front_index()
+                    )
+                }
+            }
         };
         let sess = live_mut(&mut self.sessions, idx);
         sess.stats.from_buffer += 1;
@@ -713,6 +1216,10 @@ impl VodServer {
     /// Consume via the session's dedicated lease; piggyback toward the
     /// preceding partition when enabled.
     fn consume_dedicated(&mut self, t: u64, idx: usize) {
+        if self.disk_stalled(t) {
+            self.metrics.runtime.stall_minutes += 1.0;
+            return;
+        }
         let length = {
             let sess = live(&self.sessions, idx);
             self.config.movies[sess.movie_idx].geometry.length
@@ -788,6 +1295,10 @@ impl VodServer {
     }
 
     fn sweep_forward(&mut self, t: u64, idx: usize) {
+        if self.disk_stalled(t) {
+            self.metrics.runtime.stall_minutes += 1.0;
+            return;
+        }
         let length = {
             let sess = live(&self.sessions, idx);
             self.config.movies[sess.movie_idx].geometry.length
@@ -822,6 +1333,10 @@ impl VodServer {
     }
 
     fn sweep_backward(&mut self, t: u64, idx: usize) {
+        if self.disk_stalled(t) {
+            self.metrics.runtime.stall_minutes += 1.0;
+            return;
+        }
         let steps = {
             let sess = live_mut(&mut self.sessions, idx);
             let SessionState::VcrActive { remaining, .. } = &mut sess.state else {

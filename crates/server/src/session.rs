@@ -8,7 +8,15 @@
 //!                         │                        │
 //!                         │                        └─resume miss──▶ Dedicated ──piggyback──▶ Enrolled
 //!                         └──────────── end of movie ──▶ Done
+//!
+//! Enrolled/Dedicated/VcrActive ──fault (lost stream or partition)──▶ Degraded
+//!     Degraded ──window rejoin──▶ Enrolled      (bounded re-wait, the free path)
+//!     Degraded ──retry granted──▶ Dedicated     (backoff, stops at the timeout)
 //! ```
+//!
+//! `Degraded` only arises under an injected [`vod_runtime::FaultPlan`];
+//! a fault-free run never constructs it, so pre-fault behavior is
+//! bitwise unchanged.
 
 use vod_workload::VcrKind;
 
@@ -43,6 +51,26 @@ pub enum SessionState {
         kind: VcrKind,
         /// Segments still to sweep (FF/RW) or ticks still to wait (PAU).
         remaining: u32,
+    },
+    /// Lost its stream or partition to an injected fault; re-queued with
+    /// bounded re-wait. Each tick the server first tries a free batch
+    /// rejoin (a live window covering the position), then — once past the
+    /// policy's re-wait bound — retries dedicated-stream acquisition with
+    /// exponential backoff until the retry timeout, after which the
+    /// session falls back to pure batch admission. Playback position is
+    /// preserved; the viewer is never dropped.
+    Degraded {
+        /// Tick at which degradation began.
+        since: u64,
+        /// Next tick a dedicated-stream retry is allowed.
+        next_retry: u64,
+        /// Current backoff in ticks (doubles per refusal, capped).
+        backoff: u64,
+        /// Dedicated-stream denials accumulated while degraded, awaiting
+        /// transient/permanent classification at recovery or timeout.
+        pending_denials: u64,
+        /// Retries stopped (timeout hit); only batch rejoin remains.
+        retries_exhausted: bool,
     },
     /// Finished (reached the end of the movie).
     Done,
@@ -79,6 +107,9 @@ pub enum SessionStatus {
     Dedicated,
     /// Mid-VCR operation.
     InVcr,
+    /// Re-queued after a fault took its stream or partition (degraded
+    /// re-wait; playback resumes via window rejoin or a granted retry).
+    Degraded,
     /// Completed.
     Done,
 }

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use vod_model::SystemParams;
+use vod_runtime::FaultPlan;
 use vod_workload::BehaviorModel;
 
 /// One movie's load within a catalog simulation.
@@ -32,6 +33,12 @@ pub struct CatalogConfig {
     /// Shared cap on concurrently held dedicated streams; `None` =
     /// infinite reserve.
     pub dedicated_capacity: Option<u32>,
+    /// Deterministic fault schedule mirrored from the server's chaos
+    /// harness (event times are virtual-minute marks). The continuous
+    /// engine applies stream loss/outage to the shared reserve and
+    /// buffer shrink/restore to the window geometry; disk slowdowns have
+    /// no tick grid to stretch and are counted but otherwise ignored.
+    pub faults: FaultPlan,
 }
 
 impl CatalogConfig {
@@ -74,6 +81,7 @@ impl From<SimConfig> for CatalogConfig {
             count_ff_end_as_hit: cfg.count_ff_end_as_hit,
             collect_trace: cfg.collect_trace,
             dedicated_capacity: cfg.dedicated_capacity,
+            faults: cfg.faults,
         }
     }
 }
@@ -107,6 +115,8 @@ pub struct SimConfig {
     /// viewer stays in his batch) and a paused viewer whose miss-resume
     /// finds no stream *abandons* (blocked customers cleared).
     pub dedicated_capacity: Option<u32>,
+    /// Deterministic fault schedule (see [`CatalogConfig::faults`]).
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -124,6 +134,7 @@ impl SimConfig {
             count_ff_end_as_hit: true,
             collect_trace: false,
             dedicated_capacity: None,
+            faults: FaultPlan::empty(),
         }
     }
 
@@ -195,6 +206,7 @@ mod tests {
             count_ff_end_as_hit: true,
             collect_trace: false,
             dedicated_capacity: None,
+            faults: FaultPlan::empty(),
         };
         assert!(cfg.validate().is_err(), "empty catalog rejected");
         let mut cfg = CatalogConfig {

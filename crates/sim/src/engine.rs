@@ -20,7 +20,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use vod_dist::rng::{exponential, seeded, SeededRng};
-use vod_runtime::{plan_vcr, PartitionWindows, StreamReserve};
+use vod_runtime::{plan_vcr, FaultKind, PartitionWindows, StreamReserve};
 use vod_workload::{VcrKind, VcrTraceRecord, Welford};
 
 use crate::{CatalogConfig, CatalogReport, SimConfig, SimReport};
@@ -110,28 +110,42 @@ struct Engine<'a> {
     heap: BinaryHeap<Ev>,
     seq: u64,
     viewers: Vec<Option<Viewer>>,
-    /// One window geometry per movie, in catalog order.
+    /// One window geometry per movie, in catalog order — the *live*
+    /// geometry, reshaped by buffer faults.
     windows: Vec<PartitionWindows>,
+    /// The configured (fault-free) geometry buffer faults deform.
+    base_windows: Vec<PartitionWindows>,
     /// The shared dedicated-stream reserve.
     reserve: StreamReserve,
+    /// Next unapplied event in `cfg.faults` (events are time-sorted).
+    fault_cursor: usize,
+    /// Pending outage recoveries: (due time, streams to restore).
+    recoveries: Vec<(f64, u32)>,
+    /// Buffer segments currently removed by shrink faults.
+    buffer_delta: f64,
     warmed: bool,
     report: CatalogReport,
 }
 
 impl<'a> Engine<'a> {
     fn new(cfg: &'a CatalogConfig, seed: u64) -> Self {
+        let windows: Vec<PartitionWindows> = cfg
+            .movies
+            .iter()
+            .map(|m| PartitionWindows::from_params(&m.params))
+            .collect();
         Self {
             cfg,
             rng: seeded(seed),
             heap: BinaryHeap::new(),
             seq: 0,
             viewers: Vec::new(),
-            windows: cfg
-                .movies
-                .iter()
-                .map(|m| PartitionWindows::from_params(&m.params))
-                .collect(),
+            base_windows: windows.clone(),
+            windows,
             reserve: StreamReserve::new(cfg.dedicated_capacity),
+            fault_cursor: 0,
+            recoveries: Vec::new(),
+            buffer_delta: 0.0,
             warmed: false,
             report: CatalogReport::with_movies(cfg.movies.len()),
         }
@@ -156,6 +170,7 @@ impl<'a> Engine<'a> {
                 break;
             }
             self.ensure_warm(ev.time);
+            self.apply_faults_until(ev.time);
             match ev.kind {
                 EvKind::Arrival { movie } => self.on_arrival(ev.time, movie),
                 EvKind::Start { viewer } => self.on_start(ev.time, viewer),
@@ -185,6 +200,8 @@ impl<'a> Engine<'a> {
         }
         self.report.runtime.dedicated_avg = self.reserve.average(horizon);
         self.report.runtime.dedicated_peak = self.reserve.peak();
+        self.report.runtime.denied_transient = self.reserve.denied_transient();
+        self.report.runtime.denied_permanent = self.reserve.denied_permanent();
         let measured = horizon - self.cfg.warmup;
         for m in &mut self.report.per_movie {
             m.measured_minutes = measured;
@@ -202,6 +219,74 @@ impl<'a> Engine<'a> {
 
     fn measuring(&self) -> bool {
         self.warmed
+    }
+
+    // ---- fault mirror -------------------------------------------------------
+
+    /// Apply every scheduled fault (and due outage recovery) with event
+    /// time ≤ `t`. Faults only matter when something observes them — a
+    /// resume classification or a stream acquisition — and those happen
+    /// only at events, so applying lazily at each event pop is exact.
+    /// Recoveries apply before new faults at the same instant, the same
+    /// ordering the server's tick uses.
+    fn apply_faults_until(&mut self, t: f64) {
+        let mut i = 0;
+        while i < self.recoveries.len() {
+            if self.recoveries[i].0 <= t {
+                let (_, count) = self.recoveries.swap_remove(i);
+                self.reserve.recover_streams(count);
+            } else {
+                i += 1;
+            }
+        }
+        while let Some(ev) = self.cfg.faults.events().get(self.fault_cursor) {
+            let at = ev.at as f64;
+            if at > t {
+                break;
+            }
+            self.fault_cursor += 1;
+            if self.measuring() {
+                self.report.runtime.faults_injected += 1;
+            }
+            match ev.kind {
+                FaultKind::DiskStreamLoss { count } => {
+                    self.reserve.fail_streams(count);
+                }
+                FaultKind::DiskOutage {
+                    count,
+                    recover_after,
+                } => {
+                    let failed = self.reserve.fail_streams(count);
+                    if failed > 0 {
+                        self.recoveries
+                            .push((at + recover_after.max(1) as f64, failed));
+                    }
+                }
+                FaultKind::DiskSlowdown { .. } => {
+                    // Continuous time has no tick grid to stretch; the
+                    // event is counted and otherwise a no-op here.
+                }
+                FaultKind::BufferShrink { segments } => {
+                    self.buffer_delta += segments as f64;
+                    self.reshape_windows();
+                }
+                FaultKind::BufferRestore { segments } => {
+                    self.buffer_delta = (self.buffer_delta - segments as f64).max(0.0);
+                    self.reshape_windows();
+                }
+            }
+        }
+    }
+
+    /// Re-derive the live window geometry from the base geometry and the
+    /// current shrink. The paper's mapping is `b = B/n`, so removing `s`
+    /// segments from a movie's pool shortens each of its `n` windows by
+    /// `s/n` minutes (clamped at pure batching, `b = 0`).
+    fn reshape_windows(&mut self) {
+        for (w, base) in self.windows.iter_mut().zip(&self.base_windows) {
+            let n = base.movie_len() / base.restart_interval();
+            *w = base.with_window_len(base.window_len() - self.buffer_delta / n);
+        }
     }
 
     // ---- dedicated stream accounting ---------------------------------------
@@ -366,7 +451,10 @@ impl<'a> Engine<'a> {
             && !self.acquire_dedicated(t, viewer)
         {
             // Reserve exhausted: the request is denied and the viewer
-            // stays in his batch (Erlang loss semantics).
+            // stays in his batch (Erlang loss semantics). Issue-time
+            // denials are never retried, so they classify as permanent
+            // (the reserve's tallies rebaseline with the warm-up).
+            self.reserve.record_denials(1, false);
             if self.measuring() {
                 self.report.runtime.vcr_denied += 1;
             }

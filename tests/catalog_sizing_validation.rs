@@ -61,6 +61,7 @@ fn example1_catalog_sized_then_simulated() {
         count_ff_end_as_hit: true,
         collect_trace: false,
         dedicated_capacity: None,
+        faults: vod_runtime::FaultPlan::empty(),
     };
     let free = run_catalog_seeded(&cfg, 55);
     for (movie, (report, alloc)) in free.per_movie.iter().zip(&plan.allocations).enumerate() {
