@@ -36,4 +36,7 @@ cargo test --release -q --test cross_validation
 echo "== chaos: fault-injection matrix (determinism + conservation, see DESIGN.md §10) =="
 cargo run --release -p vod-bench --bin chaos
 
+echo "== scale: wheel+arena engine smoke (downscaled; the full run uses --sessions 1000000) =="
+cargo run --release -p vod-bench --bin scale -- --sessions 50000 --ticks 120
+
 echo "CI OK"

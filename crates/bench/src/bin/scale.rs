@@ -1,0 +1,118 @@
+//! Million-session scale benchmark for the timer-wheel + arena engine.
+//!
+//! Opens `--sessions` concurrent sessions (default one million) against
+//! a [`vod_server::VodServer`], mass-enrolls them at tick 0, drives
+//! `--ticks` virtual minutes of lockstep delivery with a seeded VCR
+//! sprinkle, and writes events/sec and peak RSS to
+//! `results/BENCH_scale.json`. The virtual-time driver
+//! ([`vod_server::run_scale`]) is deterministic; only the wall-clock and
+//! memory measurements taken here vary by machine, which is why they
+//! live in this bin (exempt from the determinism lint wall) and not in
+//! the server crate.
+//!
+//! ```sh
+//! cargo run --release -p vod-bench --bin scale -- \
+//!     [--sessions N] [--ticks N] [--movies N] [--vcr-per-tick N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use vod_server::{run_scale, ScaleConfig};
+
+const SEED: u64 = 42;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ScaleConfig {
+        sessions: 1_000_000,
+        ticks: 40,
+        movies: 16,
+        vcr_per_tick: 64,
+    };
+    let mut out_path = "results/BENCH_scale.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        let value = args.get(i).unwrap_or_else(|| {
+            eprintln!("scale: expected a value after {flag}");
+            std::process::exit(2);
+        });
+        match flag.as_str() {
+            "--sessions" => cfg.sessions = parse(&flag, value),
+            "--ticks" => cfg.ticks = parse(&flag, value),
+            "--movies" => cfg.movies = parse(&flag, value),
+            "--vcr-per-tick" => cfg.vcr_per_tick = parse(&flag, value),
+            "--out" => out_path = value.clone(),
+            other => {
+                eprintln!("scale: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "# scale: {} sessions x {} ticks, {} movies, {} VCR ops/tick, {cores} core(s)",
+        cfg.sessions, cfg.ticks, cfg.movies, cfg.vcr_per_tick
+    );
+
+    let t0 = Instant::now();
+    let out = run_scale(&cfg, SEED);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let events_per_sec = out.events as f64 / elapsed.max(1e-9);
+    let peak_rss_kb = peak_rss_kb().unwrap_or(0);
+
+    assert_eq!(out.verify_failures, 0, "byte verification failed at scale");
+    println!(
+        "opened {} sessions, {} concurrent at end, {} segments delivered, {} VCR ops",
+        out.sessions, out.concurrent_at_end, out.segments, out.vcr_accepted
+    );
+    println!(
+        "{} events in {elapsed:.2} s = {events_per_sec:.0} events/sec, peak RSS {:.1} MiB",
+        out.events,
+        peak_rss_kb as f64 / 1024.0
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"scale\",\n  \"available_cores\": {cores},\n  \
+         \"seed\": {SEED},\n  \"sessions\": {},\n  \"ticks\": {},\n  \"movies\": {},\n  \
+         \"vcr_per_tick\": {},\n  \"concurrent_at_end\": {},\n  \"segments\": {},\n  \
+         \"vcr_accepted\": {},\n  \"events\": {},\n  \"verify_failures\": {},\n  \
+         \"elapsed_sec\": {elapsed:.3},\n  \"events_per_sec\": {events_per_sec:.0},\n  \
+         \"peak_rss_kb\": {peak_rss_kb}\n}}\n",
+        out.sessions,
+        out.ticks,
+        cfg.movies,
+        cfg.vcr_per_tick,
+        out.concurrent_at_end,
+        out.segments,
+        out.vcr_accepted,
+        out.events,
+        out.verify_failures,
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("scale: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("scale: invalid value `{value}` for {flag}");
+        std::process::exit(2);
+    })
+}
+
+/// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`);
+/// `None` off Linux or if the field is missing.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}

@@ -9,7 +9,7 @@
 //! | `float-cmp` | no `==`/`!=` with float-literal operands outside `#[cfg(test)]` — use the `vod_dist::approx` helpers |
 //! | `no-panic` | no `unwrap`/`expect`/`panic!`/`todo!`/`dbg!` in library code paths |
 //! | `quantize-cast` | no ad-hoc `floor`/`round`/`ceil`/`trunc` or float→int `as` casts in files touching partition geometry — quantization goes through `QuantizedGeometry` |
-//! | `nondet` | no `std::time`, `HashMap`/`HashSet`, or thread-identity sources in the runtime/sim/server deterministic core |
+//! | `nondet` | no `std::time`, `HashMap`/`HashSet`, `RandomState`/`DefaultHasher`, `available_parallelism`, or thread-identity sources in the runtime/sim/server deterministic core |
 //! | `pub-fn-doc` | every `pub fn` in `vod-dist`/`vod-runtime` carries a doc comment |
 //! | `suppression` | every inline suppression names a known rule and carries a justification |
 //!

@@ -433,6 +433,14 @@ fn rule_nondet(file: &str, s: &TokenStream, in_test: &dyn Fn(u32) -> bool, out: 
                 t.text
             )),
             "Instant" | "SystemTime" => Some(format!("wall-clock `{}` in the deterministic core", t.text)),
+            "RandomState" | "DefaultHasher" => Some(format!(
+                "`{}` hashes with per-process random state in the deterministic core — use BTree collections or a fixed-key hasher",
+                t.text
+            )),
+            "available_parallelism" => Some(
+                "`available_parallelism` varies by machine — the deterministic core must not branch on core count"
+                    .into(),
+            ),
             "time" if std_prefixed => Some("`std::time` in the deterministic core".into()),
             "thread" if std_prefixed => Some("`std::thread` identity/ordering in the deterministic core".into()),
             "thread_rng" => Some("`thread_rng` is unseeded — deterministic code must take an explicit seed".into()),

@@ -119,7 +119,7 @@ fn nondet_flags_clocks_hashes_and_thread_identity() {
             ..FileClass::default()
         },
     );
-    assert_eq!(lint.findings.len(), 6);
+    assert_eq!(lint.findings.len(), 9);
 
     // Outside the deterministic core the same file is unconstrained.
     let lint = lint_source(

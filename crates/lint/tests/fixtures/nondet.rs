@@ -20,6 +20,15 @@ pub fn unseeded() -> u32 {
     0
 }
 
+pub fn hash_state() {
+    let _s = RandomState::new(); // LINT: nondet
+    let _h = DefaultHasher::new(); // LINT: nondet
+}
+
+pub fn core_count() -> usize {
+    available_parallelism().map_or(1, |n| n.get()) // LINT: nondet
+}
+
 pub fn sanctioned(m: &BTreeMap<u32, u32>) -> usize {
     m.len()
 }

@@ -25,6 +25,12 @@
 //! * [`FaultPlan`] / [`DegradePolicy`] — deterministic, virtual-time
 //!   fault schedules and the graceful-degradation knobs (bounded re-wait,
 //!   retry backoff, batch-admission fallback) both drivers honor.
+//! * [`TimerWheel`] / [`Arena`] — the million-session engine substrate:
+//!   a hierarchical timer wheel over the virtual-time grid with a
+//!   `BTreeMap`-equivalent drain order, and a generational slab whose
+//!   slot reuse matches a linear free-slot scan, so both drivers'
+//!   schedulers are O(1) per wakeup without perturbing a single bit of
+//!   the deterministic outputs.
 //!
 //! The drivers (`vod-server`, `vod-sim`) stay thin: they own event loops
 //! and data paths, never semantics.
@@ -34,16 +40,20 @@
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
+mod arena;
 mod degrade;
 mod metrics;
 mod quantize;
 mod reserve;
 mod vcr;
+mod wheel;
 mod windows;
 
+pub use arena::{Arena, ArenaId};
 pub use degrade::{DegradePolicy, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{kind_index, RuntimeMetrics};
 pub use quantize::QuantizedGeometry;
 pub use reserve::StreamReserve;
 pub use vcr::{plan_vcr, truncate_sweep, ResumeClass, SweepPlan};
+pub use wheel::TimerWheel;
 pub use windows::PartitionWindows;

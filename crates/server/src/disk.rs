@@ -137,10 +137,14 @@ impl DiskSubsystem {
     /// revoked lease fail with [`DiskError::StaleLease`] from here on.
     /// At most `capacity − failed` streams can fail in total.
     pub fn fail_streams(&mut self, count: u32) -> Vec<u64> {
+        // Same total-order discipline as `StreamReserve`: every difference
+        // in the count/failed/free arithmetic clamps at zero instead of
+        // relying on the caller's ordering to keep `from_free ≤ total`. A
+        // wrapped difference here would revoke ~4 billion leases.
         let total = count.min(self.capacity.saturating_sub(self.failed));
         let from_free = total.min(self.available());
         self.failed += from_free;
-        let to_revoke = (total - from_free) as usize;
+        let to_revoke = total.saturating_sub(from_free) as usize;
         let mut revoked = Vec::with_capacity(to_revoke);
         for _ in 0..to_revoke {
             let Some((pos, _)) = self.active.iter().enumerate().max_by_key(|(_, &id)| id) else {
@@ -263,6 +267,50 @@ mod tests {
         assert_eq!(d.fail_streams(1), Vec::<u64>::new());
         assert_eq!(d.failed(), 2);
         assert_eq!(d.in_use() + d.available() + d.failed(), d.capacity());
+    }
+
+    /// Regression for the revocation-count arithmetic: interleave fails,
+    /// partial recoveries, releases, and re-fails (shrinking the pool
+    /// while `failed > 0` and leases are outstanding) and require
+    /// conservation plus exact revocation counts at every step. Before
+    /// `total - from_free` became saturating this path depended on
+    /// cross-expression ordering to avoid a wrap to ~4G revocations.
+    #[test]
+    fn fail_recover_interleavings_conserve_streams() {
+        let mut d = DiskSubsystem::new(6);
+        d.register_movie(MovieId(1), 10);
+        let conserved = |d: &DiskSubsystem| d.in_use() + d.available() + d.failed() == d.capacity();
+        let a = d.acquire().unwrap();
+        let b = d.acquire().unwrap();
+        let c = d.acquire().unwrap();
+        // Fail 4 of 6: three free go first, then the newest lease (c).
+        assert_eq!(d.fail_streams(4), vec![c.id()]);
+        assert_eq!((d.in_use(), d.available(), d.failed()), (2, 0, 4));
+        assert!(conserved(&d));
+        // Shrink further while failed > 0 and nothing is free: both
+        // remaining fails must come from revocations, newest first.
+        assert_eq!(d.fail_streams(2), vec![b.id(), a.id()]);
+        assert_eq!((d.in_use(), d.available(), d.failed()), (0, 0, 6));
+        assert!(conserved(&d));
+        // Everything is failed; more fails are no-ops, not wraps.
+        assert_eq!(d.fail_streams(3), Vec::<u64>::new());
+        assert!(conserved(&d));
+        // Partial recovery, new lease, then a fail burst larger than the
+        // free pool with failed still > 0.
+        assert_eq!(d.recover_streams(3), 3);
+        let e = d.acquire().unwrap();
+        assert_eq!((d.in_use(), d.available(), d.failed()), (1, 2, 3));
+        assert_eq!(d.fail_streams(3), vec![e.id()]);
+        assert_eq!((d.in_use(), d.available(), d.failed()), (0, 0, 6));
+        assert!(conserved(&d));
+        assert!(matches!(
+            d.read(&e, MovieId(1), 0),
+            Err(DiskError::StaleLease)
+        ));
+        // Full recovery restores the whole pool.
+        assert_eq!(d.recover_streams(u32::MAX), 6);
+        assert_eq!((d.in_use(), d.available(), d.failed()), (0, 6, 0));
+        assert!(conserved(&d));
     }
 
     #[test]

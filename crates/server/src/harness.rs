@@ -11,12 +11,13 @@
 //! agreement with the continuous-time model is approximate by design
 //! (tolerances live in the cross-validation test).
 
+use rand::RngCore;
 use vod_dist::rng::{exponential, seeded};
 use vod_runtime::{DegradePolicy, FaultPlan, RuntimeMetrics};
-use vod_workload::BehaviorModel;
+use vod_workload::{BehaviorModel, VcrKind};
 
 use crate::content::MovieId;
-use crate::server::{ServerConfig, VodServer};
+use crate::server::{HostedMovie, ServerConfig, VodServer};
 use crate::session::{SessionId, SessionStatus};
 
 /// Workload configuration for [`run_harness`].
@@ -70,6 +71,23 @@ pub fn run_harness(cfg: &HarnessConfig, seed: u64) -> RuntimeMetrics {
         &FaultPlan::empty(),
         DegradePolicy::default(),
         false,
+        false,
+    )
+    .metrics
+}
+
+/// [`run_harness`] with the server in reference-scan mode (the historical
+/// full-table session loop instead of the timer wheel). Exists solely so
+/// the equivalence suite can pin the two schedulers against each other.
+#[doc(hidden)]
+pub fn run_harness_reference(cfg: &HarnessConfig, seed: u64) -> RuntimeMetrics {
+    run_driver(
+        cfg,
+        seed,
+        &FaultPlan::empty(),
+        DegradePolicy::default(),
+        false,
+        true,
     )
     .metrics
 }
@@ -85,7 +103,19 @@ pub fn run_chaos(
     plan: &FaultPlan,
     policy: DegradePolicy,
 ) -> ChaosOutcome {
-    run_driver(cfg, seed, plan, policy, true)
+    run_driver(cfg, seed, plan, policy, true, false)
+}
+
+/// [`run_chaos`] against the reference-scan scheduler; see
+/// [`run_harness_reference`].
+#[doc(hidden)]
+pub fn run_chaos_reference(
+    cfg: &HarnessConfig,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: DegradePolicy,
+) -> ChaosOutcome {
+    run_driver(cfg, seed, plan, policy, true, true)
 }
 
 /// The single driver underneath [`run_harness`] and [`run_chaos`]. The
@@ -97,8 +127,10 @@ fn run_driver(
     plan: &FaultPlan,
     policy: DegradePolicy,
     check: bool,
+    reference: bool,
 ) -> ChaosOutcome {
     let mut server = VodServer::new(cfg.server.clone());
+    server.set_reference_scan(reference);
     server.inject_faults(plan.clone(), policy);
     let mut rng = seeded(seed);
     let mut next_arrival = exponential(&mut rng, cfg.mean_interarrival);
@@ -188,6 +220,116 @@ fn run_driver(
     }
 }
 
+/// Workload shape for [`run_scale`]: a mass-batching population, the
+/// million-session north star's stress case. Every session is opened
+/// before the first tick, so each movie's cohort enrolls into one
+/// restart en masse at tick 0 — the worst case for the restart memo and
+/// the timer wheel's bulk drain.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Concurrent sessions to open before the first tick.
+    pub sessions: u64,
+    /// Ticks to drive after opening (each live session consumes one
+    /// segment per tick).
+    pub ticks: u64,
+    /// Hosted movies. Sessions are assigned in contiguous blocks —
+    /// block `m` is movie `m`'s batching cohort.
+    pub movies: u32,
+    /// Sessions issued a seeded-random VCR operation each tick
+    /// (denials count as issued, like the chaos harness).
+    pub vcr_per_tick: u32,
+}
+
+/// What one [`run_scale`] run measured. Pure virtual-time observables:
+/// wall-clock and memory measurement belong to the bench binary, which
+/// is exempt from the determinism lint wall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleOutcome {
+    /// Sessions opened (all before tick 0).
+    pub sessions: u64,
+    /// Sessions still live (not `Done`) after the last tick.
+    pub concurrent_at_end: u64,
+    /// Segments delivered (buffer + disk), byte-verified.
+    pub segments: u64,
+    /// VCR operations accepted by the server.
+    pub vcr_accepted: u64,
+    /// Scheduler events processed: session opens + delivered segments +
+    /// accepted VCR operations. The numerator of the bench's events/sec.
+    pub events: u64,
+    /// Ticks driven.
+    pub ticks: u64,
+    /// Byte-verification failures (must be 0).
+    pub verify_failures: u64,
+    /// The shared mechanism counters.
+    pub metrics: RuntimeMetrics,
+}
+
+/// Drive a [`VodServer`] with `cfg.sessions` concurrent sessions for
+/// `cfg.ticks` virtual minutes and return the event totals. Same seed,
+/// same config ⇒ bitwise-identical outcome, like every other driver in
+/// this module.
+///
+/// # Panics
+///
+/// Panics if `cfg.sessions` or `cfg.movies` is zero.
+pub fn run_scale(cfg: &ScaleConfig, seed: u64) -> ScaleOutcome {
+    // vod-lint: allow(no-panic) — a zero-session or zero-movie scale run is a
+    // caller bug; the driver cannot size a server around it.
+    assert!(
+        cfg.sessions > 0 && cfg.movies > 0,
+        "scale run needs at least one session and one movie"
+    );
+    // The harness geometry (l = 120, n = 20, B = 100): restarts every 6
+    // ticks with 5-tick enrollment windows, so a tick-0 cohort stays in
+    // lockstep and the one-entry verify memo covers it.
+    let movies: Vec<HostedMovie> = (0..cfg.movies)
+        .map(|m| HostedMovie::from_allocation(MovieId(m), 120, 20, 100.0))
+        .collect();
+    let vcr_reserve = cfg.vcr_per_tick.saturating_mul(4).clamp(8, 4096);
+    let mut server = VodServer::new(ServerConfig::provisioned(movies, vcr_reserve));
+    let mut rng = seeded(seed);
+    // Contiguous block assignment: adjacent session indices share a
+    // movie, so the per-tick delivery walk switches movies (and misses
+    // the verify memo) only `cfg.movies` times per tick.
+    let ids: Vec<SessionId> = (0..cfg.sessions)
+        .map(|i| {
+            let movie = MovieId((i * u64::from(cfg.movies) / cfg.sessions) as u32);
+            // vod-lint: allow(no-panic) — the movie id is derived from the
+            // hosted range above; a miss is a driver bug.
+            server.open_session(movie).expect("movie hosted")
+        })
+        .collect();
+    let mut vcr_accepted: u64 = 0;
+    for _ in 0..cfg.ticks {
+        for _ in 0..cfg.vcr_per_tick {
+            let target = ids[(rng.next_u64() % cfg.sessions) as usize];
+            let kind = match rng.next_u64() % 3 {
+                0 => VcrKind::FastForward,
+                1 => VcrKind::Rewind,
+                _ => VcrKind::Pause,
+            };
+            let magnitude = (rng.next_u64() % 30 + 1) as u32;
+            if server.request_vcr(target, kind, magnitude).is_ok() {
+                vcr_accepted += 1;
+            }
+        }
+        server.tick();
+    }
+    let metrics = server.runtime_metrics();
+    let segments = (metrics.buffer_minutes + metrics.disk_minutes) as u64;
+    let done = server.metrics().sessions_done + server.metrics().sessions_closed_early;
+    ScaleOutcome {
+        sessions: cfg.sessions,
+        concurrent_at_end: cfg.sessions - done,
+        segments,
+        vcr_accepted,
+        events: cfg.sessions + segments + vcr_accepted,
+        ticks: cfg.ticks,
+        verify_failures: server.metrics().verify_failures,
+        metrics,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::Arc;
@@ -195,7 +337,6 @@ mod tests {
     use vod_dist::kinds::Gamma;
 
     use super::*;
-    use crate::server::HostedMovie;
 
     fn config() -> HarnessConfig {
         let movie = HostedMovie::from_allocation(MovieId(0), 120, 20, 100.0);
@@ -231,5 +372,25 @@ mod tests {
         let a = run_harness(&cfg, 7);
         let b = run_harness(&cfg, 8);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scale_run_is_deterministic_and_conserves_segments() {
+        let cfg = ScaleConfig {
+            sessions: 3000,
+            ticks: 30,
+            movies: 4,
+            vcr_per_tick: 20,
+        };
+        let a = run_scale(&cfg, 42);
+        let b = run_scale(&cfg, 42);
+        assert_eq!(a, b, "same seed must reproduce the outcome bitwise");
+        assert_eq!(a.verify_failures, 0);
+        assert_eq!(a.concurrent_at_end, 3000, "no session finishes in 30 ticks");
+        // Every session enrolls at tick 0 and then consumes one segment
+        // per tick, minus time parked in VCR/pause states.
+        assert!(a.segments > 0 && a.segments <= cfg.sessions * cfg.ticks);
+        assert!(a.vcr_accepted > 0, "the VCR sprinkle never landed");
+        assert_eq!(a.events, a.sessions + a.segments + a.vcr_accepted);
     }
 }

@@ -37,7 +37,11 @@ pub use admission::{config_from_plan, vcr_reserve_estimate};
 pub use buffer::{BufferError, BufferPool, Partition};
 pub use content::{checksum, generate_segment, verify_segment, MovieId, Segment, SEGMENT_BYTES};
 pub use disk::{DiskError, DiskSubsystem, StreamLease};
-pub use harness::{run_chaos, run_harness, ChaosOutcome, HarnessConfig};
+pub use harness::{
+    run_chaos, run_harness, run_scale, ChaosOutcome, HarnessConfig, ScaleConfig, ScaleOutcome,
+};
+#[doc(hidden)]
+pub use harness::{run_chaos_reference, run_harness_reference};
 pub use metrics::ServerMetrics;
 pub use server::{HostedMovie, PiggybackConfig, ServerConfig, ServerError, VodServer};
 pub use session::{DeliveryStats, SessionId, SessionState, SessionStatus, StreamId};

@@ -22,8 +22,8 @@
 use std::collections::BTreeMap;
 
 use vod_runtime::{
-    DegradePolicy, FaultKind, FaultPlan, QuantizedGeometry, ResumeClass, RuntimeMetrics,
-    StreamReserve,
+    Arena, ArenaId, DegradePolicy, FaultKind, FaultPlan, QuantizedGeometry, ResumeClass,
+    RuntimeMetrics, StreamReserve, TimerWheel,
 };
 use vod_workload::{TimeWeighted, VcrKind};
 
@@ -189,47 +189,50 @@ struct Session {
     piggyback_phase: u32,
 }
 
-/// The session-slot liveness invariant: callers index `sessions` only with
-/// ids they observed live earlier in the same call (slots stay `Some` for
-/// the server's lifetime; `Done` is a state, not an empty slot). Free
-/// functions rather than methods so a call borrows only the `sessions`
-/// field and the disjoint-field borrows in the tick path keep compiling.
-fn live(sessions: &[Option<Session>], idx: usize) -> &Session {
-    // vod-lint: allow(no-panic) — an empty slot here means the liveness invariant
-    // above is broken; continuing would corrupt accounting, so abort loudly.
-    sessions[idx].as_ref().expect("live session")
-}
-
-/// Mutable twin of [`live`], same invariant.
-fn live_mut(sessions: &mut [Option<Session>], idx: usize) -> &mut Session {
-    // vod-lint: allow(no-panic) — same slot-liveness invariant as `live`.
-    sessions[idx].as_mut().expect("live session")
-}
-
-/// Stream-slot liveness: indices come from `joinable_stream` or a
-/// position scan over live slots within the same tick, and streams are
-/// only retired at the top of a tick — never between the scan and this
-/// dereference.
-fn stream_live_mut(streams: &mut [Option<ActiveStream>], idx: usize) -> &mut ActiveStream {
-    // vod-lint: allow(no-panic) — scan-to-use gap is within one &mut self call, so
-    // the slot cannot have been retired; an empty slot is an indexing bug.
-    streams[idx].as_mut().expect("live stream")
-}
-
-/// Shared twin of [`stream_live_mut`], same invariant.
-fn stream_live(streams: &[Option<ActiveStream>], idx: usize) -> &ActiveStream {
-    // vod-lint: allow(no-panic) — same slot-liveness invariant as `stream_live_mut`.
-    streams[idx].as_ref().expect("live stream")
-}
-
 /// The server.
+///
+/// Session and stream populations live in generational [`Arena`]s (the
+/// liveness seam is [`Arena::live`]/[`Arena::live_mut`] and their
+/// raw-index twins: callers only dereference ids/indices they observed
+/// live earlier in the same call chain, and a miss aborts loudly).
+/// Session slots are never reused — ids stay queryable after `Done`, and
+/// session indices are append-only, which keeps the per-tick processing
+/// order identical to the historical full-table scan. Stream slots *are*
+/// reused, lowest-index-first, matching the historical free-slot scan.
 pub struct VodServer {
     now: u64,
     config: ServerConfig,
     disk: DiskSubsystem,
     pool: BufferPool,
-    streams: Vec<Option<ActiveStream>>,
-    sessions: Vec<Option<Session>>,
+    streams: Arena<ActiveStream>,
+    sessions: Arena<Session>,
+    /// Session indices in actionable states (Enrolled / Dedicated /
+    /// VcrActive / Degraded), ascending. Rebuilt each tick by the merge
+    /// loop in `advance_sessions`; `Waiting` sessions live in `wakeups`
+    /// instead and `Done` sessions in neither, so a tick touches only
+    /// sessions that can act — the million-session hot path.
+    active: Vec<u32>,
+    /// Timer wheel of Waiting-session wakeups keyed by `start_at` tick.
+    wakeups: TimerWheel<u32>,
+    /// Wheel entries known stale (their session closed while Waiting);
+    /// each fires once as a no-op and is dropped. Tracked so the
+    /// invariant check can reconcile `wakeups.len()` exactly.
+    wheel_stale: u64,
+    /// Per-movie memo of "the stream that restarted at this tick",
+    /// replacing the per-waking-session stream scan with one scan per
+    /// restart batch. Valid within one tick's session phase (streams do
+    /// not start or retire there); reset by `advance_sessions`.
+    restart_memo: Vec<Option<Option<StreamId>>>,
+    /// One-entry memo of the last `(stream, position) → verified` buffer
+    /// read this tick. Within a tick a partition is immutable, and a
+    /// restart batch shares one position, so cohort reads after the first
+    /// skip the segment re-generation in `verify_segment`.
+    verify_memo: Option<(ArenaId, u32, bool)>,
+    /// Test-only oracle mode: process sessions with the historical full
+    /// 0..n scan (no wheel, no memos). Set at construction time via
+    /// `set_reference_scan`; the equivalence suite pins wheel mode
+    /// against it bit for bit.
+    reference_scan: bool,
     metrics: ServerMetrics,
     movie_index: BTreeMap<MovieId, usize>,
     /// Dedicated-stream accountant for VCR service. Its capacity is the
@@ -277,13 +280,20 @@ impl VodServer {
             .min(config.disk_streams);
         let reserve =
             StreamReserve::with_capacity(config.disk_streams.saturating_sub(playback_reserved));
+        let n_movies = config.movies.len();
         Self {
             now: 0,
             config,
             disk,
             pool,
-            streams: Vec::new(),
-            sessions: Vec::new(),
+            streams: Arena::new(),
+            sessions: Arena::new(),
+            active: Vec::new(),
+            wakeups: TimerWheel::new(),
+            wheel_stale: 0,
+            restart_memo: vec![None; n_movies],
+            verify_memo: None,
+            reference_scan: false,
             metrics: ServerMetrics::new(),
             movie_index,
             reserve,
@@ -309,6 +319,16 @@ impl VodServer {
     /// Sessions currently in the degraded re-wait state.
     pub fn degraded_sessions(&self) -> u32 {
         self.degraded_count
+    }
+
+    /// Test-only oracle switch: process sessions with the historical full
+    /// 0..n scan instead of the timer wheel + active list (memos off too).
+    /// Flip it right after construction, before any session opens — the
+    /// equivalence suite pins the two modes against each other bit for
+    /// bit.
+    #[doc(hidden)]
+    pub fn set_reference_scan(&mut self, on: bool) {
+        self.reference_scan = on;
     }
 
     /// Acquire a disk lease for VCR/dedicated service out of the VCR
@@ -384,14 +404,12 @@ impl VodServer {
         let stream_leases = self
             .streams
             .iter()
-            .flatten()
-            .filter(|s| s.lease.is_some())
+            .filter(|(_, s)| s.lease.is_some())
             .count() as u32;
         let session_leases = self
             .sessions
             .iter()
-            .flatten()
-            .filter(|s| s.lease.is_some())
+            .filter(|(_, s)| s.lease.is_some())
             .count() as u32;
         if stream_leases + session_leases != disk.in_use() {
             v.push(format!(
@@ -409,8 +427,7 @@ impl VodServer {
         let partition_segments: usize = self
             .streams
             .iter()
-            .flatten()
-            .map(|s| s.partition.capacity())
+            .map(|(_, s)| s.partition.capacity())
             .sum();
         if partition_segments != self.pool.used() {
             v.push(format!(
@@ -425,14 +442,13 @@ impl VodServer {
                 self.pool.overcommitted()
             ));
         }
-        for (i, slot) in self.streams.iter().enumerate() {
-            let Some(s) = slot else { continue };
+        for (sid, s) in self.streams.iter() {
+            let i = sid.index();
             let readers = self
                 .sessions
                 .iter()
-                .flatten()
                 .filter(
-                    |sess| matches!(sess.state, SessionState::Enrolled { stream } if stream.0 == i),
+                    |(_, sess)| matches!(sess.state, SessionState::Enrolled { stream } if stream.0 == sid),
                 )
                 .count() as u32;
             if readers != s.enrolled {
@@ -442,15 +458,15 @@ impl VodServer {
                 ));
             }
         }
-        for (idx, slot) in self.sessions.iter().enumerate() {
-            match slot {
+        for idx in 0..self.sessions.slot_count() {
+            match self.sessions.at(idx) {
                 None => v.push(format!("session slot {idx} lost (empty)")),
                 Some(sess) => {
                     if let SessionState::Enrolled { stream } = sess.state {
-                        if self.streams.get(stream.0).is_none_or(|s| s.is_none()) {
+                        if !self.streams.contains(stream.0) {
                             v.push(format!(
                                 "session {idx} enrolled in dead stream {}",
-                                stream.0
+                                stream.0.index()
                             ));
                         }
                     }
@@ -460,8 +476,7 @@ impl VodServer {
         let degraded = self
             .sessions
             .iter()
-            .flatten()
-            .filter(|s| matches!(s.state, SessionState::Degraded { .. }))
+            .filter(|(_, s)| matches!(s.state, SessionState::Degraded { .. }))
             .count() as u32;
         if degraded != self.degraded_count {
             v.push(format!(
@@ -469,7 +484,52 @@ impl VodServer {
                 self.degraded_count
             ));
         }
+        if !self.reference_scan {
+            self.check_scheduler_invariants(&mut v);
+        }
         v
+    }
+
+    /// Coherence of the wheel-mode scheduler structures: the active list
+    /// is strictly ascending, covers exactly the actionable sessions
+    /// (entries may linger for sessions closed since the last tick — they
+    /// drop at the next rebuild — but a `Waiting` entry is always wrong),
+    /// and the wheel holds one entry per waiting session plus the known
+    /// stale ones.
+    fn check_scheduler_invariants(&self, v: &mut Vec<String>) {
+        if !self.active.windows(2).all(|w| w[0] < w[1]) {
+            v.push("active list not strictly ascending".to_string());
+        }
+        let mut cursor = self.active.iter().copied().peekable();
+        let mut waiting = 0u64;
+        for (id, sess) in self.sessions.iter() {
+            let idx = id.index() as u32;
+            while cursor.peek().is_some_and(|&a| a < idx) {
+                cursor.next();
+            }
+            let listed = cursor.peek() == Some(&idx);
+            match sess.state {
+                SessionState::Waiting { .. } => {
+                    waiting += 1;
+                    if listed {
+                        v.push(format!("waiting session {idx} on the active list"));
+                    }
+                }
+                SessionState::Done => {}
+                _ => {
+                    if !listed {
+                        v.push(format!("actionable session {idx} missing from active list"));
+                    }
+                }
+            }
+        }
+        if waiting + self.wheel_stale != self.wakeups.len() as u64 {
+            v.push(format!(
+                "wheel population drift: {waiting} waiting + {} stale != {} scheduled",
+                self.wheel_stale,
+                self.wakeups.len()
+            ));
+        }
     }
 
     /// Reset all counters and re-baseline the occupancy statistics at the
@@ -504,12 +564,10 @@ impl VodServer {
         // A stream whose window will cover position 0 when this session
         // first consumes (the enrollment window of the paper's Figure 1).
         let join = self.joinable_stream(movie_idx, 0);
-        let state = match join {
-            Some(stream_idx) => {
-                stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
-                SessionState::Enrolled {
-                    stream: StreamId(stream_idx),
-                }
+        let (state, wake_at) = match join {
+            Some(stream) => {
+                self.streams.live_mut(stream.0).enrolled += 1;
+                (SessionState::Enrolled { stream }, None)
             }
             None => {
                 // The next restart instant ≥ now. A stream scheduled at
@@ -517,13 +575,11 @@ impl VodServer {
                 // events), so `start_at == now` is valid and the session
                 // enrolls during the coming tick.
                 let t = geometry.restart_interval as u64;
-                SessionState::Waiting {
-                    start_at: self.now.div_ceil(t) * t,
-                }
+                let start_at = self.now.div_ceil(t) * t;
+                (SessionState::Waiting { start_at }, Some(start_at))
             }
         };
-        let id = SessionId(self.sessions.len());
-        self.sessions.push(Some(Session {
+        let id = SessionId(self.sessions.insert(Session {
             movie_idx,
             position: 0,
             state,
@@ -531,6 +587,13 @@ impl VodServer {
             stats: DeliveryStats::default(),
             piggyback_phase: 0,
         }));
+        // Session slots are never reused, so the new index is maximal and
+        // the active list stays sorted by pushing.
+        let idx = id.0.index() as u32;
+        match wake_at {
+            Some(at) => self.wakeups.schedule(at, idx),
+            None => self.active.push(idx),
+        }
         Ok(id)
     }
 
@@ -546,7 +609,6 @@ impl VodServer {
             let sess = self
                 .sessions
                 .get(id.0)
-                .and_then(Option::as_ref)
                 .ok_or(ServerError::UnknownSession(id))?;
             let ok = matches!(
                 sess.state,
@@ -585,7 +647,7 @@ impl VodServer {
             None
         };
         let length = self.config.movies[movie_idx].geometry.length;
-        let sess = live_mut(&mut self.sessions, id.0);
+        let sess = self.sessions.live_mut(id.0);
         if let Some(lease) = new_lease {
             sess.lease = Some(lease);
         }
@@ -598,7 +660,7 @@ impl VodServer {
         }
         // Leave the partition, if enrolled.
         if let SessionState::Enrolled { stream } = sess.state {
-            if let Some(s) = self.streams[stream.0].as_mut() {
+            if let Some(s) = self.streams.get_mut(stream.0) {
                 s.enrolled -= 1;
             }
         }
@@ -606,7 +668,7 @@ impl VodServer {
             self.metrics.runtime.rw_truncated += 1;
         }
         let remaining = vod_runtime::truncate_sweep(kind, magnitude, position, length);
-        let sess = live_mut(&mut self.sessions, id.0);
+        let sess = self.sessions.live_mut(id.0);
         sess.state = SessionState::VcrActive { kind, remaining };
         Ok(())
     }
@@ -616,33 +678,37 @@ impl VodServer {
     /// statistics, which remain queryable. Closing an already-finished
     /// session is a no-op; closing an unknown id is an error.
     pub fn close_session(&mut self, id: SessionId) -> Result<DeliveryStats, ServerError> {
-        let idx = id.0;
         let stats = {
             let sess = self
                 .sessions
-                .get(idx)
-                .and_then(Option::as_ref)
+                .get(id.0)
                 .ok_or(ServerError::UnknownSession(id))?;
             sess.stats
         };
-        let already_done = matches!(live(&self.sessions, idx).state, SessionState::Done);
+        let idx = id.0.index();
+        let already_done = matches!(self.sessions.live_at(idx).state, SessionState::Done);
         if !already_done {
             // A degraded session that quits resolves its retry denials as
             // permanent (no retry ever succeeded) and leaves the degraded
             // population.
             let pending = self.exit_degraded(idx);
             self.reserve.record_denials(pending, false);
-            let sess = live_mut(&mut self.sessions, idx);
+            let sess = self.sessions.live_at_mut(idx);
+            if matches!(sess.state, SessionState::Waiting { .. }) {
+                // The wheel still holds this session's wakeup; it fires
+                // once as a no-op and is dropped then.
+                self.wheel_stale += 1;
+            }
             if let SessionState::Enrolled { stream } = sess.state {
-                if let Some(st) = self.streams[stream.0].as_mut() {
+                if let Some(st) = self.streams.get_mut(stream.0) {
                     st.enrolled -= 1;
                 }
             }
-            let lease = live_mut(&mut self.sessions, idx).lease.take();
+            let lease = self.sessions.live_at_mut(idx).lease.take();
             if let Some(lease) = lease {
                 self.release_vcr_lease(lease);
             }
-            live_mut(&mut self.sessions, idx).state = SessionState::Done;
+            self.sessions.live_at_mut(idx).state = SessionState::Done;
             self.metrics.sessions_closed_early += 1;
         }
         Ok(stats)
@@ -653,7 +719,6 @@ impl VodServer {
         let sess = self
             .sessions
             .get(id.0)
-            .and_then(Option::as_ref)
             .ok_or(ServerError::UnknownSession(id))?;
         Ok(match &sess.state {
             SessionState::Waiting { start_at } => SessionStatus::Waiting(*start_at),
@@ -669,7 +734,6 @@ impl VodServer {
     pub fn session_stats(&self, id: SessionId) -> Result<DeliveryStats, ServerError> {
         self.sessions
             .get(id.0)
-            .and_then(Option::as_ref)
             .map(|s| s.stats)
             .ok_or(ServerError::UnknownSession(id))
     }
@@ -678,7 +742,6 @@ impl VodServer {
     pub fn session_position(&self, id: SessionId) -> Result<u32, ServerError> {
         self.sessions
             .get(id.0)
-            .and_then(Option::as_ref)
             .map(|s| s.position)
             .ok_or(ServerError::UnknownSession(id))
     }
@@ -756,7 +819,10 @@ impl VodServer {
     fn fail_disk_streams(&mut self, t: u64, count: u32) -> u32 {
         let failed_before = self.disk.failed();
         let revoked = self.disk.fail_streams(count);
-        let newly_failed = self.disk.failed() - failed_before;
+        // `fail_streams` only ever grows the failed count, but keep the
+        // difference total-order-safe anyway: a future recovery path
+        // interleaved here must shrink this delta, never wrap it.
+        let newly_failed = self.disk.failed().saturating_sub(failed_before);
         // Mirror the capacity loss into the VCR reserve: the dedicated
         // share shrinks before the playback pre-allocation does.
         self.reserve.fail_streams(newly_failed);
@@ -772,22 +838,29 @@ impl VodServer {
     /// enrolled readers degrade); a dedicated/VCR session loses its
     /// stream and re-queues.
     fn strip_revoked_lease(&mut self, t: u64, id: u64) {
-        for stream_idx in 0..self.streams.len() {
-            let holds = self.streams[stream_idx]
+        for stream_idx in 0..self.streams.slot_count() {
+            let Some(sid) = self.streams.id_at(stream_idx) else {
+                continue;
+            };
+            let holds = self
+                .streams
+                .live(sid)
+                .lease
                 .as_ref()
-                .is_some_and(|s| s.lease.as_ref().is_some_and(|l| l.id() == id));
+                .is_some_and(|l| l.id() == id);
             if holds {
                 self.metrics.playback.add(t as f64, -1.0);
-                self.kill_stream(t, stream_idx);
+                self.kill_stream(t, sid);
                 return;
             }
         }
-        for idx in 0..self.sessions.len() {
-            let holds = self.sessions[idx]
-                .as_ref()
+        for idx in 0..self.sessions.slot_count() {
+            let holds = self
+                .sessions
+                .at(idx)
                 .is_some_and(|s| s.lease.as_ref().is_some_and(|l| l.id() == id));
             if holds {
-                let sess = live_mut(&mut self.sessions, idx);
+                let sess = self.sessions.live_at_mut(idx);
                 // The lease is already dead at the disk; drop it without a
                 // disk release, but return the hold to the reserve.
                 sess.lease = None;
@@ -801,19 +874,19 @@ impl VodServer {
         }
     }
 
-    /// Retire stream `stream_idx` immediately: degrade its enrolled
-    /// readers, release its partition, and clear the slot. The caller has
-    /// already settled the disk lease (revoked or released).
-    fn kill_stream(&mut self, t: u64, stream_idx: usize) {
-        for idx in 0..self.sessions.len() {
-            let enrolled_here = self.sessions[idx].as_ref().is_some_and(
-                |s| matches!(s.state, SessionState::Enrolled { stream } if stream.0 == stream_idx),
+    /// Retire stream `sid` immediately: degrade its enrolled readers,
+    /// release its partition, and free the slot. The caller has already
+    /// settled the disk lease (revoked or released).
+    fn kill_stream(&mut self, t: u64, sid: ArenaId) {
+        for idx in 0..self.sessions.slot_count() {
+            let enrolled_here = self.sessions.at(idx).is_some_and(
+                |s| matches!(s.state, SessionState::Enrolled { stream } if stream.0 == sid),
             );
             if enrolled_here {
                 self.enter_degraded(t, idx);
             }
         }
-        if let Some(mut s) = self.streams[stream_idx].take() {
+        if let Some(mut s) = self.streams.remove(sid) {
             if let Some(lease) = s.lease.take() {
                 self.disk.release(lease);
             }
@@ -830,19 +903,15 @@ impl VodServer {
             let victim = self
                 .streams
                 .iter()
-                .enumerate()
-                .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
-                .min_by_key(|(i, s)| (s.enrolled, s.started, *i))
-                .map(|(i, _)| i);
-            let Some(stream_idx) = victim else { break };
-            let held_lease = self.streams[stream_idx]
-                .as_ref()
-                .is_some_and(|s| s.lease.is_some());
+                .min_by_key(|(id, s)| (s.enrolled, s.started, id.index()))
+                .map(|(id, _)| id);
+            let Some(sid) = victim else { break };
+            let held_lease = self.streams.get(sid).is_some_and(|s| s.lease.is_some());
             if held_lease {
                 self.metrics.playback.add(t as f64, -1.0);
             }
             self.metrics.partitions_evicted += 1;
-            self.kill_stream(t, stream_idx);
+            self.kill_stream(t, sid);
         }
     }
 
@@ -857,9 +926,9 @@ impl VodServer {
     /// Move session `idx` into the degraded re-wait state (it has already
     /// been detached from any stream, partition, or lease).
     fn enter_degraded(&mut self, t: u64, idx: usize) {
-        let sess = live_mut(&mut self.sessions, idx);
+        let sess = self.sessions.live_at_mut(idx);
         if let SessionState::Enrolled { stream } = sess.state {
-            if let Some(s) = self.streams[stream.0].as_mut() {
+            if let Some(s) = self.streams.get_mut(stream.0) {
                 s.enrolled -= 1;
             }
         }
@@ -884,8 +953,8 @@ impl VodServer {
     // ---- streams -----------------------------------------------------------
 
     fn retire_streams(&mut self) {
-        for slot in &mut self.streams {
-            let retire = match slot {
+        for i in 0..self.streams.slot_count() {
+            let retire = match self.streams.at_mut(i) {
                 Some(s) => {
                     let geometry = self.config.movies[s.movie_idx].geometry;
                     // Displaying ends once every segment has been read —
@@ -907,7 +976,7 @@ impl VodServer {
                 None => false,
             };
             if retire {
-                if let Some(s) = slot.take() {
+                if let Some(s) = self.streams.id_at(i).and_then(|id| self.streams.remove(id)) {
                     self.pool.release(s.partition.capacity());
                 }
             }
@@ -946,18 +1015,18 @@ impl VodServer {
                 enrolled: 0,
                 next_read: 0,
             };
-            if let Some(free) = self.streams.iter_mut().find(|s| s.is_none()) {
-                *free = Some(stream);
-            } else {
-                self.streams.push(Some(stream));
-            }
+            // Lowest-index-first slot reuse — the arena's insert order
+            // matches the free-slot scan this replaces.
+            self.streams.insert(stream);
         }
     }
 
     fn advance_streams(&mut self, t: u64) {
         let stalled = self.disk_stalled(t);
-        for slot in &mut self.streams {
-            let Some(s) = slot else { continue };
+        for i in 0..self.streams.slot_count() {
+            let Some(s) = self.streams.at_mut(i) else {
+                continue;
+            };
             let hosted = self.config.movies[s.movie_idx];
             if s.next_read >= hosted.geometry.length {
                 continue;
@@ -982,10 +1051,80 @@ impl VodServer {
 
     // ---- sessions ----------------------------------------------------------
 
+    /// Process every session that can act at tick `t`.
+    ///
+    /// Wheel mode walks the merged ascending-index stream of the active
+    /// list and the wakeups due at `t` — the same relative order as the
+    /// historical full `0..n` scan, which is bitwise-identical because
+    /// the skipped sessions (`Done`, not-yet-due `Waiting`) were strict
+    /// no-ops in that scan. Reference mode (`set_reference_scan`) still
+    /// runs the full scan as the equivalence oracle.
     fn advance_sessions(&mut self, t: u64) {
-        for idx in 0..self.sessions.len() {
-            self.advance_session(t, idx);
+        for memo in self.restart_memo.iter_mut() {
+            *memo = None;
         }
+        self.verify_memo = None;
+        if self.reference_scan {
+            for idx in 0..self.sessions.slot_count() {
+                self.advance_session(t, idx);
+            }
+            return;
+        }
+        let mut due = self.wakeups.drain_tick(t);
+        due.sort_unstable();
+        let prev_active = std::mem::take(&mut self.active);
+        let mut next_active = Vec::with_capacity(prev_active.len() + due.len());
+        let (mut a, mut d) = (0usize, 0usize);
+        loop {
+            // A session is never in both sources: Waiting sessions are
+            // only on the wheel, everything actionable only on the list.
+            let from_wheel = match (prev_active.get(a), due.get(d)) {
+                (Some(&act), Some(&wake)) => {
+                    debug_assert_ne!(act, wake, "session both active and waiting");
+                    wake < act
+                }
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+            let idx = if from_wheel {
+                let i = due[d];
+                d += 1;
+                i
+            } else {
+                let i = prev_active[a];
+                a += 1;
+                i
+            };
+            if from_wheel
+                && matches!(
+                    self.sessions.live_at(idx as usize).state,
+                    SessionState::Done
+                )
+            {
+                // The session closed while waiting; its wakeup fires once
+                // as a no-op and the stale entry is accounted off.
+                self.wheel_stale -= 1;
+                continue;
+            }
+            self.advance_session(t, idx as usize);
+            match self.sessions.live_at(idx as usize).state {
+                SessionState::Done => {}
+                SessionState::Waiting { start_at } => self.wakeups.schedule(start_at, idx),
+                _ => next_active.push(idx),
+            }
+        }
+        self.active = next_active;
+    }
+
+    /// First live stream of `movie_idx` that restarted at tick `t`, in
+    /// slot order (at most one exists: `start_due_streams` starts one
+    /// stream per movie per due tick).
+    fn find_restarted_stream(&self, movie_idx: usize, t: u64) -> Option<StreamId> {
+        self.streams
+            .iter()
+            .find(|(_, s)| s.movie_idx == movie_idx && s.started == t)
+            .map(|(id, _)| StreamId(id))
     }
 
     fn advance_session(&mut self, t: u64, idx: usize) {
@@ -998,7 +1137,7 @@ impl VodServer {
             Degraded,
         }
         let act = {
-            let Some(sess) = self.sessions[idx].as_ref() else {
+            let Some(sess) = self.sessions.at(idx) else {
                 return;
             };
             match sess.state {
@@ -1015,27 +1154,36 @@ impl VodServer {
             Act::Nothing => {}
             Act::StartWaiting => {
                 // The restart happened earlier in this tick; enroll in the
-                // stream that just started.
-                let movie_idx = live(&self.sessions, idx).movie_idx;
-                let stream_idx = self.streams.iter().position(|s| {
-                    s.as_ref()
-                        .is_some_and(|s| s.movie_idx == movie_idx && s.started == t)
-                });
-                let Some(stream_idx) = stream_idx else {
+                // stream that just started. The whole batch shares one
+                // answer, so wheel mode memoizes the scan per movie
+                // (streams neither start nor retire during the session
+                // phase, which keeps the memo valid for the entire tick).
+                let movie_idx = self.sessions.live_at(idx).movie_idx;
+                let stream = if self.reference_scan {
+                    self.find_restarted_stream(movie_idx, t)
+                } else {
+                    match self.restart_memo[movie_idx] {
+                        Some(cached) => cached,
+                        None => {
+                            let found = self.find_restarted_stream(movie_idx, t);
+                            self.restart_memo[movie_idx] = Some(found);
+                            found
+                        }
+                    }
+                };
+                let Some(stream) = stream else {
                     // The scheduled restart failed to start (under-provisioned
                     // disk or buffer, counted in `restart_failures`). The
                     // batch keeps waiting for the next restart instant
                     // instead of aborting the server.
                     let t_int = self.config.movies[movie_idx].geometry.restart_interval as u64;
-                    live_mut(&mut self.sessions, idx).state = SessionState::Waiting {
+                    self.sessions.live_at_mut(idx).state = SessionState::Waiting {
                         start_at: t + t_int,
                     };
                     return;
                 };
-                live_mut(&mut self.sessions, idx).state = SessionState::Enrolled {
-                    stream: StreamId(stream_idx),
-                };
-                stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
+                self.sessions.live_at_mut(idx).state = SessionState::Enrolled { stream };
+                self.streams.live_mut(stream.0).enrolled += 1;
                 self.consume_enrolled(t, idx);
             }
             Act::Enrolled => self.consume_enrolled(t, idx),
@@ -1054,25 +1202,22 @@ impl VodServer {
     fn degraded_tick(&mut self, t: u64, idx: usize) {
         self.metrics.runtime.rewait_minutes += 1.0;
         let (movie_idx, position) = {
-            let sess = live(&self.sessions, idx);
+            let sess = self.sessions.live_at(idx);
             (sess.movie_idx, sess.position)
         };
-        if let Some(stream_idx) = self.joinable_stream(movie_idx, position) {
+        if let Some(stream) = self.joinable_stream(movie_idx, position) {
             // Rejoined the batch: the dedicated retries (if any) never
             // succeeded, so their denials resolve as permanent.
             let pending = self.exit_degraded(idx);
             self.reserve.record_denials(pending, false);
             self.metrics.runtime.degraded_rejoined += 1;
-            let sess = live_mut(&mut self.sessions, idx);
-            sess.state = SessionState::Enrolled {
-                stream: StreamId(stream_idx),
-            };
-            stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
+            self.sessions.live_at_mut(idx).state = SessionState::Enrolled { stream };
+            self.streams.live_mut(stream.0).enrolled += 1;
             self.consume_enrolled(t, idx);
             return;
         }
         let (since, next_retry, backoff, pending, exhausted) = {
-            let sess = live(&self.sessions, idx);
+            let sess = self.sessions.live_at(idx);
             let SessionState::Degraded {
                 since,
                 next_retry,
@@ -1099,7 +1244,7 @@ impl VodServer {
             // retry sequence as permanently denied, and fall back to
             // batch admission (keep waiting for a window rejoin).
             self.reserve.record_denials(pending, false);
-            let sess = live_mut(&mut self.sessions, idx);
+            let sess = self.sessions.live_at_mut(idx);
             if let SessionState::Degraded {
                 pending_denials,
                 retries_exhausted,
@@ -1118,14 +1263,14 @@ impl VodServer {
                 let pending = self.exit_degraded(idx);
                 self.reserve.record_denials(pending, true);
                 self.metrics.runtime.degraded_dedicated += 1;
-                let sess = live_mut(&mut self.sessions, idx);
+                let sess = self.sessions.live_at_mut(idx);
                 sess.lease = Some(lease);
                 sess.state = SessionState::Dedicated;
                 sess.piggyback_phase = 0;
             }
             None => {
                 let next_backoff = (backoff * 2).min(self.policy.retry_backoff_cap.max(1));
-                let sess = live_mut(&mut self.sessions, idx);
+                let sess = self.sessions.live_at_mut(idx);
                 if let SessionState::Degraded {
                     next_retry,
                     backoff,
@@ -1145,7 +1290,7 @@ impl VodServer {
     /// denial count awaiting classification and fixes the population
     /// counter. The caller sets the next state.
     fn exit_degraded(&mut self, idx: usize) -> u64 {
-        let sess = live_mut(&mut self.sessions, idx);
+        let sess = self.sessions.live_at_mut(idx);
         let SessionState::Degraded {
             pending_denials, ..
         } = sess.state
@@ -1158,49 +1303,67 @@ impl VodServer {
 
     /// Consume the next segment from the enrolled partition.
     fn consume_enrolled(&mut self, t: u64, idx: usize) {
-        let (stream_idx, position, movie_idx) = {
-            let sess = live(&self.sessions, idx);
+        let (stream_id, position, movie_idx) = {
+            let sess = self.sessions.live_at(idx);
             let SessionState::Enrolled { stream } = sess.state else {
                 unreachable!("caller checked state")
             };
             (stream.0, sess.position, sess.movie_idx)
         };
         let length = self.config.movies[movie_idx].geometry.length;
-        let verified = {
-            let stream = stream_live(&self.streams, stream_idx);
-            match stream.partition.get(position) {
-                Some(seg) => verify_segment(seg),
-                None if self.fault_mode => {
-                    // Under faults an uncovered position has two honest
-                    // outcomes instead of a panic: the stream has not yet
-                    // produced the segment (disk slowdown — stall with it),
-                    // or the window moved past us (degraded re-wait).
-                    let ahead = stream
-                        .partition
-                        .front_index()
-                        .is_none_or(|front| position > front);
-                    if ahead {
-                        self.metrics.runtime.stall_minutes += 1.0;
-                    } else {
-                        self.enter_degraded(t, idx);
+        // A restart batch reads the same `(stream, position)` segment in
+        // one cohort; partitions are immutable during the session phase,
+        // so the verification outcome can be memoized across the cohort
+        // (wheel mode only — the reference oracle recomputes every read).
+        let memo = (!self.reference_scan)
+            .then_some(self.verify_memo)
+            .flatten()
+            .filter(|&(s, p, _)| s == stream_id && p == position)
+            .map(|(_, _, ok)| ok);
+        let verified = match memo {
+            Some(ok) => ok,
+            None => {
+                let stream = self.streams.live(stream_id);
+                match stream.partition.get(position) {
+                    Some(seg) => {
+                        let ok = verify_segment(seg);
+                        if !self.reference_scan {
+                            self.verify_memo = Some((stream_id, position, ok));
+                        }
+                        ok
                     }
-                    return;
-                }
-                None => {
-                    // vod-lint: allow(no-panic) — without injected faults an
-                    // underrun means the enrollment invariant is broken; serving
-                    // a wrong segment silently would corrupt the data path, so
-                    // abort loudly.
-                    panic!(
-                        "buffer underrun: session at {position} not covered by \
-                         partition [{:?}, {:?}] (enrollment invariant broken)",
-                        stream.partition.tail_index(),
-                        stream.partition.front_index()
-                    )
+                    None if self.fault_mode => {
+                        // Under faults an uncovered position has two honest
+                        // outcomes instead of a panic: the stream has not yet
+                        // produced the segment (disk slowdown — stall with it),
+                        // or the window moved past us (degraded re-wait).
+                        let ahead = stream
+                            .partition
+                            .front_index()
+                            .is_none_or(|front| position > front);
+                        if ahead {
+                            self.metrics.runtime.stall_minutes += 1.0;
+                        } else {
+                            self.enter_degraded(t, idx);
+                        }
+                        return;
+                    }
+                    None => {
+                        // vod-lint: allow(no-panic) — without injected faults an
+                        // underrun means the enrollment invariant is broken; serving
+                        // a wrong segment silently would corrupt the data path, so
+                        // abort loudly.
+                        panic!(
+                            "buffer underrun: session at {position} not covered by \
+                             partition [{:?}, {:?}] (enrollment invariant broken)",
+                            stream.partition.tail_index(),
+                            stream.partition.front_index()
+                        )
+                    }
                 }
             }
         };
-        let sess = live_mut(&mut self.sessions, idx);
+        let sess = self.sessions.live_at_mut(idx);
         sess.stats.from_buffer += 1;
         if !verified {
             sess.stats.verify_failures += 1;
@@ -1221,27 +1384,27 @@ impl VodServer {
             return;
         }
         let length = {
-            let sess = live(&self.sessions, idx);
+            let sess = self.sessions.live_at(idx);
             self.config.movies[sess.movie_idx].geometry.length
         };
         self.read_via_lease(idx);
         // Optional piggyback catch-up segment.
         if let Some(pb) = self.config.piggyback {
             let due = {
-                let sess = live_mut(&mut self.sessions, idx);
+                let sess = self.sessions.live_at_mut(idx);
                 sess.piggyback_phase += 1;
                 sess.piggyback_phase >= pb.catchup_period
                     && sess.position < length
                     && matches!(sess.state, SessionState::Dedicated)
             };
             if due {
-                let sess = live_mut(&mut self.sessions, idx);
+                let sess = self.sessions.live_at_mut(idx);
                 sess.piggyback_phase = 0;
                 self.read_via_lease(idx);
             }
         }
         let (movie_idx, position) = {
-            let sess = live(&self.sessions, idx);
+            let sess = self.sessions.live_at(idx);
             (sess.movie_idx, sess.position)
         };
         if position >= length {
@@ -1249,28 +1412,25 @@ impl VodServer {
             return;
         }
         // Merge back if a window now covers us (piggyback payoff).
-        if let Some(stream_idx) = self.joinable_stream(movie_idx, position) {
-            let lease = live_mut(&mut self.sessions, idx).lease.take();
+        if let Some(stream) = self.joinable_stream(movie_idx, position) {
+            let lease = self.sessions.live_at_mut(idx).lease.take();
             if let Some(lease) = lease {
                 self.release_vcr_lease(lease);
                 self.metrics.piggyback_merges += 1;
             }
-            let sess = live_mut(&mut self.sessions, idx);
-            sess.state = SessionState::Enrolled {
-                stream: StreamId(stream_idx),
-            };
-            stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
+            self.sessions.live_at_mut(idx).state = SessionState::Enrolled { stream };
+            self.streams.live_mut(stream.0).enrolled += 1;
         }
     }
 
     /// Read `position` via the session's own lease and advance.
     fn read_via_lease(&mut self, idx: usize) {
         let (movie, position) = {
-            let sess = live(&self.sessions, idx);
+            let sess = self.sessions.live_at(idx);
             (self.config.movies[sess.movie_idx].movie, sess.position)
         };
         let seg = {
-            let sess = live(&self.sessions, idx);
+            let sess = self.sessions.live_at(idx);
             let lease = sess
                 .lease
                 .as_ref()
@@ -1284,7 +1444,7 @@ impl VodServer {
                 .expect("dedicated read in range")
         };
         let ok = verify_segment(&seg);
-        let sess = live_mut(&mut self.sessions, idx);
+        let sess = self.sessions.live_at_mut(idx);
         sess.stats.from_disk += 1;
         if !ok {
             sess.stats.verify_failures += 1;
@@ -1300,11 +1460,11 @@ impl VodServer {
             return;
         }
         let length = {
-            let sess = live(&self.sessions, idx);
+            let sess = self.sessions.live_at(idx);
             self.config.movies[sess.movie_idx].geometry.length
         };
         let steps = {
-            let sess = live_mut(&mut self.sessions, idx);
+            let sess = self.sessions.live_at_mut(idx);
             let SessionState::VcrActive { remaining, .. } = &mut sess.state else {
                 unreachable!("caller checked state")
             };
@@ -1315,7 +1475,7 @@ impl VodServer {
         for _ in 0..steps {
             self.read_via_lease(idx);
         }
-        let sess = live_mut(&mut self.sessions, idx);
+        let sess = self.sessions.live_at_mut(idx);
         if sess.position >= length {
             // FF ran to the end: the viewing is over (the model's P(end)).
             // Counted as a hit, matching the simulator's default
@@ -1338,23 +1498,28 @@ impl VodServer {
             return;
         }
         let steps = {
-            let sess = live_mut(&mut self.sessions, idx);
+            let sess = self.sessions.live_at_mut(idx);
             let SessionState::VcrActive { remaining, .. } = &mut sess.state else {
                 unreachable!("caller checked state")
             };
             let steps = (*remaining).min(self.config.vcr_rate).min(sess.position);
-            *remaining = remaining.saturating_sub(steps).min(sess.position - steps);
+            // Both differences clamp at zero: `steps` is bounded by both
+            // operands today, but a rewind past the start must never wrap
+            // the residual sweep into billions of segments.
+            *remaining = remaining
+                .saturating_sub(steps)
+                .min(sess.position.saturating_sub(steps));
             steps
         };
         // Rewind with viewing displays segments in reverse order; each is
         // read through the dedicated lease.
         for _ in 0..steps {
             let (movie, target) = {
-                let sess = live(&self.sessions, idx);
+                let sess = self.sessions.live_at(idx);
                 (self.config.movies[sess.movie_idx].movie, sess.position - 1)
             };
             let seg = {
-                let sess = live(&self.sessions, idx);
+                let sess = self.sessions.live_at(idx);
                 let lease = sess
                     .lease
                     .as_ref()
@@ -1365,7 +1530,7 @@ impl VodServer {
                 self.disk.read(lease, movie, target).expect("in range")
             };
             let ok = verify_segment(&seg);
-            let sess = live_mut(&mut self.sessions, idx);
+            let sess = self.sessions.live_at_mut(idx);
             sess.stats.from_disk += 1;
             if !ok {
                 sess.stats.verify_failures += 1;
@@ -1374,7 +1539,7 @@ impl VodServer {
             self.metrics.runtime.disk_minutes += 1.0;
             sess.position -= 1;
         }
-        let sess = live_mut(&mut self.sessions, idx);
+        let sess = self.sessions.live_at_mut(idx);
         let done = matches!(sess.state, SessionState::VcrActive { remaining: 0, .. })
             || sess.position == 0;
         if done {
@@ -1384,7 +1549,7 @@ impl VodServer {
 
     fn pause_countdown(&mut self, t: u64, idx: usize) {
         let resume_now = {
-            let sess = live_mut(&mut self.sessions, idx);
+            let sess = self.sessions.live_at_mut(idx);
             let SessionState::VcrActive { remaining, .. } = &mut sess.state else {
                 unreachable!("caller checked state")
             };
@@ -1408,27 +1573,24 @@ impl VodServer {
     /// simulator; the window probe is the live-stream join rule.
     fn resume(&mut self, _t: u64, idx: usize, holds_lease: bool, kind: VcrKind) {
         let (movie_idx, position) = {
-            let sess = live(&self.sessions, idx);
+            let sess = self.sessions.live_at(idx);
             (sess.movie_idx, sess.position)
         };
         let joinable = self.joinable_stream(movie_idx, position);
         let class = ResumeClass::classify(joinable.is_some());
         self.metrics.runtime.record_resume(kind, class.is_hit());
-        if let Some(stream_idx) = joinable {
-            let lease = live_mut(&mut self.sessions, idx).lease.take();
+        if let Some(stream) = joinable {
+            let lease = self.sessions.live_at_mut(idx).lease.take();
             if let Some(lease) = lease {
                 self.release_vcr_lease(lease);
             }
-            let sess = live_mut(&mut self.sessions, idx);
-            sess.state = SessionState::Enrolled {
-                stream: StreamId(stream_idx),
-            };
-            stream_live_mut(&mut self.streams, stream_idx).enrolled += 1;
+            self.sessions.live_at_mut(idx).state = SessionState::Enrolled { stream };
+            self.streams.live_mut(stream.0).enrolled += 1;
             return;
         }
         // Miss: continue on a dedicated stream.
         if holds_lease {
-            let sess = live_mut(&mut self.sessions, idx);
+            let sess = self.sessions.live_at_mut(idx);
             debug_assert!(sess.lease.is_some());
             sess.state = SessionState::Dedicated;
             sess.piggyback_phase = 0;
@@ -1440,14 +1602,14 @@ impl VodServer {
         // the viewer; the *event* counted is the same).
         match self.try_vcr_lease() {
             Some(lease) => {
-                let sess = live_mut(&mut self.sessions, idx);
+                let sess = self.sessions.live_at_mut(idx);
                 sess.lease = Some(lease);
                 sess.state = SessionState::Dedicated;
                 sess.piggyback_phase = 0;
             }
             None => {
                 self.metrics.runtime.resume_starved += 1;
-                let sess = live_mut(&mut self.sessions, idx);
+                let sess = self.sessions.live_at_mut(idx);
                 sess.state = SessionState::VcrActive {
                     kind: VcrKind::Pause,
                     remaining: 1,
@@ -1458,26 +1620,24 @@ impl VodServer {
 
     /// Any live stream of `movie_idx` a session at `position` can join —
     /// [`QuantizedGeometry::stream_join_covers`] applied to each live
-    /// partition's actual `(front, filled)` state.
-    fn joinable_stream(&self, movie_idx: usize, position: u32) -> Option<usize> {
+    /// partition's actual `(front, filled)` state, in slot order.
+    fn joinable_stream(&self, movie_idx: usize, position: u32) -> Option<StreamId> {
         let geometry = self.config.movies[movie_idx].geometry;
         self.streams
             .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_ref().map(|s| (i, s)))
             .find(|(_, s)| {
                 s.movie_idx == movie_idx
                     && s.partition.front_index().is_some_and(|front| {
                         geometry.stream_join_covers(front, s.partition.len() as u32, position)
                     })
             })
-            .map(|(i, _)| i)
+            .map(|(id, _)| StreamId(id))
     }
 
     fn finish_session(&mut self, _t: u64, idx: usize) {
-        let sess = live_mut(&mut self.sessions, idx);
+        let sess = self.sessions.live_at_mut(idx);
         if let SessionState::Enrolled { stream } = sess.state {
-            if let Some(s) = self.streams[stream.0].as_mut() {
+            if let Some(s) = self.streams.get_mut(stream.0) {
                 s.enrolled -= 1;
             }
         }
@@ -1485,7 +1645,7 @@ impl VodServer {
         if let Some(lease) = lease {
             self.release_vcr_lease(lease);
         }
-        live_mut(&mut self.sessions, idx).state = SessionState::Done;
+        self.sessions.live_at_mut(idx).state = SessionState::Done;
         self.metrics.sessions_done += 1;
     }
 }

@@ -18,15 +18,22 @@
 //! a fault-free run never constructs it, so pre-fault behavior is
 //! bitwise unchanged.
 
+use vod_runtime::ArenaId;
 use vod_workload::VcrKind;
 
-/// Session identifier (index into the server's session table).
+/// Session identifier: a generational handle into the server's session
+/// arena. Ids stay valid (and queryable) after the session finishes —
+/// session slots are never reused — but a fabricated or foreign id
+/// safely fails to resolve instead of aliasing another session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct SessionId(pub usize);
+pub struct SessionId(pub ArenaId);
 
-/// Identifier of an active stream within the server.
+/// Identifier of an active stream within the server: a generational
+/// handle into the stream arena. Stream slots *are* reused as streams
+/// retire, so a stale `StreamId` held across a retirement resolves to
+/// `None` rather than the slot's new occupant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct StreamId(pub usize);
+pub struct StreamId(pub ArenaId);
 
 /// Where a session currently gets its frames.
 #[derive(Debug)]

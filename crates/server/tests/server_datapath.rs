@@ -138,6 +138,42 @@ fn rewind_served_in_reverse_and_resumes() {
     assert_eq!(server.session_status(s).unwrap(), SessionStatus::Done);
 }
 
+/// Regression: a rewind whose magnitude exceeds the playback position
+/// must clamp the sweep at the start of the movie (counted once in
+/// `rw_truncated`), resume cleanly from position 0, and never wrap the
+/// residual-sweep arithmetic into a multi-billion-segment sweep.
+#[test]
+fn rewind_past_start_clamps_to_zero_and_resumes() {
+    let mut server = one_movie_server();
+    let s = server.open_session(MovieId(0)).unwrap();
+    server.run(20);
+    assert_eq!(server.session_position(s).unwrap(), 20);
+    let before = server.session_stats(s).unwrap();
+    server.request_vcr(s, VcrKind::Rewind, 50).unwrap();
+    assert_eq!(server.metrics().runtime.rw_truncated, 1);
+    // 20 segments at rate 3: the sweep bottoms out on its 7th tick.
+    server.run(7);
+    assert_eq!(server.session_position(s).unwrap(), 0, "clamped at start");
+    let after = server.session_stats(s).unwrap();
+    assert_eq!(
+        after.from_disk - before.from_disk,
+        20,
+        "sweep reads exactly the segments above position 0"
+    );
+    let status = server.session_status(s).unwrap();
+    assert!(
+        matches!(status, SessionStatus::Shared | SessionStatus::Dedicated),
+        "resumed after bottoming out: {status:?}"
+    );
+    assert_eq!(server.metrics().runtime.resumes.trials(), 1);
+    // Replays the whole movie from the top without further incident.
+    server.run(140);
+    let stats = server.session_stats(s).unwrap();
+    assert_eq!(server.session_status(s).unwrap(), SessionStatus::Done);
+    assert_eq!(stats.verify_failures, 0);
+    assert!(stats.total() >= before.total() + 20 + 120);
+}
+
 #[test]
 fn vcr_denied_when_reserve_exhausted() {
     // Provision zero VCR reserve: every playback stream is accounted for,
@@ -238,7 +274,11 @@ fn unknown_ids_rejected() {
         Err(ServerError::UnknownMovie(_))
     ));
     assert!(matches!(
-        server.request_vcr(vod_server::SessionId(9), VcrKind::Pause, 1),
+        server.request_vcr(
+            vod_server::SessionId(vod_runtime::ArenaId::from_parts(9, 0)),
+            VcrKind::Pause,
+            1
+        ),
         Err(ServerError::UnknownSession(_))
     ));
 }
@@ -292,7 +332,9 @@ fn close_enrolled_session_frees_partition_eventually() {
     assert_eq!(server.metrics().runtime.restart_failures, 0);
     assert!(server.buffer_pool().used() <= server.buffer_pool().budget());
     assert!(matches!(
-        server.close_session(vod_server::SessionId(99)),
+        server.close_session(vod_server::SessionId(vod_runtime::ArenaId::from_parts(
+            99, 0
+        ))),
         Err(ServerError::UnknownSession(_))
     ));
 }

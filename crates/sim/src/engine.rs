@@ -20,7 +20,9 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use vod_dist::rng::{exponential, seeded, SeededRng};
-use vod_runtime::{plan_vcr, FaultKind, PartitionWindows, StreamReserve};
+use vod_runtime::{
+    plan_vcr, Arena, ArenaId, FaultKind, PartitionWindows, StreamReserve, TimerWheel,
+};
 use vod_workload::{VcrKind, VcrTraceRecord, Welford};
 
 use crate::{CatalogConfig, CatalogReport, SimConfig, SimReport};
@@ -37,12 +39,12 @@ enum EvKind {
     /// is scheduled on pop).
     Arrival { movie: usize },
     /// A queued (type-1) viewer starts at a restart instant.
-    Start { viewer: usize },
+    Start { viewer: ArenaId },
     /// A playing viewer issues a VCR operation.
-    Vcr { viewer: usize },
+    Vcr { viewer: ArenaId },
     /// A VCR operation completes; the viewer resumes at `end_pos`.
     VcrEnd {
-        viewer: usize,
+        viewer: ArenaId,
         kind: VcrKind,
         magnitude: f64,
         issued_at: f64,
@@ -54,7 +56,7 @@ enum EvKind {
         truncated_start: bool,
     },
     /// A viewer reaches the end of the movie in normal playback.
-    Finish { viewer: usize },
+    Finish { viewer: ArenaId },
 }
 
 impl PartialEq for Ev {
@@ -87,29 +89,98 @@ struct Viewer {
     holds_dedicated: bool,
 }
 
-/// A viewer slot referenced by a scheduled event is always occupied:
-/// slots are cleared only in `on_finish`, which also stops scheduling
-/// events for that viewer.
-fn live(viewers: &[Option<Viewer>], idx: usize) -> &Viewer {
-    // vod-lint: allow(no-panic) — an empty slot here means the event/slot
-    // liveness invariant above is broken; continuing would corrupt the
-    // accounting, so abort loudly.
-    viewers[idx].as_ref().expect("live viewer")
+/// The engine's pending-event set.
+///
+/// Both variants pop events in exactly the same order — ascending
+/// `(time, seq)` — so the engine's behavior is bitwise independent of
+/// which one drives it (pinned by `tests/queue_equivalence.rs`).
+///
+/// The wheel variant buckets events by `floor(time)` minute: only the
+/// minute the cursor is on lives in a small [`BinaryHeap`]; everything
+/// later waits in a [`TimerWheel`] slot. Pushes into future minutes are
+/// O(1) instead of O(log pending), and an idle stretch fast-forwards
+/// through the wheel's occupancy bitmaps instead of popping through a
+/// million-entry heap. Ordering is preserved because every event in
+/// `current` has `floor(time) ≤ minute` while every event still in the
+/// wheel has `floor(time) > minute` — so `current`'s minimum is the
+/// global minimum — and within a minute the heap restores the global
+/// `(time, seq)` order over the wheel's FIFO drain.
+enum EventQueue {
+    /// The historical single global heap (reference scheduler).
+    Heap(BinaryHeap<Ev>),
+    /// Minute-bucketed wheel + current-minute heap (the default).
+    Wheel {
+        wheel: TimerWheel<Ev>,
+        current: BinaryHeap<Ev>,
+        /// The minute bucket `current` is drawn from.
+        minute: u64,
+    },
 }
 
-/// Mutable twin of [`live`]; same liveness invariant.
-fn live_mut(viewers: &mut [Option<Viewer>], idx: usize) -> &mut Viewer {
-    // vod-lint: allow(no-panic) — see `live`: an empty slot is a broken
-    // liveness invariant, abort loudly.
-    viewers[idx].as_mut().expect("live viewer")
+impl EventQueue {
+    fn new(reference_heap: bool) -> Self {
+        if reference_heap {
+            EventQueue::Heap(BinaryHeap::new())
+        } else {
+            EventQueue::Wheel {
+                wheel: TimerWheel::new(),
+                current: BinaryHeap::new(),
+                minute: 0,
+            }
+        }
+    }
+
+    fn push(&mut self, ev: Ev) {
+        match self {
+            EventQueue::Heap(heap) => heap.push(ev),
+            EventQueue::Wheel {
+                wheel,
+                current,
+                minute,
+            } => {
+                let tick = TimerWheel::<Ev>::tick_of(ev.time);
+                if tick <= *minute {
+                    current.push(ev);
+                } else {
+                    wheel.schedule(tick, ev);
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<Ev> {
+        match self {
+            EventQueue::Heap(heap) => heap.pop(),
+            EventQueue::Wheel {
+                wheel,
+                current,
+                minute,
+            } => loop {
+                if let Some(ev) = current.pop() {
+                    return Some(ev);
+                }
+                let due = wheel.next_due()?;
+                *minute = due;
+                for ev in wheel.drain_tick(due) {
+                    current.push(ev);
+                }
+            },
+        }
+    }
 }
 
 struct Engine<'a> {
     cfg: &'a CatalogConfig,
     rng: SeededRng,
-    heap: BinaryHeap<Ev>,
+    queue: EventQueue,
     seq: u64,
-    viewers: Vec<Option<Viewer>>,
+    /// Viewer population. A viewer referenced by a scheduled event is
+    /// always live: viewers are removed only in `on_finish`/`on_vcr_end`,
+    /// which also stop scheduling events for them — so handlers go
+    /// through the arena's panicking `live`/`live_mut` seam. Generational
+    /// ids make slot reuse safe: a stale id from a departed viewer can
+    /// never alias whoever took the slot.
+    viewers: Arena<Viewer>,
     /// One window geometry per movie, in catalog order — the *live*
     /// geometry, reshaped by buffer faults.
     windows: Vec<PartitionWindows>,
@@ -128,7 +199,7 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(cfg: &'a CatalogConfig, seed: u64) -> Self {
+    fn new(cfg: &'a CatalogConfig, seed: u64, reference_heap: bool) -> Self {
         let windows: Vec<PartitionWindows> = cfg
             .movies
             .iter()
@@ -137,9 +208,9 @@ impl<'a> Engine<'a> {
         Self {
             cfg,
             rng: seeded(seed),
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(reference_heap),
             seq: 0,
-            viewers: Vec::new(),
+            viewers: Arena::new(),
             base_windows: windows.clone(),
             windows,
             reserve: StreamReserve::new(cfg.dedicated_capacity),
@@ -153,7 +224,7 @@ impl<'a> Engine<'a> {
 
     fn push(&mut self, time: f64, kind: EvKind) {
         self.seq += 1;
-        self.heap.push(Ev {
+        self.queue.push(Ev {
             time,
             seq: self.seq,
             kind,
@@ -165,7 +236,7 @@ impl<'a> Engine<'a> {
         for movie in 0..self.cfg.movies.len() {
             self.push(0.0, EvKind::Arrival { movie });
         }
-        while let Some(ev) = self.heap.pop() {
+        while let Some(ev) = self.queue.pop() {
             if ev.time > horizon {
                 break;
             }
@@ -295,8 +366,8 @@ impl<'a> Engine<'a> {
     /// reserve. Returns `false` when the configured reserve is exhausted
     /// (the caller decides whether the operation is denied or the viewer
     /// abandons). Viewers already holding a stream always succeed.
-    fn acquire_dedicated(&mut self, t: f64, viewer: usize) -> bool {
-        let holds = live(&self.viewers, viewer).holds_dedicated;
+    fn acquire_dedicated(&mut self, t: f64, viewer: ArenaId) -> bool {
+        let holds = self.viewers.live(viewer).holds_dedicated;
         if holds {
             return true;
         }
@@ -306,13 +377,13 @@ impl<'a> Engine<'a> {
         if !self.reserve.try_acquire(t) {
             return false;
         }
-        let v = live_mut(&mut self.viewers, viewer);
+        let v = self.viewers.live_mut(viewer);
         v.holds_dedicated = true;
         true
     }
 
-    fn release_dedicated(&mut self, t: f64, viewer: usize) {
-        let v = live_mut(&mut self.viewers, viewer);
+    fn release_dedicated(&mut self, t: f64, viewer: ArenaId) {
+        let v = self.viewers.live_mut(viewer);
         if v.holds_dedicated {
             v.holds_dedicated = false;
             self.reserve.release(t);
@@ -371,13 +442,12 @@ impl<'a> Engine<'a> {
         if self.measuring() {
             self.movie_report(movie).viewers_arrived += 1;
         }
-        let id = self.viewers.len();
-        self.viewers.push(Some(Viewer {
+        let id = self.viewers.insert(Viewer {
             movie,
             pos_base: 0.0,
             t_base: t,
             holds_dedicated: false,
-        }));
+        });
 
         let windows = self.windows[movie];
         if windows.enrollment_open(t) {
@@ -401,15 +471,15 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn on_start(&mut self, t: f64, viewer: usize) {
+    fn on_start(&mut self, t: f64, viewer: ArenaId) {
         self.begin_playback(t, viewer, 0.0);
     }
 
     /// (Re)enter normal playback at position `p`, scheduling the next
     /// interaction or the finish, whichever comes first.
-    fn begin_playback(&mut self, t: f64, viewer: usize, p: f64) {
+    fn begin_playback(&mut self, t: f64, viewer: ArenaId, p: f64) {
         let movie = {
-            let v = live_mut(&mut self.viewers, viewer);
+            let v = self.viewers.live_mut(viewer);
             v.pos_base = p;
             v.t_base = t;
             v.movie
@@ -424,9 +494,9 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn on_vcr(&mut self, t: f64, viewer: usize) {
+    fn on_vcr(&mut self, t: f64, viewer: ArenaId) {
         let (movie, p, t_base, was_dedicated) = {
-            let v = live(&self.viewers, viewer);
+            let v = self.viewers.live(viewer);
             (
                 v.movie,
                 v.pos_base + (t - v.t_base),
@@ -480,7 +550,7 @@ impl<'a> Engine<'a> {
     fn on_vcr_end(
         &mut self,
         t: f64,
-        viewer: usize,
+        viewer: ArenaId,
         kind: VcrKind,
         magnitude: f64,
         issued_at: f64,
@@ -489,7 +559,7 @@ impl<'a> Engine<'a> {
         reached_end: bool,
         truncated_start: bool,
     ) {
-        let movie = live(&self.viewers, viewer).movie;
+        let movie = self.viewers.live(viewer).movie;
         self.account_sweep(movie, (end_pos - issued_pos).abs());
         if reached_end {
             // FF ran to the end: the viewing is over and phase-1 resources
@@ -503,7 +573,7 @@ impl<'a> Engine<'a> {
                 self.movie_report(movie).viewers_completed += 1;
                 self.record_trace(movie, issued_at, issued_pos, kind, magnitude, hit);
             }
-            self.viewers[viewer] = None;
+            self.viewers.remove(viewer);
             return;
         }
 
@@ -526,7 +596,7 @@ impl<'a> Engine<'a> {
                 self.report.runtime.resume_starved += 1;
                 self.record_trace(movie, issued_at, issued_pos, kind, magnitude, false);
             }
-            self.viewers[viewer] = None;
+            self.viewers.remove(viewer);
             return;
         }
         if self.measuring() {
@@ -536,9 +606,9 @@ impl<'a> Engine<'a> {
         self.begin_playback(t, viewer, end_pos);
     }
 
-    fn on_finish(&mut self, t: f64, viewer: usize) {
+    fn on_finish(&mut self, t: f64, viewer: ArenaId) {
         let (movie, t_base, was_dedicated) = {
-            let v = live(&self.viewers, viewer);
+            let v = self.viewers.live(viewer);
             (v.movie, v.t_base, v.holds_dedicated)
         };
         self.account_playback(movie, t_base, t, was_dedicated);
@@ -546,7 +616,7 @@ impl<'a> Engine<'a> {
         if self.measuring() {
             self.movie_report(movie).viewers_completed += 1;
         }
-        self.viewers[viewer] = None;
+        self.viewers.remove(viewer);
     }
 
     fn record_trace(
@@ -580,7 +650,22 @@ pub fn run_catalog_seeded(cfg: &CatalogConfig, seed: u64) -> CatalogReport {
     // vod-lint: allow(no-panic) — documented panic: an invalid config is a
     // caller bug, and callers can pre-check with `cfg.validate()`.
     cfg.validate().expect("invalid simulation configuration");
-    Engine::new(cfg, seed).run()
+    Engine::new(cfg, seed, false).run()
+}
+
+/// [`run_catalog_seeded`] with the historical single-global-heap event
+/// queue instead of the timer wheel. Exists solely so the equivalence
+/// suite can pin the two queues against each other.
+///
+/// # Panics
+///
+/// Panics if `cfg.validate()` rejects the configuration, like
+/// [`run_catalog_seeded`].
+#[doc(hidden)]
+pub fn run_catalog_seeded_reference(cfg: &CatalogConfig, seed: u64) -> CatalogReport {
+    // vod-lint: allow(no-panic) — same documented panic as `run_catalog_seeded`.
+    cfg.validate().expect("invalid simulation configuration");
+    Engine::new(cfg, seed, true).run()
 }
 
 /// Run one single-movie simulation (deterministic default seed 0).

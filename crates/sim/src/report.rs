@@ -9,7 +9,7 @@ use vod_workload::{Ratio, VcrKind, VcrTraceRecord, Welford};
 /// vocabulary `vod-server` reports — so a simulator run and a server run
 /// of the same configuration can be diffed field by field. Simulation-
 /// specific observables (waits, arrival counts, traces) sit alongside.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimReport {
     /// Shared mechanism counters (resume classifications, denials,
     /// starvation, service minutes, reserve occupancy).
@@ -38,7 +38,7 @@ impl SimReport {
 
 /// Output of a catalog simulation: per-movie statistics plus the
 /// catalog-wide aggregate.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CatalogReport {
     /// Per-movie reports, in catalog order. Their runtime metrics carry
     /// the *per-movie* resume/sweep counters; the shared-reserve counters

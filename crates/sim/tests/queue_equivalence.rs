@@ -1,0 +1,115 @@
+//! The event-queue equivalence gate: the timer-wheel-bucketed queue must
+//! be **bitwise identical** to the historical single global heap it
+//! replaced — same seeds, same pop order, same full [`CatalogReport`]
+//! (traces included) — across single-movie, catalog, capped-reserve, and
+//! fault-plan configurations. The heap survives in the engine behind
+//! `run_catalog_seeded_reference` exactly so this suite can hold that
+//! line.
+
+#![allow(clippy::unwrap_used)]
+
+use std::sync::Arc;
+
+use vod_dist::kinds::Gamma;
+use vod_model::{Rates, SystemParams};
+use vod_runtime::{FaultEvent, FaultKind, FaultPlan};
+use vod_sim::{
+    run_catalog_seeded, run_catalog_seeded_reference, CatalogConfig, MovieLoad, SimConfig,
+};
+use vod_workload::BehaviorModel;
+
+fn behavior(mix: (f64, f64, f64), mean_play_between: f64) -> BehaviorModel {
+    BehaviorModel::uniform_dist(mix, mean_play_between, Arc::new(Gamma::paper_fig7()))
+}
+
+fn movie(len: f64, buffer: f64, n: u32, interarrival: f64) -> MovieLoad {
+    MovieLoad {
+        params: SystemParams::new(len, buffer, n, Rates::paper()).unwrap(),
+        mean_interarrival: interarrival,
+        behavior: behavior((0.2, 0.2, 0.6), 20.0),
+    }
+}
+
+fn single_movie() -> CatalogConfig {
+    let params = SystemParams::new(120.0, 60.0, 20, Rates::paper()).unwrap();
+    SimConfig::new(params, behavior((0.2, 0.2, 0.6), 30.0)).into()
+}
+
+/// Three movies of different geometry sharing a finite reserve, with
+/// traces on so the comparison covers per-operation event order, not
+/// just aggregate counters.
+fn catalog() -> CatalogConfig {
+    CatalogConfig {
+        movies: vec![
+            movie(120.0, 60.0, 20, 2.0),
+            movie(90.0, 30.0, 10, 3.0),
+            movie(150.0, 50.0, 25, 5.0),
+        ],
+        horizon: 2400.0,
+        warmup: 300.0,
+        count_ff_end_as_hit: true,
+        collect_trace: true,
+        dedicated_capacity: Some(12),
+        faults: FaultPlan::empty(),
+    }
+}
+
+#[test]
+fn wheel_matches_heap_fault_free() {
+    for (name, cfg) in [("single", single_movie()), ("catalog", catalog())] {
+        for seed in [1u64, 7, 23, 1901] {
+            let wheel = run_catalog_seeded(&cfg, seed);
+            let heap = run_catalog_seeded_reference(&cfg, seed);
+            assert_eq!(wheel, heap, "queues diverged (config {name}, seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn wheel_matches_heap_under_faults() {
+    let plans = [
+        (
+            "loss+squeeze",
+            FaultPlan::new(vec![
+                FaultEvent {
+                    at: 500,
+                    kind: FaultKind::DiskStreamLoss { count: 4 },
+                },
+                FaultEvent {
+                    at: 700,
+                    kind: FaultKind::BufferShrink { segments: 30 },
+                },
+                FaultEvent {
+                    at: 1100,
+                    kind: FaultKind::BufferRestore { segments: 30 },
+                },
+            ]),
+        ),
+        (
+            "outage",
+            FaultPlan::new(vec![FaultEvent {
+                at: 600,
+                kind: FaultKind::DiskOutage {
+                    count: 8,
+                    recover_after: 150,
+                },
+            }]),
+        ),
+        ("storm", FaultPlan::generate(9, 2400, 8)),
+    ];
+    for (name, plan) in plans {
+        let cfg = CatalogConfig {
+            faults: plan,
+            ..catalog()
+        };
+        for seed in [7u64, 23] {
+            let wheel = run_catalog_seeded(&cfg, seed);
+            let heap = run_catalog_seeded_reference(&cfg, seed);
+            assert_eq!(wheel, heap, "queues diverged (plan {name}, seed {seed})");
+            assert!(
+                wheel.runtime.faults_injected > 0,
+                "plan {name} never fired — the fault leg tested nothing"
+            );
+        }
+    }
+}
