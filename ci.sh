@@ -39,4 +39,7 @@ cargo run --release -p vod-bench --bin chaos
 echo "== scale: wheel+arena engine smoke (downscaled; the full run uses --sessions 1000000) =="
 cargo run --release -p vod-bench --bin scale -- --sessions 50000 --ticks 120
 
+echo "== backend_compare: all three DeliveryBackends, reduced grid (see DESIGN.md §12) =="
+cargo run --release -p vod-bench --bin backend_compare -- --smoke
+
 echo "CI OK"

@@ -81,6 +81,7 @@ fn main() {
         collect_trace: false,
         dedicated_capacity: None,
         faults: vod_runtime::FaultPlan::empty(),
+        backend: vod_runtime::BackendKind::BatchingBuffering,
     };
     let free = run_catalog_seeded(&cfg, 2026);
 

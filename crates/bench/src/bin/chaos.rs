@@ -52,6 +52,7 @@ fn harness_config() -> HarnessConfig {
             ..ServerConfig::provisioned(vec![movie], 40)
         },
         movie: MovieId(0),
+        extra_movies: vec![],
         behavior: behavior(),
         mean_interarrival: 2.0,
         warmup: WARMUP,

@@ -78,6 +78,7 @@ fn main() {
                 ..ServerConfig::provisioned(vec![movie], 80)
             },
             movie: MovieId(0),
+            extra_movies: vec![],
             behavior: behavior(),
             mean_interarrival: sim_cfg.mean_interarrival,
             warmup: sim_cfg.warmup as u64,

@@ -103,9 +103,10 @@ pub struct FileLint {
     pub suppressed: usize,
 }
 
-/// Geometry marker types: a file mentioning either is treated as
-/// "touching partition geometry" and gets the `quantize-cast` rule.
-const GEOMETRY_MARKERS: &[&str] = &["QuantizedGeometry", "PartitionWindows"];
+/// Geometry marker types: a file mentioning any of these is treated as
+/// "touching partition or broadcast geometry" and gets the
+/// `quantize-cast` rule.
+const GEOMETRY_MARKERS: &[&str] = &["QuantizedGeometry", "PartitionWindows", "PyramidGeometry"];
 
 /// Identifiers that, as `.method()` calls, constitute ad-hoc quantization.
 const ROUNDING_METHODS: &[&str] = &["floor", "round", "ceil", "trunc"];

@@ -4,6 +4,14 @@
 //! movie should get*; this module turns such a [`ResourcePlan`] into a
 //! runnable [`ServerConfig`], adding the VCR reserve the plan's hit
 //! probability makes affordable.
+//!
+//! The produced config is the common currency of every
+//! [`DeliveryBackend`](crate::DeliveryBackend): admission *policy*
+//! (batch enrollment, boundary joins, FIFO stream grants) lives behind
+//! the trait, but the provisioning envelope — hosted movies with their
+//! `(T, b)` geometry, the stream pool, the buffer budget — is fixed
+//! here, so `make_backend` comparisons hold the catalog and worst-case
+//! startup promise constant while the delivery scheme varies.
 
 use vod_sizing::ResourcePlan;
 

@@ -1,7 +1,9 @@
-//! Deterministic load harness: drives a [`VodServer`] with the same
-//! statistical workload primitives the simulator uses (Poisson arrivals,
-//! a [`BehaviorModel`] VCR mix), under a fixed seed, and reports the
-//! shared [`RuntimeMetrics`] vocabulary.
+//! Deterministic load harness: drives a [`DeliveryBackend`] (the
+//! batching [`VodServer`] by default) with the same statistical workload
+//! primitives the simulator uses (Poisson arrivals, a [`BehaviorModel`]
+//! VCR mix), under a fixed seed, and reports the shared
+//! [`RuntimeMetrics`] vocabulary. One `drive` loop serves every entry
+//! point — harness, chaos, and the backend comparison.
 //!
 //! This is the server-side leg of the three-way cross-validation
 //! (analytic model ↔ event simulator ↔ tick server): the same `(l, B, n,
@@ -13,9 +15,10 @@
 
 use rand::RngCore;
 use vod_dist::rng::{exponential, seeded};
-use vod_runtime::{DegradePolicy, FaultPlan, RuntimeMetrics};
+use vod_runtime::{BackendKind, DegradePolicy, FaultPlan, RuntimeMetrics};
 use vod_workload::{BehaviorModel, VcrKind};
 
+use crate::backend::{make_backend, DeliveryBackend};
 use crate::content::MovieId;
 use crate::server::{HostedMovie, ServerConfig, VodServer};
 use crate::session::{SessionId, SessionStatus};
@@ -27,6 +30,10 @@ pub struct HarnessConfig {
     pub server: ServerConfig,
     /// Movie every arrival requests (single-movie validation runs).
     pub movie: MovieId,
+    /// Further hosted movies arrivals cycle through round-robin after
+    /// [`movie`](Self::movie). Empty keeps the historical single-movie
+    /// workload — same RNG stream, bitwise-identical metrics.
+    pub extra_movies: Vec<MovieId>,
     /// Viewer interaction behavior (same model `vod-sim` consumes).
     pub behavior: BehaviorModel,
     /// Mean minutes between viewer arrivals (Poisson process).
@@ -118,6 +125,68 @@ pub fn run_chaos_reference(
     run_driver(cfg, seed, plan, policy, true, true)
 }
 
+/// One backend-generic harness run: the [`ChaosOutcome`] plus the
+/// provisioning and startup-wait observables the cost comparison needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendRun {
+    /// Which delivery scheme ran.
+    pub kind: BackendKind,
+    /// The workload outcome (metrics + invariant checks).
+    pub outcome: ChaosOutcome,
+    /// Mean startup wait over the measured window, minutes (0 when no
+    /// session started in the window).
+    pub startup_wait_mean: f64,
+    /// Startup-wait samples behind the mean.
+    pub startup_wait_samples: u64,
+    /// Provisioned I/O streams `Σn` (stream term of `C = C_n(φΣB + Σn)`).
+    pub io_streams: u32,
+    /// Provisioned server buffer `ΣB` in segments (buffer term).
+    pub buffer_segments: u64,
+}
+
+/// Run the seeded harness workload against the delivery scheme `kind`,
+/// built from `cfg.server` via [`make_backend`](crate::make_backend),
+/// with per-tick invariant checks on. For
+/// [`BackendKind::BatchingBuffering`] the metrics are bitwise identical
+/// to [`run_harness`] on the same config/seed (pinned by the
+/// `backend_equivalence` suite).
+pub fn run_harness_backend(cfg: &HarnessConfig, kind: BackendKind, seed: u64) -> BackendRun {
+    run_chaos_backend(
+        cfg,
+        kind,
+        seed,
+        &FaultPlan::empty(),
+        DegradePolicy::default(),
+    )
+}
+
+/// [`run_harness_backend`] with a fault plan: the backend-generic
+/// [`run_chaos`].
+pub fn run_chaos_backend(
+    cfg: &HarnessConfig,
+    kind: BackendKind,
+    seed: u64,
+    plan: &FaultPlan,
+    policy: DegradePolicy,
+) -> BackendRun {
+    let mut server = make_backend(kind, &cfg.server);
+    server.inject_faults(plan.clone(), policy);
+    let outcome = drive(server.as_mut(), cfg, seed, true);
+    let waits = server.startup_waits();
+    BackendRun {
+        kind,
+        startup_wait_mean: if waits.count() == 0 {
+            0.0
+        } else {
+            waits.mean()
+        },
+        startup_wait_samples: waits.count(),
+        io_streams: server.io_streams(),
+        buffer_segments: server.buffer_segments(),
+        outcome,
+    }
+}
+
 /// The single driver underneath [`run_harness`] and [`run_chaos`]. The
 /// RNG consumption order never depends on `plan` or `check`, so the
 /// fault-free workload sequence is identical across both entry points.
@@ -132,6 +201,19 @@ fn run_driver(
     let mut server = VodServer::new(cfg.server.clone());
     server.set_reference_scan(reference);
     server.inject_faults(plan.clone(), policy);
+    drive(&mut server, cfg, seed, check)
+}
+
+/// The workload loop itself, generic over the delivery scheme. Every
+/// entry point in this module funnels here, so no driver logic is
+/// duplicated between the harness, the chaos runs, and the backend
+/// comparison.
+fn drive(
+    server: &mut dyn DeliveryBackend,
+    cfg: &HarnessConfig,
+    seed: u64,
+    check: bool,
+) -> ChaosOutcome {
     let mut rng = seeded(seed);
     let mut next_arrival = exponential(&mut rng, cfg.mean_interarrival);
     // (session, tick at which its next interaction is due)
@@ -149,9 +231,22 @@ fn run_driver(
             prev_rt = None;
         }
         while next_arrival < (minute + 1) as f64 {
-            // vod-lint: allow(no-panic) — HarnessConfig ties `movie` to the
-            // ServerConfig hosting it; a miss is a harness-construction bug.
-            let id = server.open_session(cfg.movie).expect("movie hosted");
+            // Round-robin over the requested catalog; an empty
+            // `extra_movies` reduces to the historical single-movie
+            // workload with an untouched RNG stream.
+            let movie = if cfg.extra_movies.is_empty() {
+                cfg.movie
+            } else {
+                let slot = (sessions_opened % (1 + cfg.extra_movies.len() as u64)) as usize;
+                if slot == 0 {
+                    cfg.movie
+                } else {
+                    cfg.extra_movies[slot - 1]
+                }
+            };
+            // vod-lint: allow(no-panic) — HarnessConfig ties its movies to the
+            // ServerConfig hosting them; a miss is a harness-construction bug.
+            let id = server.open_session(movie).expect("movie hosted");
             sessions_opened += 1;
             let gap = cfg.behavior.next_interaction_gap(&mut rng);
             pending.push((id, minute + (gap.ceil() as u64).max(1)));
@@ -214,7 +309,7 @@ fn run_driver(
         violation_count,
         violations,
         sessions_opened,
-        sessions_done: server.metrics().sessions_done + server.metrics().sessions_closed_early,
+        sessions_done: server.sessions_finished(),
         degraded_at_end: server.degraded_sessions(),
         ticks: horizon,
     }
@@ -346,6 +441,7 @@ mod tests {
                 ..ServerConfig::provisioned(vec![movie], 40)
             },
             movie: MovieId(0),
+            extra_movies: vec![],
             behavior: BehaviorModel::uniform_dist(
                 (0.2, 0.2, 0.6),
                 30.0,

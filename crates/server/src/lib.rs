@@ -25,23 +25,30 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 mod admission;
+mod backend;
 mod buffer;
 mod content;
+mod dedicated;
 mod disk;
 mod harness;
 mod metrics;
+mod pyramid;
 mod server;
 mod session;
 
 pub use admission::{config_from_plan, vcr_reserve_estimate};
-pub use buffer::{BufferError, BufferPool, Partition};
+pub use backend::{make_backend, DeliveryBackend};
+pub use buffer::{BroadcastSlot, BufferError, BufferPool, Partition};
 pub use content::{checksum, generate_segment, verify_segment, MovieId, Segment, SEGMENT_BYTES};
+pub use dedicated::DedicatedServer;
 pub use disk::{DiskError, DiskSubsystem, StreamLease};
 pub use harness::{
-    run_chaos, run_harness, run_scale, ChaosOutcome, HarnessConfig, ScaleConfig, ScaleOutcome,
+    run_chaos, run_chaos_backend, run_harness, run_harness_backend, run_scale, BackendRun,
+    ChaosOutcome, HarnessConfig, ScaleConfig, ScaleOutcome,
 };
 #[doc(hidden)]
 pub use harness::{run_chaos_reference, run_harness_reference};
 pub use metrics::ServerMetrics;
+pub use pyramid::PyramidServer;
 pub use server::{HostedMovie, PiggybackConfig, ServerConfig, ServerError, VodServer};
 pub use session::{DeliveryStats, SessionId, SessionState, SessionStatus, StreamId};

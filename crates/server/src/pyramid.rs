@@ -1,0 +1,1079 @@
+//! Pyramid fast-broadcasting backend: channel-transition-invariant
+//! broadcast delivery (arXiv:1711.08118 lineage).
+//!
+//! Each hosted movie permanently occupies `k` disk streams — one per
+//! geometric segment channel of its [`PyramidGeometry`] — and one
+//! staging segment per channel ([`BroadcastSlot`]). Channels loop their
+//! segments phase-locked to the global clock; clients join at the next
+//! segment-1 boundary (startup wait ≤ one segment-1 period, scheduled on
+//! the shared `TimerWheel`), record all channels concurrently, and play
+//! from their local prefix. Server cost is therefore **load-invariant**:
+//! `Σn = Σk + reserve`, `ΣB = Σk` staging segments, no matter how many
+//! viewers arrive — the scheme trades the batching design's server-side
+//! partitions for client-side buffer (the bound
+//! [`PyramidGeometry::client_buffer_bound`] is reported by the bench).
+//!
+//! VCR follows the interactive-bandwidth accounting of arXiv:1706.06642:
+//! RW and Pause resume inside the received prefix and are always hits
+//! (they cost nothing); FF beyond the reception front needs a dedicated
+//! stream from the same [`StreamReserve`] the batching server uses, and
+//! the session merges back into the broadcast as soon as the front
+//! catches up to its position.
+//!
+//! Fault support is intentionally conservative: a movie whose channel
+//! lease set is broken (or a buffer-shrink overcommit) freezes that
+//! movie's cohort — sessions stall, and reception bookkeeping treats the
+//! outage as a global pause. After recovery the bookkept front can lead
+//! the truly-broadcast front by up to `d − 1` minutes (the stall is not
+//! boundary-aligned); chaos-grade guarantees remain contractual only for
+//! the batching backend.
+
+use std::collections::BTreeMap;
+
+use vod_runtime::{
+    Arena, BackendKind, DegradePolicy, FaultKind, FaultPlan, PyramidGeometry, RuntimeMetrics,
+    StreamReserve, TimerWheel,
+};
+use vod_workload::{TimeWeighted, VcrKind, Welford};
+
+use crate::backend::DeliveryBackend;
+use crate::buffer::{BroadcastSlot, BufferPool};
+use crate::content::{verify_segment, MovieId};
+use crate::disk::{DiskSubsystem, StreamLease};
+use crate::metrics::ServerMetrics;
+use crate::server::{ServerConfig, ServerError};
+use crate::session::{DeliveryStats, SessionId, SessionStatus};
+
+/// One hosted movie's broadcast apparatus.
+struct PyramidMovie {
+    movie: MovieId,
+    geometry: PyramidGeometry,
+    /// One lease per channel; `None` while a fault holds the channel
+    /// down (the movie stalls until every channel is re-acquired).
+    leases: Vec<Option<StreamLease>>,
+    /// One staging segment per channel (the minute being broadcast).
+    slots: Vec<BroadcastSlot>,
+    /// Ticks this movie's broadcast has been frozen by faults. Reception
+    /// bookkeeping subtracts the portion after each session's join.
+    stall_total: u64,
+}
+
+impl PyramidMovie {
+    fn stalled(&self) -> bool {
+        self.leases.iter().any(|l| l.is_none())
+    }
+}
+
+/// Per-session state machine of the broadcast backend.
+enum PState {
+    /// Scheduled to start receiving at the next segment-1 boundary.
+    Waiting { start_at: u64 },
+    /// Receiving all channels; consuming one minute per tick from the
+    /// local prefix.
+    Receiving,
+    /// Mid FF/RW sweep at the configured VCR rate. Holds a dedicated
+    /// lease only when the sweep runs beyond the reception front.
+    Vcr { kind: VcrKind, remaining: u32 },
+    /// Paused; reception continues (the front keeps growing).
+    Paused { remaining: u32 },
+    /// Playing beyond the front through a dedicated lease; merges back
+    /// into the broadcast when the front catches up.
+    CatchUp,
+    /// Needs a dedicated stream and none was free; retries every tick
+    /// (or rejoins free when the front reaches it).
+    Starved,
+    /// Finished.
+    Done,
+}
+
+struct PSession {
+    movie_idx: usize,
+    position: u32,
+    /// Boundary tick at which reception started (set when Receiving
+    /// begins; equals open tick for boundary-aligned arrivals).
+    joined_at: u64,
+    /// Movie `stall_total` at join, so reception time excludes only
+    /// stalls the session actually sat through.
+    stall_at_join: u64,
+    state: PState,
+    lease: Option<StreamLease>,
+    stats: DeliveryStats,
+}
+
+/// The pyramid fast-broadcasting backend. See the module docs.
+pub struct PyramidServer {
+    now: u64,
+    config: ServerConfig,
+    disk: DiskSubsystem,
+    pool: BufferPool,
+    movies: Vec<PyramidMovie>,
+    /// Dedicated-stream accountant for FF-beyond-front service; capacity
+    /// is whatever the channel pre-allocation leaves over, mirroring the
+    /// batching server's reserve derivation.
+    reserve: StreamReserve,
+    sessions: Arena<PSession>,
+    /// Waiting-session wakeups keyed by their boundary tick.
+    wakeups: TimerWheel<u32>,
+    /// Indices of sessions past Waiting and not yet Done, ascending.
+    active: Vec<u32>,
+    metrics: ServerMetrics,
+    movie_index: BTreeMap<MovieId, usize>,
+    startup_waits: Welford,
+    plan: FaultPlan,
+    fault_mode: bool,
+    slowdown: Option<(u32, u64)>,
+    recovery_due: BTreeMap<u64, u32>,
+    starved_count: u32,
+}
+
+impl PyramidServer {
+    /// Build the broadcast backend from the shared config: per movie,
+    /// the smallest channel count whose segment-1 period does not exceed
+    /// the movie's batching `max_wait` (same worst-case startup promise,
+    /// different delivery mechanism).
+    pub fn new(config: ServerConfig) -> Self {
+        let mut disk = DiskSubsystem::new(config.disk_streams);
+        let mut movie_index = BTreeMap::new();
+        let mut movies = Vec::with_capacity(config.movies.len());
+        let mut metrics = ServerMetrics::new();
+        let mut total_channels: u32 = 0;
+        for (i, m) in config.movies.iter().enumerate() {
+            let length = m.geometry.length;
+            disk.register_movie(m.movie, length);
+            movie_index.insert(m.movie, i);
+            let geometry = PyramidGeometry::for_target_wait(length, m.geometry.max_wait());
+            let mut leases = Vec::with_capacity(geometry.channels() as usize);
+            let mut slots = Vec::with_capacity(geometry.channels() as usize);
+            for _ in 0..geometry.channels() {
+                // A config whose stream pool cannot even cover the
+                // channel pre-allocation is a sizing bug; the channel
+                // stays down (the movie stalls) rather than panicking.
+                leases.push(disk.acquire().ok());
+                slots.push(BroadcastSlot::new(m.movie));
+            }
+            total_channels += geometry.channels();
+            movies.push(PyramidMovie {
+                movie: m.movie,
+                geometry,
+                leases,
+                slots,
+                stall_total: 0,
+            });
+        }
+        // Staging budget: exactly one segment per channel. This *is* the
+        // backend's `ΣB`.
+        let mut pool = BufferPool::new(total_channels as usize);
+        let _ = pool.reserve(total_channels as usize);
+        metrics.playback = TimeWeighted::new(0.0, f64::from(disk.in_use()));
+        let reserve =
+            StreamReserve::with_capacity(config.disk_streams.saturating_sub(total_channels));
+        Self {
+            now: 0,
+            config,
+            disk,
+            pool,
+            movies,
+            reserve,
+            sessions: Arena::new(),
+            wakeups: TimerWheel::new(),
+            active: Vec::new(),
+            metrics,
+            movie_index,
+            startup_waits: Welford::default(),
+            plan: FaultPlan::empty(),
+            fault_mode: false,
+            slowdown: None,
+            recovery_due: BTreeMap::new(),
+            starved_count: 0,
+        }
+    }
+
+    /// Minutes of reception the session has actually had: wall ticks
+    /// since join minus the movie stalls it sat through.
+    fn elapsed(&self, sess: &PSession) -> u64 {
+        let stalls = self.movies[sess.movie_idx].stall_total - sess.stall_at_join;
+        self.now
+            .saturating_sub(sess.joined_at)
+            .saturating_sub(stalls)
+    }
+
+    /// Acquire a dedicated (beyond-front) lease from the reserve.
+    fn try_dedicated_lease(&mut self) -> Option<StreamLease> {
+        self.metrics.runtime.acquisition_attempts += 1;
+        let now = self.now as f64;
+        if !self.reserve.try_acquire(now) {
+            return None;
+        }
+        match self.disk.acquire() {
+            Ok(lease) => Some(lease),
+            Err(_) => {
+                self.reserve.release(now);
+                None
+            }
+        }
+    }
+
+    fn release_dedicated_lease(&mut self, lease: StreamLease) {
+        self.disk.release(lease);
+        self.reserve.release(self.now as f64);
+    }
+
+    /// Apply fault events scheduled at the current tick.
+    fn apply_faults(&mut self) {
+        if !self.fault_mode {
+            return;
+        }
+        if let Some(streams) = self.recovery_due.remove(&self.now) {
+            let recovered = self.disk.recover_streams(streams);
+            self.reserve.recover_streams(recovered);
+        }
+        let events: Vec<FaultKind> = self
+            .plan
+            .events_at(self.now)
+            .iter()
+            .map(|e| e.kind)
+            .collect();
+        for kind in events {
+            match kind {
+                FaultKind::DiskStreamLoss { count } | FaultKind::DiskOutage { count, .. } => {
+                    let before = self.disk.failed();
+                    let revoked = self.disk.fail_streams(count);
+                    let applied = self.disk.failed() - before;
+                    if let FaultKind::DiskOutage { recover_after, .. } = kind {
+                        *self
+                            .recovery_due
+                            .entry(self.now + recover_after)
+                            .or_insert(0) += applied;
+                    }
+                    let mut channels_lost: u32 = 0;
+                    for m in &mut self.movies {
+                        for lease in m.leases.iter_mut() {
+                            if lease.as_ref().is_some_and(|l| revoked.contains(&l.id())) {
+                                *lease = None;
+                                channels_lost += 1;
+                                self.metrics.leases_revoked += 1;
+                            }
+                        }
+                    }
+                    self.metrics
+                        .playback
+                        .add(self.now as f64, -f64::from(channels_lost));
+                    for idx in 0..self.sessions.slot_count() {
+                        let Some(sess) = self.sessions.at_mut(idx) else {
+                            continue;
+                        };
+                        let dead = sess
+                            .lease
+                            .as_ref()
+                            .is_some_and(|l| revoked.contains(&l.id()));
+                        if dead {
+                            sess.lease = None;
+                            if matches!(sess.state, PState::Vcr { .. }) {
+                                self.metrics.sweeps_aborted += 1;
+                            }
+                            if !matches!(sess.state, PState::Done) {
+                                sess.state = PState::Starved;
+                                self.starved_count += 1;
+                                self.metrics.runtime.degraded_entries += 1;
+                            }
+                            self.metrics.leases_revoked += 1;
+                            self.reserve.release(self.now as f64);
+                        }
+                    }
+                    self.reserve
+                        .fail_streams(applied.saturating_sub(channels_lost));
+                    self.metrics.runtime.faults_injected += 1;
+                }
+                FaultKind::DiskSlowdown { period, duration } => {
+                    self.slowdown = Some((period.max(1), self.now + duration));
+                    self.metrics.runtime.faults_injected += 1;
+                }
+                FaultKind::BufferShrink { segments } => {
+                    self.pool.shrink(segments as usize);
+                    self.metrics.runtime.faults_injected += 1;
+                }
+                FaultKind::BufferRestore { segments } => {
+                    self.pool.grow(segments as usize);
+                    self.metrics.runtime.faults_injected += 1;
+                }
+            }
+        }
+        if let Some((_, until)) = self.slowdown {
+            if self.now >= until {
+                self.slowdown = None;
+            }
+        }
+    }
+
+    fn disk_serving(&self) -> bool {
+        match self.slowdown {
+            Some((period, until)) if self.now < until => self.now.is_multiple_of(u64::from(period)),
+            _ => true,
+        }
+    }
+
+    /// Broadcast phase: re-acquire dead channels, then stage each live
+    /// movie's per-channel minute. A movie with a dead channel — or any
+    /// movie while the staging pool is overcommitted or the disk is in
+    /// an off-period slowdown tick — stalls instead.
+    fn broadcast(&mut self) {
+        let serving = self.disk_serving();
+        let overcommitted = self.pool.overcommitted() > 0;
+        for mi in 0..self.movies.len() {
+            let mut restored: u32 = 0;
+            for ci in 0..self.movies[mi].leases.len() {
+                if self.movies[mi].leases[ci].is_none() {
+                    if let Ok(lease) = self.disk.acquire() {
+                        self.movies[mi].leases[ci] = Some(lease);
+                        restored += 1;
+                    }
+                }
+            }
+            if restored > 0 {
+                self.metrics
+                    .playback
+                    .add(self.now as f64, f64::from(restored));
+            }
+            let m = &mut self.movies[mi];
+            if m.stalled() || !serving || overcommitted {
+                m.stall_total += 1;
+                for slot in &mut m.slots {
+                    slot.clear();
+                }
+                continue;
+            }
+            for ci in 0..m.leases.len() {
+                match m.geometry.broadcast_minute(ci as u32, self.now) {
+                    Some(minute) => {
+                        // vod-lint: allow(no-panic) — the stall check above
+                        // guarantees every channel lease is live here.
+                        let lease = m.leases[ci].as_ref().expect("channel lease live");
+                        match self.disk.read(lease, m.movie, minute) {
+                            Ok(seg) => {
+                                if !verify_segment(&seg) {
+                                    self.metrics.verify_failures += 1;
+                                }
+                                m.slots[ci].store(seg);
+                            }
+                            Err(_) => m.slots[ci].clear(),
+                        }
+                    }
+                    None => m.slots[ci].clear(),
+                }
+            }
+        }
+    }
+
+    /// Deliver minute `position` to a receiving session from the
+    /// broadcast: byte-verify through the staging slot when that exact
+    /// minute is on the air this tick, otherwise from the client's local
+    /// prefix (canonical bytes, re-verified).
+    fn consume_from_broadcast(&mut self, idx: u32) {
+        let (movie_idx, position) = {
+            let sess = self.sessions.live_at(idx as usize);
+            (sess.movie_idx, sess.position)
+        };
+        let m = &self.movies[movie_idx];
+        let channel = m.geometry.channel_of(position) as usize;
+        let verified = match m.slots.get(channel).and_then(|s| s.current()) {
+            Some(seg) if seg.index == position => verify_segment(seg),
+            _ => {
+                // Client-buffered replay: the segment was verified at
+                // reception; re-derive and re-verify the canonical bytes.
+                verify_segment(&crate::content::generate_segment(m.movie, position))
+            }
+        };
+        let sess = self.sessions.live_at_mut(idx as usize);
+        sess.stats.from_buffer += 1;
+        if !verified {
+            sess.stats.verify_failures += 1;
+            self.metrics.verify_failures += 1;
+        }
+        sess.position += 1;
+        self.metrics.runtime.buffer_minutes += 1.0;
+    }
+
+    /// Retire a finished session.
+    fn finish(&mut self, idx: u32) {
+        let lease = {
+            let sess = self.sessions.live_at_mut(idx as usize);
+            sess.state = PState::Done;
+            sess.lease.take()
+        };
+        if let Some(lease) = lease {
+            self.release_dedicated_lease(lease);
+        }
+        self.metrics.sessions_done += 1;
+    }
+}
+
+impl DeliveryBackend for PyramidServer {
+    fn kind(&self) -> BackendKind {
+        BackendKind::PyramidBroadcast
+    }
+
+    fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn open_session(&mut self, movie: MovieId) -> Result<SessionId, ServerError> {
+        let movie_idx = *self
+            .movie_index
+            .get(&movie)
+            .ok_or(ServerError::UnknownMovie(movie))?;
+        let geometry = self.movies[movie_idx].geometry;
+        let wait = geometry.startup_wait(self.now);
+        self.startup_waits.push(wait as f64);
+        let stall_at_join = self.movies[movie_idx].stall_total;
+        let (state, joined_at) = if wait == 0 {
+            (PState::Receiving, self.now)
+        } else {
+            (
+                PState::Waiting {
+                    start_at: self.now + wait,
+                },
+                self.now + wait,
+            )
+        };
+        let starts_now = wait == 0;
+        let id = SessionId(self.sessions.insert(PSession {
+            movie_idx,
+            position: 0,
+            joined_at,
+            stall_at_join,
+            state,
+            lease: None,
+            stats: DeliveryStats::default(),
+        }));
+        let idx = id.0.index() as u32;
+        if starts_now {
+            self.active.push(idx);
+        } else {
+            self.wakeups.schedule(self.now + wait, idx);
+        }
+        Ok(id)
+    }
+
+    fn request_vcr(
+        &mut self,
+        id: SessionId,
+        kind: VcrKind,
+        magnitude: u32,
+    ) -> Result<(), ServerError> {
+        let (movie_idx, position, has_lease, state_ok) = {
+            let sess = self
+                .sessions
+                .get(id.0)
+                .ok_or(ServerError::UnknownSession(id))?;
+            let ok = matches!(sess.state, PState::Receiving | PState::CatchUp);
+            (sess.movie_idx, sess.position, sess.lease.is_some(), ok)
+        };
+        if !state_ok {
+            return Err(ServerError::InvalidState { operation: "vcr" });
+        }
+        let geometry = self.movies[movie_idx].geometry;
+        let length = geometry.length();
+        // FF beyond the reception front costs a dedicated stream
+        // (interactive-bandwidth accounting); everything else plays from
+        // the client's prefix for free.
+        if matches!(kind, VcrKind::FastForward) && !has_lease {
+            let target = position.saturating_add(magnitude).min(length);
+            let e = {
+                let sess = self.sessions.live(id.0);
+                self.elapsed(sess)
+            };
+            let beyond_front = target < length && !geometry.received_by(e + 1, target);
+            if beyond_front {
+                match self.try_dedicated_lease() {
+                    Some(lease) => self.sessions.live_mut(id.0).lease = Some(lease),
+                    None => {
+                        self.metrics.runtime.vcr_denied += 1;
+                        // Issue-time Erlang loss: the viewer stays in the
+                        // broadcast and never retries this request.
+                        self.reserve.record_denials(1, false);
+                        return Err(ServerError::VcrDenied);
+                    }
+                }
+            }
+        }
+        if matches!(kind, VcrKind::FastForward) && position.saturating_add(magnitude) >= length {
+            // The sweep will run off the end; the lease (if any) rides
+            // along until `finish` releases it.
+        }
+        if matches!(kind, VcrKind::Rewind) && magnitude >= position {
+            self.metrics.runtime.rw_truncated += 1;
+        }
+        let sess = self.sessions.live_mut(id.0);
+        match kind {
+            VcrKind::Pause => {
+                sess.state = PState::Paused {
+                    remaining: magnitude.max(1),
+                };
+                // A paused viewer keeps receiving but consumes no
+                // dedicated bandwidth.
+                if let Some(lease) = sess.lease.take() {
+                    self.release_dedicated_lease(lease);
+                }
+            }
+            VcrKind::FastForward | VcrKind::Rewind => {
+                sess.state = PState::Vcr {
+                    kind,
+                    remaining: magnitude.max(1),
+                };
+            }
+        }
+        Ok(())
+    }
+
+    fn session_status(&self, id: SessionId) -> Result<SessionStatus, ServerError> {
+        let sess = self
+            .sessions
+            .get(id.0)
+            .ok_or(ServerError::UnknownSession(id))?;
+        Ok(match sess.state {
+            PState::Waiting { start_at } => SessionStatus::Waiting(start_at),
+            PState::Receiving => SessionStatus::Shared,
+            PState::Vcr { .. } | PState::Paused { .. } => SessionStatus::InVcr,
+            PState::CatchUp => SessionStatus::Dedicated,
+            PState::Starved => SessionStatus::Degraded,
+            PState::Done => SessionStatus::Done,
+        })
+    }
+
+    fn tick(&mut self) {
+        self.apply_faults();
+        self.broadcast();
+        // Boundary joins: sessions whose segment-1 boundary is this tick
+        // start receiving now.
+        for idx in self.wakeups.drain_tick(self.now) {
+            let stall_now = {
+                let sess = self.sessions.live_at(idx as usize);
+                self.movies[sess.movie_idx].stall_total
+            };
+            let sess = self.sessions.live_at_mut(idx as usize);
+            if matches!(sess.state, PState::Waiting { .. }) {
+                sess.state = PState::Receiving;
+                sess.joined_at = self.now;
+                sess.stall_at_join = stall_now;
+                self.active.push(idx);
+            }
+        }
+        let vcr_rate = self.config.vcr_rate.max(1);
+        let mut i = 0;
+        while i < self.active.len() {
+            let idx = self.active[i];
+            let (movie_idx, stalled) = {
+                let sess = self.sessions.live_at(idx as usize);
+                (sess.movie_idx, self.movies[sess.movie_idx].stalled())
+            };
+            let geometry = self.movies[movie_idx].geometry;
+            let length = geometry.length();
+            let state_tag = {
+                let sess = self.sessions.live_at(idx as usize);
+                match sess.state {
+                    PState::Receiving => 0u8,
+                    PState::Vcr { .. } => 1,
+                    PState::Paused { .. } => 2,
+                    PState::CatchUp => 3,
+                    PState::Starved => 4,
+                    PState::Waiting { .. } | PState::Done => 5,
+                }
+            };
+            match state_tag {
+                0 => {
+                    if stalled {
+                        self.metrics.runtime.stall_minutes += 1.0;
+                    } else {
+                        let (e, position) = {
+                            let sess = self.sessions.live_at(idx as usize);
+                            (self.elapsed(sess), sess.position)
+                        };
+                        if position >= length {
+                            self.finish(idx);
+                            self.active.swap_remove(i);
+                            continue;
+                        }
+                        if geometry.received_by(e + 1, position) {
+                            self.consume_from_broadcast(idx);
+                            if self.sessions.live_at(idx as usize).position >= length {
+                                self.finish(idx);
+                                self.active.swap_remove(i);
+                                continue;
+                            }
+                        } else {
+                            // Post-stall bookkeeping gap: wait for the
+                            // front (invariance makes this unreachable in
+                            // fault-free runs).
+                            self.metrics.runtime.stall_minutes += 1.0;
+                        }
+                    }
+                }
+                1 => {
+                    let sess = self.sessions.live_at_mut(idx as usize);
+                    let PState::Vcr { kind, remaining } = &mut sess.state else {
+                        unreachable!("state tag checked above");
+                    };
+                    let kind = *kind;
+                    let step = vcr_rate.min(*remaining);
+                    *remaining -= step;
+                    let sweep_done = *remaining == 0;
+                    match kind {
+                        VcrKind::FastForward => {
+                            sess.position = sess.position.saturating_add(step).min(length);
+                        }
+                        VcrKind::Rewind => {
+                            sess.position = sess.position.saturating_sub(step);
+                        }
+                        VcrKind::Pause => unreachable!("pause never enters Vcr"),
+                    }
+                    let has_lease = sess.lease.is_some();
+                    let reached_end = sess.position >= length;
+                    if has_lease {
+                        // The dedicated stream actively serves the sweep.
+                        self.metrics.runtime.disk_minutes += 1.0;
+                        self.sessions.live_at_mut(idx as usize).stats.from_disk += 1;
+                    }
+                    if reached_end {
+                        self.metrics.runtime.ff_end += 1;
+                        self.metrics.runtime.record_resume(kind, true);
+                        self.finish(idx);
+                        self.active.swap_remove(i);
+                        continue;
+                    }
+                    if sweep_done {
+                        let (e, position, has_lease) = {
+                            let sess = self.sessions.live_at(idx as usize);
+                            (self.elapsed(sess), sess.position, sess.lease.is_some())
+                        };
+                        let hit = geometry.received_by(e + 1, position);
+                        self.metrics.runtime.record_resume(kind, hit);
+                        if hit {
+                            let lease = self.sessions.live_at_mut(idx as usize).lease.take();
+                            if let Some(lease) = lease {
+                                self.release_dedicated_lease(lease);
+                                self.metrics.piggyback_merges += 1;
+                            }
+                            self.sessions.live_at_mut(idx as usize).state = PState::Receiving;
+                        } else if has_lease {
+                            self.sessions.live_at_mut(idx as usize).state = PState::CatchUp;
+                        } else {
+                            // Only reachable through fault stalls: the
+                            // issue-time classification said the target
+                            // was received, the stall bookkeeping now
+                            // disagrees.
+                            match self.try_dedicated_lease() {
+                                Some(lease) => {
+                                    let sess = self.sessions.live_at_mut(idx as usize);
+                                    sess.lease = Some(lease);
+                                    sess.state = PState::CatchUp;
+                                }
+                                None => {
+                                    self.metrics.runtime.resume_starved += 1;
+                                    self.reserve.record_denials(1, true);
+                                    self.sessions.live_at_mut(idx as usize).state = PState::Starved;
+                                    self.starved_count += 1;
+                                    self.metrics.runtime.degraded_entries += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                2 => {
+                    let sess = self.sessions.live_at_mut(idx as usize);
+                    let PState::Paused { remaining } = &mut sess.state else {
+                        unreachable!("state tag checked above");
+                    };
+                    *remaining = remaining.saturating_sub(1);
+                    if *remaining == 0 {
+                        // Reception continued throughout the pause, so the
+                        // front moved past the resume position: free hit.
+                        let (e, position) = {
+                            let sess = self.sessions.live_at(idx as usize);
+                            (self.elapsed(sess), sess.position)
+                        };
+                        let hit = position >= length || geometry.received_by(e + 1, position);
+                        self.metrics.runtime.record_resume(VcrKind::Pause, hit);
+                        if hit {
+                            self.sessions.live_at_mut(idx as usize).state = PState::Receiving;
+                        } else {
+                            match self.try_dedicated_lease() {
+                                Some(lease) => {
+                                    let sess = self.sessions.live_at_mut(idx as usize);
+                                    sess.lease = Some(lease);
+                                    sess.state = PState::CatchUp;
+                                }
+                                None => {
+                                    self.metrics.runtime.resume_starved += 1;
+                                    self.reserve.record_denials(1, true);
+                                    self.sessions.live_at_mut(idx as usize).state = PState::Starved;
+                                    self.starved_count += 1;
+                                    self.metrics.runtime.degraded_entries += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                3 => {
+                    if stalled || !self.disk_serving() {
+                        self.metrics.runtime.stall_minutes += 1.0;
+                    } else {
+                        let (e, position) = {
+                            let sess = self.sessions.live_at(idx as usize);
+                            (self.elapsed(sess), sess.position)
+                        };
+                        if position >= length {
+                            self.finish(idx);
+                            self.active.swap_remove(i);
+                            continue;
+                        }
+                        if geometry.received_by(e + 1, position) {
+                            // The broadcast front caught up: merge back.
+                            let lease = self.sessions.live_at_mut(idx as usize).lease.take();
+                            if let Some(lease) = lease {
+                                self.release_dedicated_lease(lease);
+                            }
+                            self.metrics.piggyback_merges += 1;
+                            self.sessions.live_at_mut(idx as usize).state = PState::Receiving;
+                            self.consume_from_broadcast(idx);
+                        } else {
+                            let movie = self.movies[movie_idx].movie;
+                            let verified = {
+                                let sess = self.sessions.live_at(idx as usize);
+                                let lease = sess
+                                    .lease
+                                    .as_ref()
+                                    // vod-lint: allow(no-panic) — CatchUp holds
+                                    // a lease by construction (faults demote to
+                                    // Starved when revoking it).
+                                    .expect("catch-up session holds lease");
+                                self.disk
+                                    .read(lease, movie, position)
+                                    .map(|seg| verify_segment(&seg))
+                                    .unwrap_or(false)
+                            };
+                            let sess = self.sessions.live_at_mut(idx as usize);
+                            sess.stats.from_disk += 1;
+                            if !verified {
+                                sess.stats.verify_failures += 1;
+                                self.metrics.verify_failures += 1;
+                            }
+                            sess.position += 1;
+                            self.metrics.runtime.disk_minutes += 1.0;
+                            if self.sessions.live_at(idx as usize).position >= length {
+                                self.finish(idx);
+                                self.active.swap_remove(i);
+                                continue;
+                            }
+                        }
+                    }
+                }
+                4 => {
+                    let (e, position) = {
+                        let sess = self.sessions.live_at(idx as usize);
+                        (self.elapsed(sess), sess.position)
+                    };
+                    if position >= length || geometry.received_by(e + 1, position) {
+                        // Free recovery: the front swept past the starved
+                        // position.
+                        self.sessions.live_at_mut(idx as usize).state = PState::Receiving;
+                        self.starved_count -= 1;
+                        self.metrics.runtime.degraded_rejoined += 1;
+                    } else {
+                        match self.try_dedicated_lease() {
+                            Some(lease) => {
+                                let sess = self.sessions.live_at_mut(idx as usize);
+                                sess.lease = Some(lease);
+                                sess.state = PState::CatchUp;
+                                self.starved_count -= 1;
+                                self.metrics.runtime.degraded_dedicated += 1;
+                            }
+                            None => {
+                                self.reserve.record_denials(1, true);
+                                self.metrics.runtime.rewait_minutes += 1.0;
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    self.active.swap_remove(i);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        self.now += 1;
+    }
+
+    fn reset_metrics(&mut self) {
+        let now = self.now as f64;
+        let playing = self.metrics.playback.current();
+        self.metrics = ServerMetrics::new();
+        self.metrics.playback = TimeWeighted::new(now, playing);
+        self.reserve.rebaseline(now);
+        self.startup_waits = Welford::default();
+    }
+
+    fn runtime_metrics(&self) -> RuntimeMetrics {
+        let mut rt = self.metrics.runtime.clone();
+        rt.dedicated_avg = self.reserve.average(self.now as f64);
+        rt.dedicated_peak = self.reserve.peak();
+        rt.denied_transient = self.reserve.denied_transient();
+        rt.denied_permanent = self.reserve.denied_permanent();
+        rt
+    }
+
+    fn startup_waits(&self) -> &Welford {
+        &self.startup_waits
+    }
+
+    fn inject_faults(&mut self, plan: FaultPlan, _policy: DegradePolicy) {
+        self.fault_mode = !plan.is_empty();
+        self.plan = plan;
+    }
+
+    fn check_invariants(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let disk = &self.disk;
+        if disk.in_use() + disk.available() + disk.failed() != disk.capacity() {
+            v.push(format!(
+                "disk conservation broken: in_use {} + free {} + failed {} != provisioned {}",
+                disk.in_use(),
+                disk.available(),
+                disk.failed(),
+                disk.capacity()
+            ));
+        }
+        let channel_live: u32 = self
+            .movies
+            .iter()
+            .map(|m| m.leases.iter().filter(|l| l.is_some()).count() as u32)
+            .sum();
+        let mut held = 0u32;
+        let mut starved = 0u32;
+        for idx in 0..self.sessions.slot_count() {
+            let Some(sess) = self.sessions.at(idx) else {
+                continue;
+            };
+            if sess.lease.is_some() {
+                held += 1;
+                if !matches!(sess.state, PState::Vcr { .. } | PState::CatchUp) {
+                    v.push(format!(
+                        "session {idx} holds a dedicated lease in a non-serving state"
+                    ));
+                }
+            } else if matches!(sess.state, PState::CatchUp) {
+                v.push(format!("session {idx} is catching up without a lease"));
+            }
+            if matches!(sess.state, PState::Starved) {
+                starved += 1;
+            }
+        }
+        if channel_live + held != disk.in_use() {
+            v.push(format!(
+                "lease accounting broken: channels {channel_live} + sessions {held} != disk {}",
+                disk.in_use()
+            ));
+        }
+        if held != self.reserve.in_use() {
+            v.push(format!(
+                "reserve accounting broken: sessions hold {held}, reserve says {}",
+                self.reserve.in_use()
+            ));
+        }
+        let staging: usize = self.movies.iter().map(|m| m.slots.len()).sum();
+        if self.pool.used() != staging {
+            v.push(format!(
+                "staging accounting broken: pool reserves {}, channels need {staging}",
+                self.pool.used()
+            ));
+        }
+        if starved != self.starved_count {
+            v.push(format!(
+                "starved population drifted: counted {starved}, tracked {}",
+                self.starved_count
+            ));
+        }
+        v
+    }
+
+    fn degraded_sessions(&self) -> u32 {
+        self.starved_count
+    }
+
+    fn sessions_finished(&self) -> u64 {
+        self.metrics.sessions_done + self.metrics.sessions_closed_early
+    }
+
+    fn verify_failures(&self) -> u64 {
+        self.metrics.verify_failures
+    }
+
+    fn io_streams(&self) -> u32 {
+        self.config.disk_streams
+    }
+
+    fn buffer_segments(&self) -> u64 {
+        self.pool.budget() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::HostedMovie;
+
+    fn config() -> ServerConfig {
+        let movie = HostedMovie::from_allocation(MovieId(0), 120, 20, 100.0);
+        ServerConfig {
+            piggyback: None,
+            ..ServerConfig::provisioned(vec![movie], 40)
+        }
+    }
+
+    #[test]
+    fn boundary_join_and_play_through() {
+        let mut s = PyramidServer::new(config());
+        // Batching max_wait for (120, 20, 100) is T − b = 6 − 5 = 1, so
+        // the pyramid provisions d ≤ 1: joins start immediately.
+        let id = s.open_session(MovieId(0)).unwrap();
+        assert_eq!(s.session_status(id).unwrap(), SessionStatus::Shared);
+        for _ in 0..121 {
+            s.tick();
+            assert!(s.check_invariants().is_empty());
+        }
+        assert_eq!(s.session_status(id).unwrap(), SessionStatus::Done);
+        assert_eq!(s.sessions_finished(), 1);
+        assert_eq!(s.verify_failures(), 0);
+        let rt = s.runtime_metrics();
+        assert_eq!(rt.buffer_minutes, 120.0, "all service from the broadcast");
+        assert_eq!(rt.disk_minutes, 0.0);
+    }
+
+    #[test]
+    fn startup_wait_bounded_by_segment_one_period() {
+        // A looser movie: (120, 2, 20) ⇒ T = 60, b = 10, max_wait = 50;
+        // pyramid picks k = 2 (d = 40) — wait, ⌈120/3⌉ = 40 ≤ 50. Joins
+        // wait for the next multiple of 40.
+        let movie = HostedMovie::from_allocation(MovieId(0), 120, 2, 20.0);
+        let cfg = ServerConfig {
+            piggyback: None,
+            ..ServerConfig::provisioned(vec![movie], 8)
+        };
+        let mut s = PyramidServer::new(cfg);
+        let d = s.movies[0].geometry.unit() as u64;
+        assert!(d > 1);
+        s.tick(); // now = 1: next boundary is d
+        let id = s.open_session(MovieId(0)).unwrap();
+        match s.session_status(id).unwrap() {
+            SessionStatus::Waiting(at) => assert_eq!(at, d),
+            other => panic!("expected Waiting, got {other:?}"),
+        }
+        assert!(s.startup_waits().mean() < d as f64, "wait < one period");
+        for _ in 1..d {
+            s.tick();
+        }
+        // Boundary tick: the session starts receiving.
+        s.tick();
+        assert_eq!(s.session_status(id).unwrap(), SessionStatus::Shared);
+        assert!(s.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn server_resources_are_load_invariant() {
+        let mut s = PyramidServer::new(config());
+        let channels = s.movies[0].geometry.channels();
+        let base_in_use = s.disk.in_use();
+        assert_eq!(base_in_use, channels);
+        for _ in 0..50 {
+            s.open_session(MovieId(0)).unwrap();
+        }
+        for _ in 0..30 {
+            s.tick();
+        }
+        assert_eq!(
+            s.disk.in_use(),
+            channels,
+            "50 viewers cost zero extra streams"
+        );
+        assert_eq!(s.buffer_segments(), u64::from(channels));
+        assert!(s.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn rw_and_pause_resumes_always_hit() {
+        let mut s = PyramidServer::new(config());
+        let id = s.open_session(MovieId(0)).unwrap();
+        for _ in 0..20 {
+            s.tick();
+        }
+        s.request_vcr(id, VcrKind::Rewind, 10).unwrap();
+        for _ in 0..10 {
+            s.tick();
+        }
+        s.request_vcr(id, VcrKind::Pause, 5).unwrap();
+        for _ in 0..10 {
+            s.tick();
+        }
+        let rt = s.runtime_metrics();
+        assert_eq!(rt.resumes.trials(), 2);
+        assert_eq!(rt.resumes.hits(), 2, "RW/Pause resume inside the prefix");
+        assert_eq!(rt.vcr_denied, 0);
+        assert!(s.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn ff_beyond_front_takes_dedicated_stream_then_merges() {
+        let mut s = PyramidServer::new(config());
+        let id = s.open_session(MovieId(0)).unwrap();
+        for _ in 0..5 {
+            s.tick();
+        }
+        let before = s.reserve.in_use();
+        // Jump 60 minutes ahead — far beyond anything received by t=5.
+        s.request_vcr(id, VcrKind::FastForward, 60).unwrap();
+        assert_eq!(s.reserve.in_use(), before + 1, "sweep holds a lease");
+        // Drive until the sweep ends and the catch-up merges back.
+        let mut merged = false;
+        for _ in 0..120 {
+            s.tick();
+            assert!(s.check_invariants().is_empty());
+            if matches!(s.session_status(id).unwrap(), SessionStatus::Shared) {
+                merged = true;
+                break;
+            }
+            if matches!(s.session_status(id).unwrap(), SessionStatus::Done) {
+                break;
+            }
+        }
+        assert!(
+            merged,
+            "catch-up session must merge back into the broadcast"
+        );
+        assert_eq!(s.reserve.in_use(), before, "lease released at merge");
+        assert!(s.metrics.piggyback_merges >= 1);
+        let rt = s.runtime_metrics();
+        assert!(rt.disk_minutes > 0.0, "the sweep/catch-up was disk-served");
+    }
+
+    #[test]
+    fn deterministic_under_replay() {
+        let run = || {
+            let mut s = PyramidServer::new(config());
+            let mut ids = Vec::new();
+            for t in 0..80u64 {
+                if t % 3 == 0 {
+                    ids.push(s.open_session(MovieId(0)).unwrap());
+                }
+                if t == 30 {
+                    let _ = s.request_vcr(ids[0], VcrKind::FastForward, 40);
+                }
+                if t == 40 {
+                    let _ = s.request_vcr(ids[1], VcrKind::Pause, 7);
+                }
+                s.tick();
+            }
+            s.runtime_metrics()
+        };
+        assert_eq!(run(), run());
+    }
+}

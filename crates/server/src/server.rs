@@ -25,7 +25,7 @@ use vod_runtime::{
     Arena, ArenaId, DegradePolicy, FaultKind, FaultPlan, QuantizedGeometry, ResumeClass,
     RuntimeMetrics, StreamReserve, TimerWheel,
 };
-use vod_workload::{TimeWeighted, VcrKind};
+use vod_workload::{TimeWeighted, VcrKind, Welford};
 
 use crate::buffer::{BufferPool, Partition};
 use crate::content::{verify_segment, MovieId};
@@ -260,6 +260,11 @@ pub struct VodServer {
     recovery_due: BTreeMap<u64, u32>,
     /// Sessions currently in the degraded re-wait state.
     degraded_count: u32,
+    /// Startup waits (minutes from open to scheduled playback start),
+    /// one sample per opened session. Lives outside [`RuntimeMetrics`]
+    /// because that schema's JSON key order is pinned; backend-generic
+    /// drivers read it through `DeliveryBackend::startup_waits`.
+    startup_waits: Welford,
 }
 
 impl VodServer {
@@ -303,6 +308,7 @@ impl VodServer {
             slowdown: None,
             recovery_due: BTreeMap::new(),
             degraded_count: 0,
+            startup_waits: Welford::default(),
         }
     }
 
@@ -358,6 +364,11 @@ impl VodServer {
     /// Current virtual time in minutes.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// The configuration this server was provisioned from.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// Server metrics so far.
@@ -541,6 +552,13 @@ impl VodServer {
         self.metrics = ServerMetrics::new();
         self.metrics.playback = TimeWeighted::new(now, playing);
         self.reserve.rebaseline(now);
+        self.startup_waits = Welford::default();
+    }
+
+    /// Startup-wait samples (minutes between `open_session` and the
+    /// session's scheduled playback start) since the last metrics reset.
+    pub fn startup_waits(&self) -> &Welford {
+        &self.startup_waits
     }
 
     /// Disk subsystem state (for capacity assertions in tests).
@@ -567,6 +585,7 @@ impl VodServer {
         let (state, wake_at) = match join {
             Some(stream) => {
                 self.streams.live_mut(stream.0).enrolled += 1;
+                self.startup_waits.push(0.0);
                 (SessionState::Enrolled { stream }, None)
             }
             None => {
@@ -576,6 +595,7 @@ impl VodServer {
                 // enrolls during the coming tick.
                 let t = geometry.restart_interval as u64;
                 let start_at = self.now.div_ceil(t) * t;
+                self.startup_waits.push((start_at - self.now) as f64);
                 (SessionState::Waiting { start_at }, Some(start_at))
             }
         };

@@ -104,11 +104,20 @@ impl DeliveryStats {
 }
 
 /// Public status snapshot of a session.
+///
+/// This is the *shared* vocabulary every
+/// [`DeliveryBackend`](crate::DeliveryBackend) maps its internal states
+/// onto, so the workload driver stays scheme-agnostic: batching reads
+/// `Waiting` as "queued for the next restart", pyramid as "parked until
+/// the next segment-1 boundary", dedicated as "queued for a free
+/// stream"; `Shared` covers both partition playback and broadcast
+/// reception; `Dedicated` covers a private stream, whether primary
+/// (unicast baseline) or a catch-up beyond the broadcast front.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionStatus {
-    /// Waiting for the next restart (tick at which it starts).
+    /// Waiting for a scheduled playback start (tick at which it starts).
     Waiting(u64),
-    /// Playing from a shared partition.
+    /// Playing from a shared resource (partition or broadcast channel).
     Shared,
     /// Playing from a dedicated stream.
     Dedicated,

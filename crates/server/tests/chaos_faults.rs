@@ -270,6 +270,7 @@ fn harness_config() -> HarnessConfig {
             ..ServerConfig::provisioned(vec![movie], 40)
         },
         movie: MovieId(0),
+        extra_movies: vec![],
         behavior: BehaviorModel::uniform_dist((0.2, 0.2, 0.6), 30.0, Arc::new(Gamma::paper_fig7())),
         mean_interarrival: 2.0,
         warmup: 120,

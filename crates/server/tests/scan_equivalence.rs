@@ -24,6 +24,7 @@ fn config(piggyback: bool) -> HarnessConfig {
             ..base
         },
         movie: MovieId(0),
+        extra_movies: vec![],
         behavior: BehaviorModel::uniform_dist((0.2, 0.2, 0.6), 30.0, Arc::new(Gamma::paper_fig7())),
         mean_interarrival: 2.0,
         warmup: 240,

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use vod_model::SystemParams;
-use vod_runtime::FaultPlan;
+use vod_runtime::{BackendKind, FaultPlan};
 use vod_workload::BehaviorModel;
 
 /// One movie's load within a catalog simulation.
@@ -39,6 +39,16 @@ pub struct CatalogConfig {
     /// buffer shrink/restore to the window geometry; disk slowdowns have
     /// no tick grid to stretch and are counted but otherwise ignored.
     pub faults: FaultPlan,
+    /// Delivery scheme the engine models. The default,
+    /// [`BackendKind::BatchingBuffering`], is the paper's batching +
+    /// static-partition system and keeps the historical RNG stream
+    /// bitwise intact. `PyramidBroadcast` replaces restart enrollment
+    /// with segment-1 boundary joins and classifies resumes against the
+    /// client's reception front; `DedicatedStream` gives every viewer a
+    /// private stream from the shared reserve (FIFO queue when capped).
+    /// Buffer shrink faults only deform batching windows; the other
+    /// schemes count them and move on.
+    pub backend: BackendKind,
 }
 
 impl CatalogConfig {
@@ -82,6 +92,7 @@ impl From<SimConfig> for CatalogConfig {
             collect_trace: cfg.collect_trace,
             dedicated_capacity: cfg.dedicated_capacity,
             faults: cfg.faults,
+            backend: cfg.backend,
         }
     }
 }
@@ -117,6 +128,8 @@ pub struct SimConfig {
     pub dedicated_capacity: Option<u32>,
     /// Deterministic fault schedule (see [`CatalogConfig::faults`]).
     pub faults: FaultPlan,
+    /// Delivery scheme (see [`CatalogConfig::backend`]).
+    pub backend: BackendKind,
 }
 
 impl SimConfig {
@@ -135,6 +148,7 @@ impl SimConfig {
             collect_trace: false,
             dedicated_capacity: None,
             faults: FaultPlan::empty(),
+            backend: BackendKind::BatchingBuffering,
         }
     }
 
@@ -207,6 +221,7 @@ mod tests {
             collect_trace: false,
             dedicated_capacity: None,
             faults: FaultPlan::empty(),
+            backend: BackendKind::BatchingBuffering,
         };
         assert!(cfg.validate().is_err(), "empty catalog rejected");
         let mut cfg = CatalogConfig {

@@ -17,11 +17,12 @@
 //! the heap, and the viewer population, never the rules.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use vod_dist::rng::{exponential, seeded, SeededRng};
 use vod_runtime::{
-    plan_vcr, Arena, ArenaId, FaultKind, PartitionWindows, StreamReserve, TimerWheel,
+    plan_vcr, Arena, ArenaId, BackendKind, FaultKind, PartitionWindows, PyramidGeometry,
+    StreamReserve, TimerWheel,
 };
 use vod_workload::{VcrKind, VcrTraceRecord, Welford};
 
@@ -87,6 +88,10 @@ struct Viewer {
     pos_base: f64,
     t_base: f64,
     holds_dedicated: bool,
+    /// When reception/playback first started. The pyramid backend
+    /// measures its client's reception front from this instant; the
+    /// dedicated backend uses it (pre-start) to measure queueing wait.
+    joined_at: f64,
 }
 
 /// The engine's pending-event set.
@@ -194,6 +199,12 @@ struct Engine<'a> {
     recoveries: Vec<(f64, u32)>,
     /// Buffer segments currently removed by shrink faults.
     buffer_delta: f64,
+    /// Pyramid reception geometry per movie (empty unless the backend is
+    /// `PyramidBroadcast`); segment-1 period matches the batching
+    /// scheme's worst-case wait `T − b` for the same movie.
+    geometries: Vec<PyramidGeometry>,
+    /// Dedicated backend: viewers queued (FIFO) for a free stream.
+    stream_queue: VecDeque<ArenaId>,
     warmed: bool,
     report: CatalogReport,
 }
@@ -205,6 +216,19 @@ impl<'a> Engine<'a> {
             .iter()
             .map(|m| PartitionWindows::from_params(&m.params))
             .collect();
+        let geometries = if cfg.backend == BackendKind::PyramidBroadcast {
+            windows
+                .iter()
+                .map(|w| {
+                    PyramidGeometry::from_continuous(
+                        w.movie_len(),
+                        w.restart_interval() - w.window_len(),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         Self {
             cfg,
             rng: seeded(seed),
@@ -217,6 +241,8 @@ impl<'a> Engine<'a> {
             fault_cursor: 0,
             recoveries: Vec::new(),
             buffer_delta: 0.0,
+            geometries,
+            stream_queue: VecDeque::new(),
             warmed: false,
             report: CatalogReport::with_movies(cfg.movies.len()),
         }
@@ -387,6 +413,33 @@ impl<'a> Engine<'a> {
         if v.holds_dedicated {
             v.holds_dedicated = false;
             self.reserve.release(t);
+            self.grant_queued(t);
+        }
+    }
+
+    /// Dedicated backend only: hand a just-freed stream to the head of
+    /// the FIFO start queue.
+    fn grant_queued(&mut self, t: f64) {
+        if self.cfg.backend != BackendKind::DedicatedStream {
+            return;
+        }
+        if let Some(id) = self.stream_queue.pop_front() {
+            if self.acquire_dedicated(t, id) {
+                if self.measuring() {
+                    let (movie, arrived) = {
+                        let v = self.viewers.live(id);
+                        (v.movie, v.joined_at)
+                    };
+                    let r = self.movie_report(movie);
+                    r.type2_fraction.push(false);
+                    r.wait.push(t - arrived);
+                }
+                self.push(t, EvKind::Start { viewer: id });
+            } else {
+                // The freed stream vanished (a concurrent fault): keep
+                // the viewer at the head of the queue.
+                self.stream_queue.push_front(id);
+            }
         }
     }
 
@@ -447,31 +500,72 @@ impl<'a> Engine<'a> {
             pos_base: 0.0,
             t_base: t,
             holds_dedicated: false,
+            joined_at: t,
         });
 
-        let windows = self.windows[movie];
-        if windows.enrollment_open(t) {
-            // Type-2: the enrollment window is open; start immediately,
-            // reading position 0 from the buffer partition.
-            if self.measuring() {
-                let r = self.movie_report(movie);
-                r.type2_fraction.push(true);
-                r.wait.push(0.0);
+        match self.cfg.backend {
+            BackendKind::BatchingBuffering => {
+                let windows = self.windows[movie];
+                if windows.enrollment_open(t) {
+                    // Type-2: the enrollment window is open; start
+                    // immediately, reading position 0 from the buffer
+                    // partition.
+                    if self.measuring() {
+                        let r = self.movie_report(movie);
+                        r.type2_fraction.push(true);
+                        r.wait.push(0.0);
+                    }
+                    self.begin_playback(t, id, 0.0);
+                } else {
+                    // Type-1: queue for the next restart.
+                    let start = windows.next_restart_at(t);
+                    if self.measuring() {
+                        let r = self.movie_report(movie);
+                        r.type2_fraction.push(false);
+                        r.wait.push(start - t);
+                    }
+                    self.push(start, EvKind::Start { viewer: id });
+                }
             }
-            self.begin_playback(t, id, 0.0);
-        } else {
-            // Type-1: queue for the next restart.
-            let start = windows.next_restart_at(t);
-            if self.measuring() {
-                let r = self.movie_report(movie);
-                r.type2_fraction.push(false);
-                r.wait.push(start - t);
+            BackendKind::PyramidBroadcast => {
+                // Reception starts at the next segment-1 boundary; wait
+                // is bounded by one segment-1 period by construction.
+                let start = self.geometries[movie].next_boundary_continuous(t);
+                let wait = (start - t).max(0.0);
+                let immediate = vod_dist::approx::exact_zero(wait);
+                if self.measuring() {
+                    let r = self.movie_report(movie);
+                    r.type2_fraction.push(immediate);
+                    r.wait.push(wait);
+                }
+                if immediate {
+                    self.begin_playback(t, id, 0.0);
+                } else {
+                    self.push(start, EvKind::Start { viewer: id });
+                }
             }
-            self.push(start, EvKind::Start { viewer: id });
+            BackendKind::DedicatedStream => {
+                // Pure unicast: playback needs a private stream now; a
+                // full reserve queues the viewer FIFO behind releases.
+                if self.acquire_dedicated(t, id) {
+                    if self.measuring() {
+                        let r = self.movie_report(movie);
+                        r.type2_fraction.push(true);
+                        r.wait.push(0.0);
+                    }
+                    self.begin_playback(t, id, 0.0);
+                } else {
+                    self.reserve.record_denials(1, true);
+                    self.stream_queue.push_back(id);
+                }
+            }
         }
     }
 
     fn on_start(&mut self, t: f64, viewer: ArenaId) {
+        // Pyramid reception (and queued dedicated playback) begins here,
+        // not at arrival: re-anchor the reception clock.
+        self.viewers.live_mut(viewer).joined_at = t;
         self.begin_playback(t, viewer, 0.0);
     }
 
@@ -515,11 +609,27 @@ impl<'a> Engine<'a> {
             spec.params.movie_len(),
             spec.params.rates(),
         );
-        // FF/RW with viewing consume a dedicated stream during phase 1;
-        // a paused viewer consumes nothing until resume.
-        if matches!(req.kind, VcrKind::FastForward | VcrKind::Rewind)
-            && !self.acquire_dedicated(t, viewer)
-        {
+        // Who pays for phase 1 depends on the scheme: batching and the
+        // unicast baseline sweep FF/RW on a dedicated stream (the
+        // baseline already holds one); pyramid sweeps inside the
+        // client's reception prefix for free and only an FF *beyond the
+        // front* takes a stream. A paused viewer consumes nothing until
+        // resume — and under pure unicast even frees its stream.
+        if self.cfg.backend == BackendKind::DedicatedStream && matches!(req.kind, VcrKind::Pause) {
+            self.release_dedicated(t, viewer);
+        }
+        let needs_stream = match self.cfg.backend {
+            BackendKind::BatchingBuffering | BackendKind::DedicatedStream => {
+                matches!(req.kind, VcrKind::FastForward | VcrKind::Rewind)
+            }
+            BackendKind::PyramidBroadcast => {
+                matches!(req.kind, VcrKind::FastForward) && !plan.reached_end && {
+                    let joined = self.viewers.live(viewer).joined_at;
+                    !self.geometries[movie].received_by_continuous(t - joined, plan.end_pos)
+                }
+            }
+        };
+        if needs_stream && !self.acquire_dedicated(t, viewer) {
             // Reserve exhausted: the request is denied and the viewer
             // stays in his batch (Erlang loss semantics). Issue-time
             // denials are never retried, so they classify as permanent
@@ -560,7 +670,13 @@ impl<'a> Engine<'a> {
         truncated_start: bool,
     ) {
         let movie = self.viewers.live(viewer).movie;
-        self.account_sweep(movie, (end_pos - issued_pos).abs());
+        // A sweep is disk traffic only when a dedicated stream served it;
+        // pyramid sweeps inside the reception prefix are client-local.
+        if self.viewers.live(viewer).holds_dedicated
+            || self.cfg.backend != BackendKind::PyramidBroadcast
+        {
+            self.account_sweep(movie, (end_pos - issued_pos).abs());
+        }
         if reached_end {
             // FF ran to the end: the viewing is over and phase-1 resources
             // are released (the model's P(end) path).
@@ -577,11 +693,23 @@ impl<'a> Engine<'a> {
             return;
         }
 
-        // Real-system resume: a hit iff the resume position is inside any
-        // live window — including position 0 after a truncated rewind,
-        // where the latest stream's enrollment window may still be open
-        // (the model counts those as misses; see §4 of the paper).
-        let hit = self.windows[movie].classify_resume(t, end_pos).is_hit();
+        // Real-system resume classification, per scheme: batching — a hit
+        // iff the resume position is inside any live window, including
+        // position 0 after a truncated rewind, where the latest stream's
+        // enrollment window may still be open (the model counts those as
+        // misses; see §4 of the paper). Pyramid — a hit iff the client's
+        // reception front has passed the resume position. Unicast — every
+        // resume re-seeks the private stream: always a miss.
+        let hit = match self.cfg.backend {
+            BackendKind::BatchingBuffering => {
+                self.windows[movie].classify_resume(t, end_pos).is_hit()
+            }
+            BackendKind::PyramidBroadcast => {
+                let joined = self.viewers.live(viewer).joined_at;
+                self.geometries[movie].received_by_continuous(t - joined, end_pos)
+            }
+            BackendKind::DedicatedStream => false,
+        };
         if truncated_start && self.measuring() {
             self.report.runtime.rw_truncated += 1;
             self.movie_report(movie).runtime.rw_truncated += 1;

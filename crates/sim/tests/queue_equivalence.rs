@@ -51,6 +51,7 @@ fn catalog() -> CatalogConfig {
         collect_trace: true,
         dedicated_capacity: Some(12),
         faults: FaultPlan::empty(),
+        backend: vod_runtime::BackendKind::BatchingBuffering,
     }
 }
 

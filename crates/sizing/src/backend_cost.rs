@@ -1,0 +1,130 @@
+//! Per-backend resource envelopes for the Eq. 23 cost model.
+//!
+//! The paper prices a provisioning as `C = C_n(φ·ΣB + Σn)` — buffer
+//! minutes at `φ` stream-equivalents each, plus streams. That formula is
+//! scheme-agnostic; what each delivery backend changes is *which* `ΣB`
+//! and `Σn` it needs for the same catalog and startup-wait promise:
+//!
+//! * **Batching + buffering** — the plan's `Σn` restart streams plus the
+//!   VCR reserve, and the full partition budget `ΣB`.
+//! * **Pyramid broadcast** — per movie, `k` permanent channel streams
+//!   (smallest `k` whose segment-1 period meets the movie's wait
+//!   target) plus the VCR reserve; server buffer is one staging segment
+//!   per channel. Client-side buffer (up to
+//!   [`PyramidGeometry::client_buffer_bound`]) is *not* priced — the
+//!   paper's cost model prices the server, and that asymmetry is the
+//!   scheme's entire appeal.
+//! * **Dedicated streams** — the same stream pool with zero buffer; the
+//!   pool bounds concurrent viewers instead of restarts.
+
+use vod_runtime::{BackendKind, PyramidGeometry};
+
+use crate::cost::ResourceCost;
+
+/// One backend's provisioning envelope, ready to price with
+/// [`ResourceCost::total`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendResources {
+    /// Which scheme this envelope provisions.
+    pub backend: BackendKind,
+    /// Server buffer `ΣB` in movie-minutes (= segments).
+    pub buffer_minutes: f64,
+    /// I/O streams `Σn` (restart/channel/unicast streams + any reserve).
+    pub streams: u32,
+    /// Worst-case client buffer demand in movie-minutes (0 for the
+    /// server-buffered schemes; informational — not priced by Eq. 23).
+    pub client_buffer_minutes: u32,
+}
+
+impl BackendResources {
+    /// The batching + buffering envelope: `streams` restart streams plus
+    /// `vcr_reserve`, and the full partition budget.
+    pub fn batching_buffering(buffer_minutes: f64, streams: u32, vcr_reserve: u32) -> Self {
+        Self {
+            backend: BackendKind::BatchingBuffering,
+            buffer_minutes,
+            streams: streams.saturating_add(vcr_reserve),
+            client_buffer_minutes: 0,
+        }
+    }
+
+    /// The pyramid envelope for a catalog of `(length, max_wait)` movie
+    /// targets: per movie, the smallest channel count whose segment-1
+    /// period is ≤ its wait target; one staging segment per channel;
+    /// the shared `vcr_reserve` on top for FF-beyond-front service.
+    pub fn pyramid_broadcast(movies: &[(u32, f64)], vcr_reserve: u32) -> Self {
+        let mut channels: u32 = 0;
+        let mut client_bound: u32 = 0;
+        for &(length, max_wait) in movies {
+            let g = PyramidGeometry::from_continuous(f64::from(length), max_wait);
+            channels = channels.saturating_add(g.channels());
+            client_bound = client_bound.max(g.client_buffer_bound());
+        }
+        Self {
+            backend: BackendKind::PyramidBroadcast,
+            buffer_minutes: f64::from(channels),
+            streams: channels.saturating_add(vcr_reserve),
+            client_buffer_minutes: client_bound,
+        }
+    }
+
+    /// The pure-unicast envelope: `streams` private streams, no buffer.
+    pub fn dedicated_stream(streams: u32) -> Self {
+        Self {
+            backend: BackendKind::DedicatedStream,
+            buffer_minutes: 0.0,
+            streams,
+            client_buffer_minutes: 0,
+        }
+    }
+
+    /// Price this envelope under Eq. 23.
+    pub fn cost(&self, prices: &ResourceCost) -> f64 {
+        prices.total(self.buffer_minutes, self.streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prices() -> ResourceCost {
+        ResourceCost::from_phi(10.7).unwrap()
+    }
+
+    #[test]
+    fn batching_envelope_prices_buffer_and_reserve() {
+        let r = BackendResources::batching_buffering(100.0, 20, 8);
+        assert_eq!(r.streams, 28);
+        assert_eq!(r.client_buffer_minutes, 0);
+        let c = r.cost(&prices());
+        assert!((c - (10.7 * 100.0 + 28.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pyramid_envelope_is_channel_counted() {
+        // l = 120, wait ≤ 8 ⇒ k = 4 (d = 8); two identical movies.
+        let r = BackendResources::pyramid_broadcast(&[(120, 8.0), (120, 8.0)], 5);
+        assert_eq!(r.buffer_minutes, 8.0, "one staging segment per channel");
+        assert_eq!(r.streams, 13);
+        // Client bound: start of the last segment = d(2^{k−1} − 1) = 56.
+        assert_eq!(r.client_buffer_minutes, 56);
+    }
+
+    #[test]
+    fn dedicated_envelope_has_no_buffer_term() {
+        let r = BackendResources::dedicated_stream(60);
+        let c = r.cost(&prices());
+        assert!((c - 60.0).abs() < 1e-9, "pure stream cost, got {c}");
+    }
+
+    #[test]
+    fn pyramid_beats_unicast_on_big_audiences() {
+        // One 120-minute movie, wait target 8: pyramid needs 4 channels
+        // forever; unicast needs one stream per concurrent viewer — at 60
+        // viewers the broadcast envelope is already an order cheaper.
+        let p = BackendResources::pyramid_broadcast(&[(120, 8.0)], 4);
+        let d = BackendResources::dedicated_stream(60);
+        assert!(p.cost(&prices()) < d.cost(&prices()));
+    }
+}

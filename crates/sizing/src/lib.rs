@@ -37,6 +37,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::float_cmp))]
 
 mod allocate;
+mod backend_cost;
 mod cost;
 mod curve;
 mod error;
@@ -49,6 +50,7 @@ pub use allocate::{
     allocate_min_buffer, allocate_min_buffer_with, allocate_min_cost, allocate_min_cost_with,
     min_buffer_at_stream_total, Budgets, Catalog, MovieAllocation, ResourcePlan,
 };
+pub use backend_cost::BackendResources;
 pub use cost::{HardwareSpec, ResourceCost};
 pub use curve::{cost_curve, cost_curve_with_catalog, CostCurve, CostPoint};
 pub use error::SizingError;

@@ -62,6 +62,7 @@ fn example1_catalog_sized_then_simulated() {
         collect_trace: false,
         dedicated_capacity: None,
         faults: vod_runtime::FaultPlan::empty(),
+        backend: vod_runtime::BackendKind::BatchingBuffering,
     };
     let free = run_catalog_seeded(&cfg, 55);
     for (movie, (report, alloc)) in free.per_movie.iter().zip(&plan.allocations).enumerate() {

@@ -52,6 +52,7 @@ fn harness_config(params: &SystemParams, n: u32, sim_cfg: &SimConfig) -> Harness
             ..ServerConfig::provisioned(vec![movie], 80)
         },
         movie: MovieId(0),
+        extra_movies: vec![],
         behavior: behavior(),
         mean_interarrival: sim_cfg.mean_interarrival,
         warmup: sim_cfg.warmup as u64,
