@@ -33,8 +33,17 @@ cargo test -q
 echo "== cross-validation: model vs sim vs server =="
 cargo test --release -q --test cross_validation
 
-echo "== chaos: fault-injection matrix (determinism + conservation, see DESIGN.md §10) =="
+echo "== chaos: 3-backend fault matrix (determinism + conservation, see DESIGN.md §10/§13) =="
 cargo run --release -p vod-bench --bin chaos
+# The bin exits non-zero on any violation; belt-and-braces the written
+# report too: schema v2, all 54 cells present, every backend clean, and
+# per-tick monotonicity/conservation recorded zero violations.
+grep -q '"schema": 2' results/CHAOS_REPORT.json
+grep -q '"ok": true' results/CHAOS_REPORT.json
+test "$(grep -c '"seed"' results/CHAOS_REPORT.json)" -eq 54
+test "$(grep -c '"backend": "pyramid_broadcast"' results/CHAOS_REPORT.json)" -eq 18
+test "$(grep -c '"backend": "dedicated_stream"' results/CHAOS_REPORT.json)" -eq 18
+test "$(grep -c '"violations": 0' results/CHAOS_REPORT.json)" -eq 54
 
 echo "== scale: wheel+arena engine smoke (downscaled; the full run uses --sessions 1000000) =="
 cargo run --release -p vod-bench --bin scale -- --sessions 50000 --ticks 120

@@ -1,18 +1,24 @@
-//! Chaos matrix: drive the tick server through a seed × fault-plan
-//! grid with [`vod_server::run_chaos`], checking after **every tick**
-//! that
+//! Chaos matrix (schema v2): drive **all three delivery backends**
+//! through a seed × fault-plan grid — the incumbent batching server via
+//! [`vod_server::run_chaos`], pyramid broadcast and dedicated unicast
+//! via [`vod_server::run_chaos_backend`] — checking after **every
+//! tick** that
 //!
 //! * no session is lost or double-counted,
-//! * streams are conserved (`in_use + free + failed == provisioned`),
+//! * streams are conserved (`in_use + free + failed == provisioned`,
+//!   plus each backend's own audits: channel-wheel phase and reception
+//!   fronts for pyramid, reserve/queue conservation for dedicated),
 //! * cumulative metrics never move backwards,
-//! * identical `(seed, plan)` inputs reproduce bitwise-identical
-//!   outcomes, and
-//! * the empty plan reproduces [`vod_server::run_harness`] exactly
-//!   (graceful degradation must cost nothing when nothing fails).
+//! * identical `(seed, plan, backend)` inputs reproduce
+//!   bitwise-identical outcomes, and
+//! * the empty plan reproduces the plain harness exactly **per
+//!   backend** (graceful degradation must cost nothing when nothing
+//!   fails).
 //!
 //! Each plan also runs through the continuous-time simulator's fault
-//! mirror so the hit-ratio impact is visible on both legs. Writes
-//! `results/CHAOS_REPORT.json`; exits non-zero on any violation.
+//! mirror under the same backend so the hit-ratio impact is visible on
+//! both legs. Writes `results/CHAOS_REPORT.json` (3 seeds × 6 plans ×
+//! 3 backends = 54 cells); exits non-zero on any violation.
 //!
 //! ```sh
 //! cargo run --release -p vod-bench --bin chaos
@@ -24,9 +30,10 @@ use std::sync::Arc;
 use vod_bench::table::{num, Table};
 use vod_dist::kinds::Gamma;
 use vod_model::{Rates, SystemParams};
-use vod_runtime::{DegradePolicy, FaultEvent, FaultKind, FaultPlan};
+use vod_runtime::{BackendKind, DegradePolicy, FaultEvent, FaultKind, FaultPlan};
 use vod_server::{
-    run_chaos, run_harness, ChaosOutcome, HarnessConfig, HostedMovie, MovieId, ServerConfig,
+    run_chaos, run_chaos_backend, run_harness, run_harness_backend, ChaosOutcome, HarnessConfig,
+    HostedMovie, MovieId, ServerConfig,
 };
 use vod_sim::{run_seeded, SimConfig};
 use vod_workload::BehaviorModel;
@@ -109,14 +116,16 @@ fn plans() -> Vec<(&'static str, FaultPlan)> {
     ]
 }
 
-/// Run the sim leg with the same plan and return its overall hit ratio.
-fn sim_hit_ratio(plan: &FaultPlan, seed: u64) -> f64 {
+/// Run the sim leg with the same plan under `backend` and return its
+/// overall hit ratio.
+fn sim_hit_ratio(plan: &FaultPlan, seed: u64, backend: BackendKind) -> f64 {
     let params = SystemParams::from_wait(MOVIE_LEN, 1.0, STREAMS, Rates::paper())
         .expect("valid configuration");
     let mut cfg = SimConfig::new(params, behavior());
     cfg.horizon = (WARMUP + MEASURE) as f64;
     cfg.warmup = WARMUP as f64;
     cfg.faults = plan.clone();
+    cfg.backend = backend;
     run_seeded(&cfg, seed).runtime.hit_ratio()
 }
 
@@ -142,6 +151,40 @@ fn json_case(seed: u64, name: &str, plan: &FaultPlan, out: &ChaosOutcome, sim_hi
     )
 }
 
+/// Schema-v2 cell for the non-incumbent backends: [`json_case`] plus a
+/// `"backend"` discriminator. The incumbent's cells keep the v1 shape
+/// (no `backend` key) so they stay byte-identical across reports.
+fn json_case_backend(
+    seed: u64,
+    backend: BackendKind,
+    name: &str,
+    plan: &FaultPlan,
+    out: &ChaosOutcome,
+    sim_hit: f64,
+) -> String {
+    let violations: Vec<String> = out
+        .violations
+        .iter()
+        .map(|v| format!("\"{}\"", v.replace('"', "'")))
+        .collect();
+    format!(
+        "    {{\"seed\": {seed}, \"backend\": \"{}\", \"plan\": \"{name}\", \
+         \"plan_events\": {}, \
+         \"violations\": {}, \"violation_details\": [{}], \
+         \"sessions_opened\": {}, \"sessions_done\": {}, \"degraded_at_end\": {}, \
+         \"sim_hit_ratio\": {:.6}, \"metrics\": {}}}",
+        backend.name(),
+        plan.to_json(),
+        out.violation_count,
+        violations.join(", "),
+        out.sessions_opened,
+        out.sessions_done,
+        out.degraded_at_end,
+        sim_hit,
+        out.metrics.to_json(),
+    )
+}
+
 fn main() -> ExitCode {
     let cfg = harness_config();
     let policy = DegradePolicy::default();
@@ -149,6 +192,7 @@ fn main() -> ExitCode {
     let mut json_cases = Vec::new();
     let mut t = Table::new(vec![
         "seed",
+        "backend",
         "plan",
         "faults",
         "violat.",
@@ -161,6 +205,8 @@ fn main() -> ExitCode {
         "sim hit",
     ]);
     for seed in SEEDS {
+        // Incumbent batching/buffering leg: untouched v1 cells, pinned
+        // byte-identical across reports.
         let fault_free = run_harness(&cfg, seed);
         for (name, plan) in plans() {
             let out = run_chaos(&cfg, seed, &plan, policy);
@@ -182,9 +228,10 @@ fn main() -> ExitCode {
                     out.violations.first().map_or("?", |v| v.as_str()),
                 ));
             }
-            let sim_hit = sim_hit_ratio(&plan, seed);
+            let sim_hit = sim_hit_ratio(&plan, seed, BackendKind::BatchingBuffering);
             t.row(vec![
                 seed.to_string(),
+                "batching".to_string(),
                 name.to_string(),
                 out.metrics.faults_injected.to_string(),
                 out.violation_count.to_string(),
@@ -198,17 +245,67 @@ fn main() -> ExitCode {
             ]);
             json_cases.push(json_case(seed, name, &plan, &out, sim_hit));
         }
+        // Alternative backends: same grid through the backend-generic
+        // harness, with each backend's own invariant audits on.
+        for kind in [BackendKind::PyramidBroadcast, BackendKind::DedicatedStream] {
+            let bname = kind.name();
+            let fault_free = run_harness_backend(&cfg, kind, seed);
+            for (name, plan) in plans() {
+                let run = run_chaos_backend(&cfg, kind, seed, &plan, policy);
+                let again = run_chaos_backend(&cfg, kind, seed, &plan, policy);
+                if run != again {
+                    failures.push(format!(
+                        "seed {seed} backend {bname} plan {name}: \
+                         outcome not bitwise deterministic"
+                    ));
+                }
+                if plan.is_empty() && run != fault_free {
+                    failures.push(format!(
+                        "seed {seed} backend {bname} plan {name}: \
+                         empty plan diverged from the plain harness"
+                    ));
+                }
+                let out = &run.outcome;
+                if out.violation_count > 0 {
+                    failures.push(format!(
+                        "seed {seed} backend {bname} plan {name}: \
+                         {} invariant violation(s), first: {}",
+                        out.violation_count,
+                        out.violations.first().map_or("?", |v| v.as_str()),
+                    ));
+                }
+                let sim_hit = sim_hit_ratio(&plan, seed, kind);
+                t.row(vec![
+                    seed.to_string(),
+                    match kind {
+                        BackendKind::PyramidBroadcast => "pyramid".to_string(),
+                        _ => "dedicated".to_string(),
+                    },
+                    name.to_string(),
+                    out.metrics.faults_injected.to_string(),
+                    out.violation_count.to_string(),
+                    out.metrics.degraded_entries.to_string(),
+                    out.metrics.degraded_rejoined.to_string(),
+                    out.metrics.degraded_dedicated.to_string(),
+                    out.metrics.denied_transient.to_string(),
+                    out.metrics.denied_permanent.to_string(),
+                    num(out.metrics.hit_ratio(), 3),
+                    num(sim_hit, 3),
+                ]);
+                json_cases.push(json_case_backend(seed, kind, name, &plan, out, sim_hit));
+            }
+        }
     }
     println!(
         "# Chaos matrix (l = 120, n = {STREAMS}, disk 40, seeds {SEEDS:?}, \
-         warmup {WARMUP}, measure {MEASURE})"
+         3 backends, warmup {WARMUP}, measure {MEASURE})"
     );
     print!("{}", t.render());
     println!("(faults counted in the measured window; srv/sim hit = resume hit ratio)");
 
     let ok = failures.is_empty();
     let json = format!(
-        "{{\n  \"ok\": {ok},\n  \"failures\": [{}],\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": 2,\n  \"ok\": {ok},\n  \"failures\": [{}],\n  \"cases\": [\n{}\n  ]\n}}\n",
         failures
             .iter()
             .map(|f| format!("\"{}\"", f.replace('"', "'")))

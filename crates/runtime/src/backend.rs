@@ -275,6 +275,95 @@ impl PyramidGeometry {
     }
 }
 
+/// Exact per-client reception bookkeeping for the broadcast backend: a
+/// bitmap of the movie minutes actually received plus the contiguous
+/// prefix front derived from it.
+///
+/// The closed-form [`PyramidGeometry::received_by`] is exact only for a
+/// client whose reception ran uninterrupted from a segment-1 boundary.
+/// Under per-channel faults (a dead channel, an off-period slowdown
+/// tick, an unfunded staging slot) the real reception set develops holes
+/// that no elapsed-time formula can reproduce — modeling an outage as a
+/// global pause leaves the bookkept front leading the truly-broadcast
+/// front by up to `d − 1` minutes after recovery. This type records
+/// reality instead: [`record`](Self::record) marks each minute as the
+/// broadcast delivers it, and [`front`](Self::front) is always the exact
+/// contiguous prefix — it can never lead the schedule and never
+/// regresses (bits are only ever set).
+///
+/// Playout decisions (consume, resume hit, merge, FF classification)
+/// deliberately use the *contiguous* front ([`received`](Self::received)
+/// is `minute < front`), not the raw bitmap: minutes received beyond a
+/// hole are islands the client cannot play into without starving
+/// mid-island, so QoS stays defined by the front alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceptionFront {
+    length: u32,
+    bits: Vec<u64>,
+    front: u32,
+}
+
+impl ReceptionFront {
+    /// Empty reception state for an `length`-minute movie.
+    pub fn new(length: u32) -> Self {
+        Self {
+            length,
+            bits: vec![0; (length as usize).div_ceil(64)],
+            front: 0,
+        }
+    }
+
+    /// Movie length this front tracks.
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+
+    /// Record reception of `minute` (idempotent; out-of-range minutes
+    /// are ignored) and advance the contiguous front over any newly
+    /// connected run of received minutes. Amortized O(1) per recorded
+    /// minute: the front walks each bit at most once.
+    pub fn record(&mut self, minute: u32) {
+        if minute >= self.length {
+            return;
+        }
+        self.bits[(minute / 64) as usize] |= 1u64 << (minute % 64);
+        while self.front < self.length && self.has(self.front) {
+            self.front += 1;
+        }
+    }
+
+    /// Raw bitmap lookup: was `minute` itself ever received (even beyond
+    /// a hole)? Playout logic should use [`received`](Self::received);
+    /// this exists for invariant audits and front reconstruction.
+    pub fn has(&self, minute: u32) -> bool {
+        minute < self.length && self.bits[(minute / 64) as usize] & (1u64 << (minute % 64)) != 0
+    }
+
+    /// Is `minute` inside the contiguous received prefix? This is the
+    /// playout-safe notion of "received": true iff `minute <`
+    /// [`front`](Self::front).
+    pub fn received(&self, minute: u32) -> bool {
+        minute < self.front
+    }
+
+    /// The exact contiguous reception front: every minute `< front` is
+    /// received, minute `front` (if any) is not. Monotone non-decreasing
+    /// over a session's lifetime.
+    pub fn front(&self) -> u32 {
+        self.front
+    }
+
+    /// Recompute the front from the raw bitmap. Audit seam: must always
+    /// equal [`front`](Self::front) (the incremental walk is exact).
+    pub fn audit_front(&self) -> u32 {
+        let mut f = 0u32;
+        while f < self.length && self.has(f) {
+            f += 1;
+        }
+        f
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +485,53 @@ mod tests {
         assert!(!g.received_by(1000, 120), "past the end is never received");
         assert!(g.received_by_continuous(16.5, 23.9));
         assert!(!g.received_by_continuous(16.5, 24.0));
+    }
+
+    #[test]
+    fn reception_front_tracks_contiguous_prefix_only() {
+        let mut rx = ReceptionFront::new(130);
+        assert_eq!(rx.front(), 0);
+        rx.record(0);
+        rx.record(1);
+        assert_eq!(rx.front(), 2);
+        // An island beyond a hole is recorded but never "received".
+        rx.record(5);
+        rx.record(129);
+        assert_eq!(rx.front(), 2);
+        assert!(rx.has(5) && rx.has(129));
+        assert!(!rx.received(5) && !rx.received(129));
+        // Filling the hole connects the island through in one step.
+        rx.record(3);
+        rx.record(4);
+        assert_eq!(rx.front(), 3, "minute 2 still missing");
+        rx.record(2);
+        assert_eq!(rx.front(), 6, "front jumps across the connected run");
+        assert!(rx.received(5));
+        assert_eq!(rx.audit_front(), rx.front());
+        // Idempotent and bounded.
+        rx.record(2);
+        rx.record(999);
+        assert_eq!(rx.front(), 6);
+        for m in 0..130 {
+            rx.record(m);
+        }
+        assert_eq!(rx.front(), 130);
+        assert!(!rx.received(130), "past the end is never received");
+        assert_eq!(rx.audit_front(), 130);
+    }
+
+    #[test]
+    fn reception_front_never_regresses() {
+        let mut rx = ReceptionFront::new(64);
+        let mut prev = 0;
+        // Adversarial order: record minutes in a scrambled pattern.
+        for step in 0..64u32 {
+            rx.record((step * 37) % 64);
+            assert!(rx.front() >= prev, "front regressed");
+            assert_eq!(rx.audit_front(), rx.front());
+            prev = rx.front();
+        }
+        assert_eq!(rx.front(), 64);
     }
 
     #[test]

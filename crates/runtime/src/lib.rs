@@ -25,11 +25,14 @@
 //! * [`FaultPlan`] / [`DegradePolicy`] — deterministic, virtual-time
 //!   fault schedules and the graceful-degradation knobs (bounded re-wait,
 //!   retry backoff, batch-admission fallback) both drivers honor.
-//! * [`BackendKind`] / [`PyramidGeometry`] — the delivery-backend
-//!   vocabulary: which scheme a driver runs (batching+buffering, pyramid
-//!   fast broadcasting, dedicated unicast) and the integer-minute
-//!   geometric segment schedule of the pyramid scheme, so the cost model
-//!   can price alternatives to the paper's design on the same axes.
+//! * [`BackendKind`] / [`PyramidGeometry`] / [`ReceptionFront`] — the
+//!   delivery-backend vocabulary: which scheme a driver runs
+//!   (batching+buffering, pyramid fast broadcasting, dedicated unicast),
+//!   the integer-minute geometric segment schedule of the pyramid
+//!   scheme, and the exact per-client reception bitmap whose contiguous
+//!   front stays truthful under per-channel faults — so the cost model
+//!   can price alternatives to the paper's design on the same axes and
+//!   the chaos gate can audit them.
 //! * [`TimerWheel`] / [`Arena`] — the million-session engine substrate:
 //!   a hierarchical timer wheel over the virtual-time grid with a
 //!   `BTreeMap`-equivalent drain order, and a generational slab whose
@@ -56,7 +59,7 @@ mod wheel;
 mod windows;
 
 pub use arena::{Arena, ArenaId};
-pub use backend::{BackendKind, PyramidGeometry};
+pub use backend::{BackendKind, PyramidGeometry, ReceptionFront};
 pub use degrade::{DegradePolicy, FaultEvent, FaultKind, FaultPlan};
 pub use metrics::{kind_index, RuntimeMetrics};
 pub use quantize::QuantizedGeometry;

@@ -8,7 +8,7 @@
 #![allow(clippy::unwrap_used, clippy::float_cmp)]
 use proptest::prelude::*;
 
-use vod_runtime::PyramidGeometry;
+use vod_runtime::{PyramidGeometry, ReceptionFront};
 
 fn any_geometry() -> impl Strategy<Value = PyramidGeometry> {
     (1u32..400, 1u32..12).prop_map(|(l, k)| PyramidGeometry::new(l, k))
@@ -115,6 +115,65 @@ proptest! {
         prop_assert!(
             (0..g.length()).all(|p| g.received_by(full, p)),
             "closed form must agree the whole movie is in by one full cycle"
+        );
+    }
+
+    /// Per-channel loss ⇒ prefix-coverage monotonicity and
+    /// stall-conservation: under an arbitrary per-tick channel up/down
+    /// schedule, a client's [`ReceptionFront`] (fed only from the up
+    /// channels) never retreats, always equals the exact contiguous
+    /// prefix of the minutes actually delivered, and a greedy player
+    /// that consumes one minute per tick inside the front accounts every
+    /// active tick as exactly one of {consumed, stalled}.
+    #[test]
+    fn lossy_channels_keep_front_monotone_and_conserve_stalls(
+        g in any_geometry(),
+        boundary_idx in 0u64..16,
+        // Per-tick channel-down bitmasks, cycled over the run: bit `c`
+        // set means channel `c` delivers nothing that tick.
+        down_masks in proptest::collection::vec(0u16..(1 << 12), 512),
+    ) {
+        let join = boundary_idx * u64::from(g.unit());
+        // Two full broadcast cycles: long enough for recovery to refill
+        // any hole the loss schedule punched.
+        let ticks = 2 * u64::from(g.virtual_length().max(2));
+        let mut rx = ReceptionFront::new(g.length());
+        let mut got = vec![false; g.length() as usize];
+        let mut pos = 0u32;
+        let mut stalls = 0u64;
+        let mut active_ticks = 0u64;
+        let mut prev_front = 0u32;
+        for rel in 0..ticks {
+            let t = join + rel;
+            let mask = down_masks[(rel % down_masks.len() as u64) as usize];
+            for c in 0..g.channels() {
+                if mask & (1 << c) != 0 {
+                    continue; // channel down this tick: nothing received
+                }
+                if let Some(m) = g.broadcast_minute(c, t) {
+                    rx.record(m);
+                    got[m as usize] = true;
+                }
+            }
+            let front = rx.front();
+            prop_assert!(front >= prev_front, "front retreated: {} -> {}", prev_front, front);
+            prev_front = front;
+            prop_assert_eq!(rx.audit_front(), front, "front out of sync with bitmap");
+            let brute_prefix =
+                got.iter().position(|&m| !m).unwrap_or(g.length() as usize) as u32;
+            prop_assert_eq!(front, brute_prefix, "front != contiguous delivered prefix");
+            if pos < g.length() {
+                active_ticks += 1;
+                if rx.received(pos) {
+                    pos += 1;
+                } else {
+                    stalls += 1;
+                }
+            }
+        }
+        prop_assert_eq!(
+            u64::from(pos) + stalls, active_ticks,
+            "every active tick is exactly one of consumed/stalled"
         );
     }
 }

@@ -15,6 +15,20 @@
 //! [`StreamReserve`] substrate as the batching server so the accounting
 //! vocabulary (acquisitions, denials, starvation, occupancy) is
 //! field-for-field comparable.
+//!
+//! # Fault semantics (chaos-grade)
+//!
+//! Stream loss and outage revoke leases out of live viewings: the holder
+//! enters the [`DegradePolicy`] ledger (bounded re-wait, backoff
+//! retries, resolution-time denial classification) and, past the retry
+//! timeout, falls back to the FIFO admission queue — from there its
+//! waits are ordinary queueing, whose head-of-line refusals are
+//! *transient* denials (the mid-queue regression test
+//! `mid_queue_stream_fail_keeps_denials_transient` pins that taxonomy).
+//! The reserve mirrors every disk failure exactly
+//! (`reserve.failed == disk.failed`, audited per tick): holders release
+//! their slots before the reserve marks them failed, so a full pool can
+//! no longer hide a failure from the accountant.
 
 use std::collections::{BTreeMap, VecDeque};
 
@@ -48,9 +62,26 @@ enum DState {
         /// Ticks until the viewer resumes.
         remaining: u32,
     },
-    /// Resume recorded (as a miss) but no stream was free; retries an
-    /// acquisition every tick.
-    Starved,
+    /// Lost (or was refused) a stream mid-viewing. Follows the
+    /// [`DegradePolicy`] ledger: bounded re-wait, then acquisition
+    /// retries under exponential backoff whose refusals are classified at
+    /// resolution time (transient when a retry eventually succeeds,
+    /// permanent when the sequence times out); after the timeout the
+    /// session re-enters the FIFO admission queue, where further waits
+    /// are ordinary queueing (transient denials), not degradation.
+    Starved {
+        /// Tick the starvation began (timeout anchor).
+        since: u64,
+        /// Next tick an acquisition retry is allowed.
+        next_retry: u64,
+        /// Current backoff interval in ticks.
+        backoff: u64,
+        /// Refused acquisitions awaiting resolution-time classification.
+        pending_denials: u64,
+        /// Ledger-shape parity with the other backends; never set here —
+        /// the timeout re-queues the session instead of parking it.
+        retries_exhausted: bool,
+    },
     /// Finished.
     Done,
 }
@@ -59,9 +90,26 @@ struct DSession {
     movie_idx: usize,
     position: u32,
     opened_at: u64,
+    /// First admission already recorded in `startup_waits`: a session
+    /// that falls back to the queue after starving must not count a
+    /// second startup wait.
+    admitted: bool,
     state: DState,
     lease: Option<StreamLease>,
     stats: DeliveryStats,
+}
+
+/// Fresh `Starved` state under `policy`, carrying `pending` refusals
+/// already awaiting classification (1 when a refused acquisition caused
+/// the starvation, 0 when a fault revoked the lease outright).
+fn starved_state(now: u64, policy: &DegradePolicy, pending: u64) -> DState {
+    DState::Starved {
+        since: now,
+        next_retry: now + policy.rewait_bound.max(1),
+        backoff: policy.retry_backoff.max(1),
+        pending_denials: pending,
+        retries_exhausted: false,
+    }
 }
 
 /// The dedicated-stream (pure unicast) backend. See the module docs.
@@ -84,6 +132,7 @@ pub struct DedicatedServer {
     startup_waits: Welford,
     plan: FaultPlan,
     fault_mode: bool,
+    policy: DegradePolicy,
     /// Active disk slowdown `(period, until)`: leases serve only on
     /// ticks divisible by `period`, through tick `until` exclusive.
     slowdown: Option<(u32, u64)>,
@@ -116,6 +165,7 @@ impl DedicatedServer {
             startup_waits: Welford::default(),
             plan: FaultPlan::empty(),
             fault_mode: false,
+            policy: DegradePolicy::default(),
             slowdown: None,
             recovery_due: BTreeMap::new(),
             starved_count: 0,
@@ -167,15 +217,21 @@ impl DedicatedServer {
                     let before = self.disk.failed();
                     let revoked = self.disk.fail_streams(count);
                     let applied = self.disk.failed() - before;
-                    self.reserve.fail_streams(applied);
                     if let FaultKind::DiskOutage { recover_after, .. } = kind {
                         *self
                             .recovery_due
                             .entry(self.now + recover_after)
                             .or_insert(0) += applied;
                     }
-                    // Revoked leases strand their holders: back to the
-                    // starved retry loop, lease gone.
+                    // Revoked leases strand their holders: into the
+                    // degrade ledger, lease gone. The holders release
+                    // *before* the reserve marks the failure — the
+                    // reserve only fails free streams, so the old
+                    // fail-first order silently under-failed it whenever
+                    // every stream was in use and left the reserve
+                    // claiming capacity the disk no longer had.
+                    let now = self.now;
+                    let policy = self.policy;
                     for idx in 0..self.sessions.slot_count() {
                         let Some(sess) = self.sessions.at_mut(idx) else {
                             continue;
@@ -190,7 +246,9 @@ impl DedicatedServer {
                                 if matches!(sess.state, DState::Playing | DState::Vcr { .. }) {
                                     self.metrics.playback.add(self.now as f64, -1.0);
                                 }
-                                sess.state = DState::Starved;
+                                // Revocation, not a refused acquisition:
+                                // nothing pending to classify yet.
+                                sess.state = starved_state(now, &policy, 0);
                                 self.starved_count += 1;
                                 self.metrics.runtime.degraded_entries += 1;
                             }
@@ -198,6 +256,7 @@ impl DedicatedServer {
                             self.reserve.release(self.now as f64);
                         }
                     }
+                    self.reserve.fail_streams(applied);
                     self.metrics.runtime.faults_injected += 1;
                 }
                 FaultKind::DiskSlowdown { period, duration } => {
@@ -236,7 +295,10 @@ impl DedicatedServer {
             let sess = self.sessions.live_at_mut(idx as usize);
             sess.lease = Some(lease);
             sess.state = DState::Playing;
-            self.startup_waits.push((now - sess.opened_at) as f64);
+            if !sess.admitted {
+                sess.admitted = true;
+                self.startup_waits.push((now - sess.opened_at) as f64);
+            }
             self.metrics.playback.add(now as f64, 1.0);
             self.active.push(idx);
         }
@@ -312,6 +374,7 @@ impl DeliveryBackend for DedicatedServer {
             movie_idx,
             position: 0,
             opened_at: self.now,
+            admitted: false,
             state: DState::Queued,
             lease: None,
             stats: DeliveryStats::default(),
@@ -322,6 +385,7 @@ impl DeliveryBackend for DedicatedServer {
                 let sess = self.sessions.live_at_mut(idx as usize);
                 sess.lease = Some(lease);
                 sess.state = DState::Playing;
+                sess.admitted = true;
                 self.startup_waits.push(0.0);
                 self.metrics.playback.add(self.now as f64, 1.0);
                 self.active.push(idx);
@@ -382,7 +446,7 @@ impl DeliveryBackend for DedicatedServer {
             DState::Queued => SessionStatus::Waiting(self.now + 1),
             DState::Playing => SessionStatus::Dedicated,
             DState::Vcr { .. } | DState::Paused { .. } => SessionStatus::InVcr,
-            DState::Starved => SessionStatus::Degraded,
+            DState::Starved { .. } => SessionStatus::Degraded,
             DState::Done => SessionStatus::Done,
         })
     }
@@ -391,6 +455,8 @@ impl DeliveryBackend for DedicatedServer {
         self.apply_faults();
         self.drain_queue();
         let serving = self.disk_serving();
+        let now = self.now;
+        let policy = self.policy;
         let vcr_rate = self.config.vcr_rate.max(1);
         // Session slots are never reused and `active` is push-ordered, so
         // this walk is ascending-index — the same deterministic order as
@@ -404,7 +470,7 @@ impl DeliveryBackend for DedicatedServer {
                     DState::Playing => 0u8,
                     DState::Vcr { .. } => 1,
                     DState::Paused { .. } => 2,
-                    DState::Starved => 3,
+                    DState::Starved { .. } => 3,
                     DState::Queued | DState::Done => 4,
                 }
             };
@@ -482,9 +548,12 @@ impl DeliveryBackend for DedicatedServer {
                                 self.metrics.playback.add(self.now as f64, 1.0);
                             }
                             None => {
+                                // The refusal enters the degrade ledger
+                                // as pending; it is classified
+                                // transient/permanent at resolution.
                                 self.metrics.runtime.resume_starved += 1;
-                                self.reserve.record_denials(1, true);
-                                self.sessions.live_at_mut(idx as usize).state = DState::Starved;
+                                self.sessions.live_at_mut(idx as usize).state =
+                                    starved_state(now, &policy, 1);
                                 self.starved_count += 1;
                                 self.metrics.runtime.degraded_entries += 1;
                             }
@@ -492,19 +561,69 @@ impl DeliveryBackend for DedicatedServer {
                     }
                 }
                 3 => {
-                    // Starved retry loop: one acquisition attempt per tick.
-                    match self.try_lease() {
-                        Some(lease) => {
+                    // Mirrors `VodServer::degraded_tick`, with one
+                    // backend-specific exit: there is no shared window to
+                    // rejoin, so the retry timeout resolves the pending
+                    // refusals permanent and sends the session back to
+                    // the FIFO admission queue — where later head-of-line
+                    // refusals are ordinary transient queueing denials.
+                    self.metrics.runtime.rewait_minutes += 1.0;
+                    let (since, next_retry, backoff, pending, exhausted) = {
+                        let sess = self.sessions.live_at(idx as usize);
+                        let DState::Starved {
+                            since,
+                            next_retry,
+                            backoff,
+                            pending_denials,
+                            retries_exhausted,
+                        } = sess.state
+                        else {
+                            unreachable!("state tag checked above");
+                        };
+                        (
+                            since,
+                            next_retry,
+                            backoff,
+                            pending_denials,
+                            retries_exhausted,
+                        )
+                    };
+                    if !exhausted && now >= next_retry {
+                        if now.saturating_sub(since) >= self.policy.retry_timeout {
+                            self.reserve.record_denials(pending, false);
                             let sess = self.sessions.live_at_mut(idx as usize);
-                            sess.lease = Some(lease);
-                            sess.state = DState::Playing;
+                            sess.state = DState::Queued;
+                            self.queue.push_back(idx);
                             self.starved_count -= 1;
-                            self.metrics.runtime.degraded_dedicated += 1;
-                            self.metrics.playback.add(self.now as f64, 1.0);
+                            self.metrics.runtime.degraded_rejoined += 1;
+                            self.active.swap_remove(i);
+                            continue;
                         }
-                        None => {
-                            self.reserve.record_denials(1, true);
-                            self.metrics.runtime.rewait_minutes += 1.0;
+                        match self.try_lease() {
+                            Some(lease) => {
+                                self.reserve.record_denials(pending, true);
+                                let sess = self.sessions.live_at_mut(idx as usize);
+                                sess.lease = Some(lease);
+                                sess.state = DState::Playing;
+                                self.starved_count -= 1;
+                                self.metrics.runtime.degraded_dedicated += 1;
+                                self.metrics.playback.add(self.now as f64, 1.0);
+                            }
+                            None => {
+                                let nb = (backoff * 2).min(self.policy.retry_backoff_cap.max(1));
+                                let sess = self.sessions.live_at_mut(idx as usize);
+                                if let DState::Starved {
+                                    next_retry,
+                                    backoff,
+                                    pending_denials,
+                                    ..
+                                } = &mut sess.state
+                                {
+                                    *pending_denials = pending + 1;
+                                    *next_retry = now + nb;
+                                    *backoff = nb;
+                                }
+                            }
                         }
                     }
                 }
@@ -540,9 +659,10 @@ impl DeliveryBackend for DedicatedServer {
         &self.startup_waits
     }
 
-    fn inject_faults(&mut self, plan: FaultPlan, _policy: DegradePolicy) {
+    fn inject_faults(&mut self, plan: FaultPlan, policy: DegradePolicy) {
         self.fault_mode = !plan.is_empty();
         self.plan = plan;
+        self.policy = policy;
     }
 
     fn check_invariants(&self) -> Vec<String> {
@@ -557,12 +677,45 @@ impl DeliveryBackend for DedicatedServer {
                 disk.capacity()
             ));
         }
+        // The reserve accounts the *whole* pool here, so its failure
+        // ledger must track the disk's exactly — this is the audit that
+        // catches the fail-before-release ordering bug.
+        if self.reserve.failed() != disk.failed() {
+            v.push(format!(
+                "reserve failure accounting drifted from the disk: reserve {} != disk {}",
+                self.reserve.failed(),
+                disk.failed()
+            ));
+        }
+        // Queue conservation: the FIFO and the active walk partition the
+        // live population — every `Queued` session sits in the queue
+        // exactly once and holds no lease; nothing else queues.
+        let mut queued_seen = std::collections::BTreeMap::new();
+        for &idx in &self.queue {
+            *queued_seen.entry(idx).or_insert(0u32) += 1;
+        }
+        for (&idx, &count) in &queued_seen {
+            if count > 1 {
+                v.push(format!("session {idx} queued {count} times"));
+            }
+            match self.sessions.at(idx as usize) {
+                Some(sess) if matches!(sess.state, DState::Queued) => {
+                    if sess.lease.is_some() {
+                        v.push(format!("queued session {idx} holds a lease"));
+                    }
+                }
+                _ => v.push(format!("queue entry {idx} is not a queued session")),
+            }
+        }
         let mut held = 0u32;
         let mut starved = 0u32;
         for idx in 0..self.sessions.slot_count() {
             let Some(sess) = self.sessions.at(idx) else {
                 continue;
             };
+            if matches!(sess.state, DState::Queued) && !queued_seen.contains_key(&(idx as u32)) {
+                v.push(format!("queued session {idx} missing from the FIFO"));
+            }
             if sess.lease.is_some() {
                 held += 1;
                 if !matches!(sess.state, DState::Playing | DState::Vcr { .. }) {
@@ -573,7 +726,7 @@ impl DeliveryBackend for DedicatedServer {
             } else if matches!(sess.state, DState::Playing | DState::Vcr { .. }) {
                 v.push(format!("session {idx} is serving without a lease"));
             }
-            if matches!(sess.state, DState::Starved) {
+            if matches!(sess.state, DState::Starved { .. }) {
                 starved += 1;
             }
         }
@@ -697,6 +850,64 @@ mod tests {
         assert_eq!(rt.ff_end, 1);
         assert_eq!(rt.resumes.hits(), 1);
         assert_eq!(s.session_status(id).unwrap(), SessionStatus::Done);
+    }
+
+    #[test]
+    fn mid_queue_stream_fail_keeps_denials_transient() {
+        use vod_runtime::FaultEvent;
+        // Two streams, both taken; two more viewers queue behind them.
+        let movie = HostedMovie::from_allocation(MovieId(0), 10, 2, 4.0);
+        let cfg = ServerConfig {
+            disk_streams: 2,
+            ..ServerConfig {
+                piggyback: None,
+                ..ServerConfig::provisioned(vec![movie], 0)
+            }
+        };
+        let mut s = DedicatedServer::new(cfg);
+        // Long timeout: the revoked holders stay in the retry loop until
+        // the outage recovers, so their refusals resolve transient.
+        let policy = DegradePolicy {
+            retry_timeout: 200,
+            ..DegradePolicy::default()
+        };
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 5,
+            kind: FaultKind::DiskOutage {
+                count: 2,
+                recover_after: 20,
+            },
+        }]);
+        s.inject_faults(plan, policy);
+        let a = s.open_session(MovieId(0)).unwrap();
+        s.tick();
+        let b = s.open_session(MovieId(0)).unwrap();
+        let c = s.open_session(MovieId(0)).unwrap();
+        let d = s.open_session(MovieId(0)).unwrap();
+        for _ in 0..70 {
+            s.tick();
+            // Includes `reserve.failed == disk.failed`: with every
+            // stream in use at the fault tick, the old fail-then-release
+            // order left the reserve failure ledger at 0.
+            let violations = s.check_invariants();
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+        for id in [a, b, c, d] {
+            assert_eq!(s.session_status(id).unwrap(), SessionStatus::Done);
+        }
+        let rt = s.runtime_metrics();
+        assert_eq!(rt.degraded_entries, 2, "both revoked holders degraded");
+        assert_eq!(rt.degraded_dedicated, 2, "both recovered via retry");
+        assert!(
+            rt.denied_transient > 0,
+            "queued-behind-the-outage refusals are transient"
+        );
+        assert_eq!(
+            rt.denied_permanent, 0,
+            "no refusal in this run was permanent: the queue and the \
+             retry loop both eventually won a stream"
+        );
+        assert_eq!(s.startup_waits().count(), 4, "each admission counted once");
     }
 
     #[test]

@@ -20,19 +20,40 @@
 //! the session merges back into the broadcast as soon as the front
 //! catches up to its position.
 //!
-//! Fault support is intentionally conservative: a movie whose channel
-//! lease set is broken (or a buffer-shrink overcommit) freezes that
-//! movie's cohort — sessions stall, and reception bookkeeping treats the
-//! outage as a global pause. After recovery the bookkept front can lead
-//! the truly-broadcast front by up to `d − 1` minutes (the stall is not
-//! boundary-aligned); chaos-grade guarantees remain contractual only for
-//! the batching backend.
+//! # Fault semantics (chaos-grade, per channel)
+//!
+//! Faults degrade **channels**, never whole movies. A channel is *on the
+//! air* for a tick iff its lease is live, the disk is serving (slowdowns
+//! blank off-period ticks), and its staging slot is funded (a
+//! buffer-shrink overcommit defunds slots from the global tail, in
+//! deterministic order). A channel whose scheduled **real** minute is
+//! not on the air stalls only that delivery — other channels keep
+//! broadcasting, and clients keep free playback inside their
+//! already-received prefix; a broken channel stalls exactly the sessions
+//! whose playout front has crossed into its segment. Because each
+//! channel loops phase-locked to the global clock, every stall is
+//! boundary-aligned by construction: recovery rejoins the wheel
+//! mid-cycle and the missed minutes return on their next loop.
+//!
+//! Reception bookkeeping is **exact**: each session carries a
+//! [`ReceptionFront`] bitmap fed by the minutes actually staged, so the
+//! bookkept front can never lead the truly-broadcast front (the
+//! conservative per-movie-freeze model of PR 7 could lead by up to
+//! `d − 1` after recovery; the regression test
+//! `recovered_front_never_leads_schedule` pins the fix). A session that
+//! outruns its front (fault stall or revoked catch-up lease) enters
+//! `Starved` and follows the [`DegradePolicy`] ledger: bounded re-wait,
+//! dedicated-stream retries under exponential backoff whose denials are
+//! classified at resolution time (transient when a retry eventually
+//! succeeds, permanent when the session rejoins free or times out), and
+//! after the retry timeout a plain wait for the looping broadcast front
+//! — which reaches every position once the channels are back.
 
 use std::collections::BTreeMap;
 
 use vod_runtime::{
-    Arena, BackendKind, DegradePolicy, FaultKind, FaultPlan, PyramidGeometry, RuntimeMetrics,
-    StreamReserve, TimerWheel,
+    Arena, BackendKind, DegradePolicy, FaultKind, FaultPlan, PyramidGeometry, ReceptionFront,
+    RuntimeMetrics, StreamReserve, TimerWheel,
 };
 use vod_workload::{TimeWeighted, VcrKind, Welford};
 
@@ -49,19 +70,15 @@ struct PyramidMovie {
     movie: MovieId,
     geometry: PyramidGeometry,
     /// One lease per channel; `None` while a fault holds the channel
-    /// down (the movie stalls until every channel is re-acquired).
+    /// down (only that channel's deliveries stall).
     leases: Vec<Option<StreamLease>>,
     /// One staging segment per channel (the minute being broadcast).
     slots: Vec<BroadcastSlot>,
-    /// Ticks this movie's broadcast has been frozen by faults. Reception
-    /// bookkeeping subtracts the portion after each session's join.
-    stall_total: u64,
-}
-
-impl PyramidMovie {
-    fn stalled(&self) -> bool {
-        self.leases.iter().any(|l| l.is_none())
-    }
+    /// Per-channel count of ticks the channel's scheduled *real* minute
+    /// was not broadcast (dead lease, off-period slowdown tick, or
+    /// unfunded staging slot). Phase-locked to the wheel: padding slots
+    /// never count.
+    channel_stall: Vec<u64>,
 }
 
 /// Per-session state machine of the broadcast backend.
@@ -79,9 +96,23 @@ enum PState {
     /// Playing beyond the front through a dedicated lease; merges back
     /// into the broadcast when the front catches up.
     CatchUp,
-    /// Needs a dedicated stream and none was free; retries every tick
-    /// (or rejoins free when the front reaches it).
-    Starved,
+    /// Outran the reception front with no dedicated stream. Follows the
+    /// [`DegradePolicy`] ledger: bounded re-wait, then backoff retries
+    /// with resolution-time denial classification, then (post-timeout) a
+    /// plain wait for the looping front. Rejoins free the moment the
+    /// front passes its position.
+    Starved {
+        /// Tick the starvation began (timeout anchor).
+        since: u64,
+        /// Next tick a dedicated retry is allowed.
+        next_retry: u64,
+        /// Current backoff interval in ticks.
+        backoff: u64,
+        /// Refused acquisitions awaiting resolution-time classification.
+        pending_denials: u64,
+        /// Past `retry_timeout`: no more dedicated retries.
+        retries_exhausted: bool,
+    },
     /// Finished.
     Done,
 }
@@ -89,15 +120,25 @@ enum PState {
 struct PSession {
     movie_idx: usize,
     position: u32,
-    /// Boundary tick at which reception started (set when Receiving
-    /// begins; equals open tick for boundary-aligned arrivals).
-    joined_at: u64,
-    /// Movie `stall_total` at join, so reception time excludes only
-    /// stalls the session actually sat through.
-    stall_at_join: u64,
+    /// Exact reception bookkeeping: every minute this client's recorder
+    /// actually saw staged, and the contiguous front derived from it.
+    rx: ReceptionFront,
     state: PState,
     lease: Option<StreamLease>,
     stats: DeliveryStats,
+}
+
+/// Fresh `Starved` state under `policy`, carrying `pending` denials
+/// already awaiting classification (1 when a refused acquisition caused
+/// the starvation, 0 when a fault revoked the lease outright).
+fn starved_state(now: u64, policy: &DegradePolicy, pending: u64) -> PState {
+    PState::Starved {
+        since: now,
+        next_retry: now + policy.rewait_bound.max(1),
+        backoff: policy.retry_backoff.max(1),
+        pending_denials: pending,
+        retries_exhausted: false,
+    }
 }
 
 /// The pyramid fast-broadcasting backend. See the module docs.
@@ -121,6 +162,7 @@ pub struct PyramidServer {
     startup_waits: Welford,
     plan: FaultPlan,
     fault_mode: bool,
+    policy: DegradePolicy,
     slowdown: Option<(u32, u64)>,
     recovery_due: BTreeMap<u64, u32>,
     starved_count: u32,
@@ -152,12 +194,13 @@ impl PyramidServer {
                 slots.push(BroadcastSlot::new(m.movie));
             }
             total_channels += geometry.channels();
+            let channel_stall = vec![0; geometry.channels() as usize];
             movies.push(PyramidMovie {
                 movie: m.movie,
                 geometry,
                 leases,
                 slots,
-                stall_total: 0,
+                channel_stall,
             });
         }
         // Staging budget: exactly one segment per channel. This *is* the
@@ -182,19 +225,11 @@ impl PyramidServer {
             startup_waits: Welford::default(),
             plan: FaultPlan::empty(),
             fault_mode: false,
+            policy: DegradePolicy::default(),
             slowdown: None,
             recovery_due: BTreeMap::new(),
             starved_count: 0,
         }
-    }
-
-    /// Minutes of reception the session has actually had: wall ticks
-    /// since join minus the movie stalls it sat through.
-    fn elapsed(&self, sess: &PSession) -> u64 {
-        let stalls = self.movies[sess.movie_idx].stall_total - sess.stall_at_join;
-        self.now
-            .saturating_sub(sess.joined_at)
-            .saturating_sub(stalls)
     }
 
     /// Acquire a dedicated (beyond-front) lease from the reserve.
@@ -258,6 +293,8 @@ impl PyramidServer {
                     self.metrics
                         .playback
                         .add(self.now as f64, -f64::from(channels_lost));
+                    let now = self.now;
+                    let policy = self.policy;
                     for idx in 0..self.sessions.slot_count() {
                         let Some(sess) = self.sessions.at_mut(idx) else {
                             continue;
@@ -272,7 +309,9 @@ impl PyramidServer {
                                 self.metrics.sweeps_aborted += 1;
                             }
                             if !matches!(sess.state, PState::Done) {
-                                sess.state = PState::Starved;
+                                // Revocation, not a refused acquisition:
+                                // nothing pending to classify yet.
+                                sess.state = starved_state(now, &policy, 0);
                                 self.starved_count += 1;
                                 self.metrics.runtime.degraded_entries += 1;
                             }
@@ -312,13 +351,21 @@ impl PyramidServer {
         }
     }
 
-    /// Broadcast phase: re-acquire dead channels, then stage each live
-    /// movie's per-channel minute. A movie with a dead channel — or any
-    /// movie while the staging pool is overcommitted or the disk is in
-    /// an off-period slowdown tick — stalls instead.
+    /// Broadcast phase: re-acquire dead channels, then stage each
+    /// channel's scheduled minute independently. A channel is *on the
+    /// air* for this tick iff its lease is live, the disk is serving
+    /// (slowdowns blank off-period ticks for every channel at once), and
+    /// its staging slot is funded — a buffer-shrink overcommit of `o`
+    /// segments defunds the last `o` slots in global (movie, channel)
+    /// order, so which channels a squeeze silences is deterministic. An
+    /// off-air channel whose scheduled minute is *real* counts one
+    /// boundary-aligned stall tick against that channel alone; padding
+    /// minutes never count.
     fn broadcast(&mut self) {
         let serving = self.disk_serving();
-        let overcommitted = self.pool.overcommitted() > 0;
+        let total: usize = self.movies.iter().map(|m| m.slots.len()).sum();
+        let funded = total.saturating_sub(self.pool.overcommitted());
+        let mut slot_index: usize = 0;
         for mi in 0..self.movies.len() {
             let mut restored: u32 = 0;
             for ci in 0..self.movies[mi].leases.len() {
@@ -335,30 +382,33 @@ impl PyramidServer {
                     .add(self.now as f64, f64::from(restored));
             }
             let m = &mut self.movies[mi];
-            if m.stalled() || !serving || overcommitted {
-                m.stall_total += 1;
-                for slot in &mut m.slots {
-                    slot.clear();
-                }
-                continue;
-            }
             for ci in 0..m.leases.len() {
-                match m.geometry.broadcast_minute(ci as u32, self.now) {
-                    Some(minute) => {
-                        // vod-lint: allow(no-panic) — the stall check above
-                        // guarantees every channel lease is live here.
-                        let lease = m.leases[ci].as_ref().expect("channel lease live");
-                        match self.disk.read(lease, m.movie, minute) {
-                            Ok(seg) => {
-                                if !verify_segment(&seg) {
-                                    self.metrics.verify_failures += 1;
-                                }
-                                m.slots[ci].store(seg);
-                            }
-                            Err(_) => m.slots[ci].clear(),
+                let slot_funded = slot_index < funded;
+                slot_index += 1;
+                let Some(minute) = m.geometry.broadcast_minute(ci as u32, self.now) else {
+                    // Padding tick: nothing real was scheduled here.
+                    m.slots[ci].clear();
+                    continue;
+                };
+                if !serving || !slot_funded || m.leases[ci].is_none() {
+                    m.slots[ci].clear();
+                    m.channel_stall[ci] += 1;
+                    continue;
+                }
+                // vod-lint: allow(no-panic) — the on-air check above
+                // guarantees this channel's lease is live.
+                let lease = m.leases[ci].as_ref().expect("channel lease live");
+                match self.disk.read(lease, m.movie, minute) {
+                    Ok(seg) => {
+                        if !verify_segment(&seg) {
+                            self.metrics.verify_failures += 1;
                         }
+                        m.slots[ci].store(seg);
                     }
-                    None => m.slots[ci].clear(),
+                    Err(_) => {
+                        m.slots[ci].clear();
+                        m.channel_stall[ci] += 1;
+                    }
                 }
             }
         }
@@ -424,23 +474,18 @@ impl DeliveryBackend for PyramidServer {
         let geometry = self.movies[movie_idx].geometry;
         let wait = geometry.startup_wait(self.now);
         self.startup_waits.push(wait as f64);
-        let stall_at_join = self.movies[movie_idx].stall_total;
-        let (state, joined_at) = if wait == 0 {
-            (PState::Receiving, self.now)
+        let state = if wait == 0 {
+            PState::Receiving
         } else {
-            (
-                PState::Waiting {
-                    start_at: self.now + wait,
-                },
-                self.now + wait,
-            )
+            PState::Waiting {
+                start_at: self.now + wait,
+            }
         };
         let starts_now = wait == 0;
         let id = SessionId(self.sessions.insert(PSession {
             movie_idx,
             position: 0,
-            joined_at,
-            stall_at_join,
+            rx: ReceptionFront::new(geometry.length()),
             state,
             lease: None,
             stats: DeliveryStats::default(),
@@ -478,11 +523,7 @@ impl DeliveryBackend for PyramidServer {
         // the client's prefix for free.
         if matches!(kind, VcrKind::FastForward) && !has_lease {
             let target = position.saturating_add(magnitude).min(length);
-            let e = {
-                let sess = self.sessions.live(id.0);
-                self.elapsed(sess)
-            };
-            let beyond_front = target < length && !geometry.received_by(e + 1, target);
+            let beyond_front = target < length && !self.sessions.live(id.0).rx.received(target);
             if beyond_front {
                 match self.try_dedicated_lease() {
                     Some(lease) => self.sessions.live_mut(id.0).lease = Some(lease),
@@ -535,7 +576,7 @@ impl DeliveryBackend for PyramidServer {
             PState::Receiving => SessionStatus::Shared,
             PState::Vcr { .. } | PState::Paused { .. } => SessionStatus::InVcr,
             PState::CatchUp => SessionStatus::Dedicated,
-            PState::Starved => SessionStatus::Degraded,
+            PState::Starved { .. } => SessionStatus::Degraded,
             PState::Done => SessionStatus::Done,
         })
     }
@@ -546,28 +587,40 @@ impl DeliveryBackend for PyramidServer {
         // Boundary joins: sessions whose segment-1 boundary is this tick
         // start receiving now.
         for idx in self.wakeups.drain_tick(self.now) {
-            let stall_now = {
-                let sess = self.sessions.live_at(idx as usize);
-                self.movies[sess.movie_idx].stall_total
-            };
             let sess = self.sessions.live_at_mut(idx as usize);
             if matches!(sess.state, PState::Waiting { .. }) {
                 sess.state = PState::Receiving;
-                sess.joined_at = self.now;
-                sess.stall_at_join = stall_now;
                 self.active.push(idx);
             }
         }
+        // Reception: every active session's recorder sees exactly the
+        // minutes staged this tick, so a bookkept front can never lead
+        // the truly-broadcast one — channels a fault holds off the air
+        // leave holes that fill on their next loop.
+        let staged: Vec<Vec<u32>> = self
+            .movies
+            .iter()
+            .map(|m| {
+                m.slots
+                    .iter()
+                    .filter_map(|s| s.current().map(|seg| seg.index))
+                    .collect()
+            })
+            .collect();
+        for &idx in &self.active {
+            let sess = self.sessions.live_at_mut(idx as usize);
+            for &minute in &staged[sess.movie_idx] {
+                sess.rx.record(minute);
+            }
+        }
+        let now = self.now;
+        let policy = self.policy;
         let vcr_rate = self.config.vcr_rate.max(1);
         let mut i = 0;
         while i < self.active.len() {
             let idx = self.active[i];
-            let (movie_idx, stalled) = {
-                let sess = self.sessions.live_at(idx as usize);
-                (sess.movie_idx, self.movies[sess.movie_idx].stalled())
-            };
-            let geometry = self.movies[movie_idx].geometry;
-            let length = geometry.length();
+            let movie_idx = self.sessions.live_at(idx as usize).movie_idx;
+            let length = self.movies[movie_idx].geometry.length();
             let state_tag = {
                 let sess = self.sessions.live_at(idx as usize);
                 match sess.state {
@@ -575,37 +628,34 @@ impl DeliveryBackend for PyramidServer {
                     PState::Vcr { .. } => 1,
                     PState::Paused { .. } => 2,
                     PState::CatchUp => 3,
-                    PState::Starved => 4,
+                    PState::Starved { .. } => 4,
                     PState::Waiting { .. } | PState::Done => 5,
                 }
             };
             match state_tag {
                 0 => {
-                    if stalled {
-                        self.metrics.runtime.stall_minutes += 1.0;
-                    } else {
-                        let (e, position) = {
-                            let sess = self.sessions.live_at(idx as usize);
-                            (self.elapsed(sess), sess.position)
-                        };
-                        if position >= length {
+                    let (position, playable) = {
+                        let sess = self.sessions.live_at(idx as usize);
+                        (sess.position, sess.rx.received(sess.position))
+                    };
+                    if position >= length {
+                        self.finish(idx);
+                        self.active.swap_remove(i);
+                        continue;
+                    }
+                    if playable {
+                        self.consume_from_broadcast(idx);
+                        if self.sessions.live_at(idx as usize).position >= length {
                             self.finish(idx);
                             self.active.swap_remove(i);
                             continue;
                         }
-                        if geometry.received_by(e + 1, position) {
-                            self.consume_from_broadcast(idx);
-                            if self.sessions.live_at(idx as usize).position >= length {
-                                self.finish(idx);
-                                self.active.swap_remove(i);
-                                continue;
-                            }
-                        } else {
-                            // Post-stall bookkeeping gap: wait for the
-                            // front (invariance makes this unreachable in
-                            // fault-free runs).
-                            self.metrics.runtime.stall_minutes += 1.0;
-                        }
+                    } else {
+                        // The playout front crossed into a segment some
+                        // off-air channel still owes: only this session
+                        // stalls (unreachable fault-free, by
+                        // channel-transition invariance).
+                        self.metrics.runtime.stall_minutes += 1.0;
                     }
                 }
                 1 => {
@@ -641,11 +691,10 @@ impl DeliveryBackend for PyramidServer {
                         continue;
                     }
                     if sweep_done {
-                        let (e, position, has_lease) = {
+                        let (hit, has_lease) = {
                             let sess = self.sessions.live_at(idx as usize);
-                            (self.elapsed(sess), sess.position, sess.lease.is_some())
+                            (sess.rx.received(sess.position), sess.lease.is_some())
                         };
-                        let hit = geometry.received_by(e + 1, position);
                         self.metrics.runtime.record_resume(kind, hit);
                         if hit {
                             let lease = self.sessions.live_at_mut(idx as usize).lease.take();
@@ -659,7 +708,7 @@ impl DeliveryBackend for PyramidServer {
                         } else {
                             // Only reachable through fault stalls: the
                             // issue-time classification said the target
-                            // was received, the stall bookkeeping now
+                            // was received, the exact front now
                             // disagrees.
                             match self.try_dedicated_lease() {
                                 Some(lease) => {
@@ -668,9 +717,12 @@ impl DeliveryBackend for PyramidServer {
                                     sess.state = PState::CatchUp;
                                 }
                                 None => {
+                                    // The refusal enters the degrade
+                                    // ledger as pending; it is classified
+                                    // transient/permanent at resolution.
                                     self.metrics.runtime.resume_starved += 1;
-                                    self.reserve.record_denials(1, true);
-                                    self.sessions.live_at_mut(idx as usize).state = PState::Starved;
+                                    self.sessions.live_at_mut(idx as usize).state =
+                                        starved_state(now, &policy, 1);
                                     self.starved_count += 1;
                                     self.metrics.runtime.degraded_entries += 1;
                                 }
@@ -687,11 +739,10 @@ impl DeliveryBackend for PyramidServer {
                     if *remaining == 0 {
                         // Reception continued throughout the pause, so the
                         // front moved past the resume position: free hit.
-                        let (e, position) = {
+                        let hit = {
                             let sess = self.sessions.live_at(idx as usize);
-                            (self.elapsed(sess), sess.position)
+                            sess.position >= length || sess.rx.received(sess.position)
                         };
-                        let hit = position >= length || geometry.received_by(e + 1, position);
                         self.metrics.runtime.record_resume(VcrKind::Pause, hit);
                         if hit {
                             self.sessions.live_at_mut(idx as usize).state = PState::Receiving;
@@ -704,8 +755,8 @@ impl DeliveryBackend for PyramidServer {
                                 }
                                 None => {
                                     self.metrics.runtime.resume_starved += 1;
-                                    self.reserve.record_denials(1, true);
-                                    self.sessions.live_at_mut(idx as usize).state = PState::Starved;
+                                    self.sessions.live_at_mut(idx as usize).state =
+                                        starved_state(now, &policy, 1);
                                     self.starved_count += 1;
                                     self.metrics.runtime.degraded_entries += 1;
                                 }
@@ -714,19 +765,19 @@ impl DeliveryBackend for PyramidServer {
                     }
                 }
                 3 => {
-                    if stalled || !self.disk_serving() {
+                    if !self.disk_serving() {
                         self.metrics.runtime.stall_minutes += 1.0;
                     } else {
-                        let (e, position) = {
+                        let (position, caught_up) = {
                             let sess = self.sessions.live_at(idx as usize);
-                            (self.elapsed(sess), sess.position)
+                            (sess.position, sess.rx.received(sess.position))
                         };
                         if position >= length {
                             self.finish(idx);
                             self.active.swap_remove(i);
                             continue;
                         }
-                        if geometry.received_by(e + 1, position) {
+                        if caught_up {
                             // The broadcast front caught up: merge back.
                             let lease = self.sessions.live_at_mut(idx as usize).lease.take();
                             if let Some(lease) = lease {
@@ -768,28 +819,79 @@ impl DeliveryBackend for PyramidServer {
                     }
                 }
                 4 => {
-                    let (e, position) = {
+                    // Mirrors `VodServer::degraded_tick`: free rejoin
+                    // resolves pending denials permanent; a granted retry
+                    // resolves them transient; the timeout resolves them
+                    // permanent and stops retrying (the looping broadcast
+                    // front still rejoins the session eventually).
+                    self.metrics.runtime.rewait_minutes += 1.0;
+                    let (free, since, next_retry, backoff, pending, exhausted) = {
                         let sess = self.sessions.live_at(idx as usize);
-                        (self.elapsed(sess), sess.position)
+                        let PState::Starved {
+                            since,
+                            next_retry,
+                            backoff,
+                            pending_denials,
+                            retries_exhausted,
+                        } = sess.state
+                        else {
+                            unreachable!("state tag checked above");
+                        };
+                        let free = sess.position >= length || sess.rx.received(sess.position);
+                        (
+                            free,
+                            since,
+                            next_retry,
+                            backoff,
+                            pending_denials,
+                            retries_exhausted,
+                        )
                     };
-                    if position >= length || geometry.received_by(e + 1, position) {
-                        // Free recovery: the front swept past the starved
-                        // position.
+                    if free {
+                        // The front swept past the starved position.
+                        self.reserve.record_denials(pending, false);
                         self.sessions.live_at_mut(idx as usize).state = PState::Receiving;
                         self.starved_count -= 1;
                         self.metrics.runtime.degraded_rejoined += 1;
-                    } else {
-                        match self.try_dedicated_lease() {
-                            Some(lease) => {
-                                let sess = self.sessions.live_at_mut(idx as usize);
-                                sess.lease = Some(lease);
-                                sess.state = PState::CatchUp;
-                                self.starved_count -= 1;
-                                self.metrics.runtime.degraded_dedicated += 1;
+                    } else if !exhausted && now >= next_retry {
+                        if now.saturating_sub(since) >= self.policy.retry_timeout {
+                            self.reserve.record_denials(pending, false);
+                            let sess = self.sessions.live_at_mut(idx as usize);
+                            if let PState::Starved {
+                                pending_denials,
+                                retries_exhausted,
+                                ..
+                            } = &mut sess.state
+                            {
+                                *pending_denials = 0;
+                                *retries_exhausted = true;
                             }
-                            None => {
-                                self.reserve.record_denials(1, true);
-                                self.metrics.runtime.rewait_minutes += 1.0;
+                        } else {
+                            match self.try_dedicated_lease() {
+                                Some(lease) => {
+                                    self.reserve.record_denials(pending, true);
+                                    let sess = self.sessions.live_at_mut(idx as usize);
+                                    sess.lease = Some(lease);
+                                    sess.state = PState::CatchUp;
+                                    self.starved_count -= 1;
+                                    self.metrics.runtime.degraded_dedicated += 1;
+                                }
+                                None => {
+                                    let nb =
+                                        (backoff * 2).min(self.policy.retry_backoff_cap.max(1));
+                                    let sess = self.sessions.live_at_mut(idx as usize);
+                                    if let PState::Starved {
+                                        next_retry,
+                                        backoff,
+                                        pending_denials,
+                                        ..
+                                    } = &mut sess.state
+                                    {
+                                        *pending_denials = pending + 1;
+                                        *next_retry = now + nb;
+                                        *backoff = nb;
+                                    }
+                                }
                             }
                         }
                     }
@@ -826,9 +928,10 @@ impl DeliveryBackend for PyramidServer {
         &self.startup_waits
     }
 
-    fn inject_faults(&mut self, plan: FaultPlan, _policy: DegradePolicy) {
+    fn inject_faults(&mut self, plan: FaultPlan, policy: DegradePolicy) {
         self.fault_mode = !plan.is_empty();
         self.plan = plan;
+        self.policy = policy;
     }
 
     fn check_invariants(&self) -> Vec<String> {
@@ -848,6 +951,32 @@ impl DeliveryBackend for PyramidServer {
             .iter()
             .map(|m| m.leases.iter().filter(|l| l.is_some()).count() as u32)
             .sum();
+        // Channel-wheel phase consistency: a staged slot always holds the
+        // minute its channel's schedule called at the tick just played
+        // (tick() advances `now` after staging).
+        if self.now > 0 {
+            for (mi, m) in self.movies.iter().enumerate() {
+                for (ci, slot) in m.slots.iter().enumerate() {
+                    if let Some(seg) = slot.current() {
+                        let scheduled = m.geometry.broadcast_minute(ci as u32, self.now - 1);
+                        if scheduled != Some(seg.index) {
+                            v.push(format!(
+                                "movie {mi} channel {ci} staged minute {} off the wheel phase \
+                                 (scheduled {scheduled:?})",
+                                seg.index
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if self.reserve.failed() > disk.failed() {
+            v.push(format!(
+                "reserve failure accounting leads the disk: reserve {} > disk {}",
+                self.reserve.failed(),
+                disk.failed()
+            ));
+        }
         let mut held = 0u32;
         let mut starved = 0u32;
         for idx in 0..self.sessions.slot_count() {
@@ -864,8 +993,33 @@ impl DeliveryBackend for PyramidServer {
             } else if matches!(sess.state, PState::CatchUp) {
                 v.push(format!("session {idx} is catching up without a lease"));
             }
-            if matches!(sess.state, PState::Starved) {
+            if matches!(sess.state, PState::Starved { .. }) {
                 starved += 1;
+            }
+            // Prefix-coverage audit: the incremental front must equal a
+            // from-scratch recount of the reception bitmap, and a
+            // receiving session can never have consumed past it.
+            let front = sess.rx.front();
+            if front != sess.rx.audit_front() {
+                v.push(format!(
+                    "session {idx} reception front {front} drifted from bitmap recount {}",
+                    sess.rx.audit_front()
+                ));
+            }
+            if front > sess.rx.length() {
+                v.push(format!(
+                    "session {idx} reception front {front} beyond movie length {}",
+                    sess.rx.length()
+                ));
+            }
+            if matches!(sess.state, PState::Receiving)
+                && sess.position < sess.rx.length()
+                && sess.position > front
+            {
+                v.push(format!(
+                    "session {idx} consumed to {} past its reception front {front}",
+                    sess.position
+                ));
             }
         }
         if channel_live + held != disk.in_use() {
@@ -1053,6 +1207,78 @@ mod tests {
         assert!(s.metrics.piggyback_merges >= 1);
         let rt = s.runtime_metrics();
         assert!(rt.disk_minutes > 0.0, "the sweep/catch-up was disk-served");
+    }
+
+    #[test]
+    fn recovered_front_never_leads_schedule() {
+        use vod_runtime::FaultEvent;
+        // Multi-channel geometry (d = 40, k = 2): PR 7's closed-form
+        // bookkeeping could lead the real front by up to d − 1 = 39
+        // after an outage recovered. The exact bitmap may not lead the
+        // truly-staged schedule by even one minute, on any tick.
+        let movie = HostedMovie::from_allocation(MovieId(0), 120, 2, 20.0);
+        let cfg = ServerConfig {
+            piggyback: None,
+            ..ServerConfig::provisioned(vec![movie], 8)
+        };
+        let mut s = PyramidServer::new(cfg);
+        // 2 channel streams + 10 reserve: a count-11 outage exhausts the
+        // free reserve, then revokes the newest channel lease (channel 1,
+        // the one carrying minutes 40..119).
+        assert_eq!(s.disk.available(), 10);
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 30,
+            kind: FaultKind::DiskOutage {
+                count: 11,
+                recover_after: 25,
+            },
+        }]);
+        s.inject_faults(plan, DegradePolicy::default());
+        // t = 0 is a segment-1 boundary: the session receives from the
+        // first tick, exactly like the truth recorder below.
+        let id = s.open_session(MovieId(0)).unwrap();
+        let mut truth = ReceptionFront::new(120);
+        let mut stalled_ticks = 0u64;
+        for _ in 0..400 {
+            s.tick();
+            if matches!(s.session_status(id).unwrap(), SessionStatus::Done) {
+                break;
+            }
+            for slot in &s.movies[0].slots {
+                if let Some(seg) = slot.current() {
+                    truth.record(seg.index);
+                }
+            }
+            let sess = s.sessions.get(id.0).unwrap();
+            assert!(
+                sess.rx.front() <= truth.front(),
+                "bookkept front {} leads the truly-staged front {}",
+                sess.rx.front(),
+                truth.front()
+            );
+            assert_eq!(
+                sess.rx.front(),
+                truth.front(),
+                "recovery resync must re-anchor the bookkept front exactly"
+            );
+            if sess.position < sess.rx.front() || sess.position >= 120 {
+                // playable or finished
+            } else {
+                stalled_ticks += 1;
+            }
+            let violations = s.check_invariants();
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+        assert_eq!(s.session_status(id).unwrap(), SessionStatus::Done);
+        assert!(
+            stalled_ticks > 0,
+            "the outage window must actually stall the playout front"
+        );
+        let rt = s.runtime_metrics();
+        assert!(
+            rt.stall_minutes > 0.0,
+            "per-channel stall accounting must record the outage"
+        );
     }
 
     #[test]

@@ -7,11 +7,12 @@
 
 use std::sync::Arc;
 
+use proptest::prelude::*;
 use vod_dist::kinds::Gamma;
-use vod_runtime::{DegradePolicy, FaultEvent, FaultKind, FaultPlan};
+use vod_runtime::{BackendKind, DegradePolicy, FaultEvent, FaultKind, FaultPlan};
 use vod_server::{
-    run_chaos, run_harness, HarnessConfig, HostedMovie, MovieId, ServerConfig, ServerError,
-    SessionStatus, VodServer,
+    run_chaos, run_chaos_backend, run_harness, HarnessConfig, HostedMovie, MovieId, ServerConfig,
+    ServerError, SessionStatus, VodServer,
 };
 use vod_workload::{BehaviorModel, VcrKind};
 
@@ -302,4 +303,64 @@ fn generated_storm_is_deterministic_and_conserving() {
     assert_eq!(a, b, "same (seed, plan) must reproduce bitwise");
     assert_eq!(a.violation_count, 0, "{:?}", a.violations);
     assert!(a.metrics.faults_injected > 0, "storm landed in the window");
+}
+
+/// A deliberately under-provisioned config so the dedicated backend
+/// keeps a deep FIFO queue and every seeded storm hits live holders,
+/// queued viewers, and starved retriers alike.
+fn tight_config() -> HarnessConfig {
+    let movie = HostedMovie::from_allocation(MovieId(0), 30, 2, 10.0);
+    HarnessConfig {
+        server: ServerConfig {
+            piggyback: None,
+            ..ServerConfig::provisioned(vec![movie], 2)
+        },
+        movie: MovieId(0),
+        extra_movies: vec![],
+        behavior: BehaviorModel::uniform_dist((0.2, 0.2, 0.6), 30.0, Arc::new(Gamma::paper_fig7())),
+        mean_interarrival: 2.0,
+        warmup: 30,
+        measure: 150,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Queue conservation for the dedicated backend under seeded
+    /// fail/recover storms: every tick, each queue entry is a distinct
+    /// live `Queued` session without a lease, every `Queued` session is
+    /// in the queue exactly once, and the reserve's failure ledger
+    /// mirrors the disk's — `check_invariants` audits all of it, so the
+    /// whole storm must run violation-free and deterministically.
+    #[test]
+    fn dedicated_queue_conserved_under_seeded_storms(seed in 0u64..100_000) {
+        let cfg = tight_config();
+        let plan = FaultPlan::generate(seed, cfg.warmup + cfg.measure, 5);
+        let policy = DegradePolicy::default();
+        let a = run_chaos_backend(&cfg, BackendKind::DedicatedStream, seed, &plan, policy);
+        prop_assert_eq!(
+            a.outcome.violation_count, 0,
+            "violations: {:?}", a.outcome.violations
+        );
+        prop_assert!(a.outcome.sessions_done <= a.outcome.sessions_opened);
+        let b = run_chaos_backend(&cfg, BackendKind::DedicatedStream, seed, &plan, policy);
+        prop_assert_eq!(a, b, "same (seed, plan) must reproduce bitwise");
+    }
+
+    /// The pyramid backend under the same seeded storms: channel-wheel
+    /// phase consistency, per-session front == bitmap audit, and
+    /// stall/metric monotonicity all hold tick by tick.
+    #[test]
+    fn pyramid_fronts_conserved_under_seeded_storms(seed in 0u64..100_000) {
+        let cfg = tight_config();
+        let plan = FaultPlan::generate(seed, cfg.warmup + cfg.measure, 5);
+        let policy = DegradePolicy::default();
+        let a = run_chaos_backend(&cfg, BackendKind::PyramidBroadcast, seed, &plan, policy);
+        prop_assert_eq!(
+            a.outcome.violation_count, 0,
+            "violations: {:?}", a.outcome.violations
+        );
+        prop_assert!(a.outcome.sessions_done <= a.outcome.sessions_opened);
+    }
 }

@@ -92,6 +92,10 @@ struct Viewer {
     /// measures its client's reception front from this instant; the
     /// dedicated backend uses it (pre-start) to measure queueing wait.
     joined_at: f64,
+    /// Snapshot of the catalog stall integral at `joined_at`: a pyramid
+    /// client's effective reception time is wall time minus the stall
+    /// accrued since it joined (stall before the join is not its loss).
+    stall_at_join: f64,
 }
 
 /// The engine's pending-event set.
@@ -195,10 +199,23 @@ struct Engine<'a> {
     reserve: StreamReserve,
     /// Next unapplied event in `cfg.faults` (events are time-sorted).
     fault_cursor: usize,
-    /// Pending outage recoveries: (due time, streams to restore).
-    recoveries: Vec<(f64, u32)>,
+    /// Pending outage recoveries: (due time, reserve streams to restore,
+    /// pyramid channels to bring back up).
+    recoveries: Vec<(f64, u32, u32)>,
     /// Buffer segments currently removed by shrink faults.
     buffer_delta: f64,
+    /// Pyramid mirror of the server's per-channel degradation: total
+    /// broadcast channels across the catalog, how many are currently
+    /// down (stream faults spilling past the free reserve), the
+    /// catalog-wide stall integral `∫ (1 − up·serve) dt` with its last
+    /// advance instant, and the active slowdown window
+    /// `(end, serve_fraction)`. All zero/idle unless the backend is
+    /// `PyramidBroadcast`, so the other legs stay bitwise identical.
+    pyr_channels_total: u32,
+    pyr_channels_down: u32,
+    pyr_stall_accum: f64,
+    pyr_stall_at: f64,
+    pyr_slow: Option<(f64, f64)>,
     /// Pyramid reception geometry per movie (empty unless the backend is
     /// `PyramidBroadcast`); segment-1 period matches the batching
     /// scheme's worst-case wait `T − b` for the same movie.
@@ -229,6 +246,7 @@ impl<'a> Engine<'a> {
         } else {
             Vec::new()
         };
+        let pyr_channels_total = geometries.iter().map(PyramidGeometry::channels).sum();
         Self {
             cfg,
             rng: seeded(seed),
@@ -241,6 +259,11 @@ impl<'a> Engine<'a> {
             fault_cursor: 0,
             recoveries: Vec::new(),
             buffer_delta: 0.0,
+            pyr_channels_total,
+            pyr_channels_down: 0,
+            pyr_stall_accum: 0.0,
+            pyr_stall_at: 0.0,
+            pyr_slow: None,
             geometries,
             stream_queue: VecDeque::new(),
             warmed: false,
@@ -330,8 +353,20 @@ impl<'a> Engine<'a> {
         let mut i = 0;
         while i < self.recoveries.len() {
             if self.recoveries[i].0 <= t {
-                let (_, count) = self.recoveries.swap_remove(i);
+                let (due, count, channels) = self.recoveries.swap_remove(i);
+                if channels > 0 {
+                    self.pyr_advance(due);
+                    self.pyr_channels_down = self.pyr_channels_down.saturating_sub(channels);
+                }
                 self.reserve.recover_streams(count);
+                if self.cfg.backend == BackendKind::DedicatedStream {
+                    // Each recovered stream can admit one queued viewer,
+                    // at the recovery instant — the continuous-time twin
+                    // of the server's drain-after-recover tick.
+                    for _ in 0..count {
+                        self.grant_queued(due);
+                    }
+                }
             } else {
                 i += 1;
             }
@@ -347,32 +382,101 @@ impl<'a> Engine<'a> {
             }
             match ev.kind {
                 FaultKind::DiskStreamLoss { count } => {
-                    self.reserve.fail_streams(count);
+                    let failed = self.reserve.fail_streams(count);
+                    self.take_channels_down(at, count - failed);
                 }
                 FaultKind::DiskOutage {
                     count,
                     recover_after,
                 } => {
                     let failed = self.reserve.fail_streams(count);
-                    if failed > 0 {
+                    let spilled = self.take_channels_down(at, count - failed);
+                    if failed > 0 || spilled > 0 {
                         self.recoveries
-                            .push((at + recover_after.max(1) as f64, failed));
+                            .push((at + recover_after.max(1) as f64, failed, spilled));
                     }
                 }
-                FaultKind::DiskSlowdown { .. } => {
-                    // Continuous time has no tick grid to stretch; the
-                    // event is counted and otherwise a no-op here.
+                FaultKind::DiskSlowdown { period, duration } => {
+                    // Continuous time has no tick grid to stretch; under
+                    // the pyramid backend the window instead scales the
+                    // delivery rate (one tick in `period` unserved), and
+                    // elsewhere the event is counted and a no-op.
+                    if self.cfg.backend == BackendKind::PyramidBroadcast && period > 1 {
+                        self.pyr_advance(at);
+                        let serve = 1.0 - 1.0 / period as f64;
+                        self.pyr_slow = Some((at + duration as f64, serve));
+                    }
                 }
                 FaultKind::BufferShrink { segments } => {
+                    self.pyr_advance(at);
                     self.buffer_delta += segments as f64;
                     self.reshape_windows();
                 }
                 FaultKind::BufferRestore { segments } => {
+                    self.pyr_advance(at);
                     self.buffer_delta = (self.buffer_delta - segments as f64).max(0.0);
                     self.reshape_windows();
                 }
             }
         }
+        self.pyr_advance(t);
+    }
+
+    /// Pyramid only: route the part of a stream fault that spilled past
+    /// the free reserve into broadcast channels, mirroring the server's
+    /// lease revocation. Returns how many channels actually went down.
+    fn take_channels_down(&mut self, at: f64, spill: u32) -> u32 {
+        if self.cfg.backend != BackendKind::PyramidBroadcast || spill == 0 {
+            return 0;
+        }
+        self.pyr_advance(at);
+        let taken = spill.min(self.pyr_channels_total - self.pyr_channels_down);
+        self.pyr_channels_down += taken;
+        taken
+    }
+
+    /// Advance the catalog-wide pyramid stall integral to `t` at the
+    /// current channel-health rate `1 − up_frac · serve_frac`, splitting
+    /// at the slowdown window's edge. Buffer shrink defunds staging
+    /// slots, so removed segments count against `up_frac` exactly like
+    /// downed channels. No-op for the other backends.
+    fn pyr_advance(&mut self, t: f64) {
+        if self.cfg.backend != BackendKind::PyramidBroadcast {
+            return;
+        }
+        let mut from = self.pyr_stall_at;
+        if t <= from {
+            return;
+        }
+        let total = f64::from(self.pyr_channels_total);
+        let down = f64::from(self.pyr_channels_down) + self.buffer_delta;
+        let up_frac = if total > 0.0 {
+            ((total - down) / total).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        if let Some((end, serve_frac)) = self.pyr_slow {
+            if from < end {
+                let upto = t.min(end);
+                self.pyr_stall_accum += (upto - from) * (1.0 - up_frac * serve_frac);
+                from = upto;
+            }
+            if t >= end {
+                self.pyr_slow = None;
+            }
+        }
+        self.pyr_stall_accum += (t - from) * (1.0 - up_frac);
+        self.pyr_stall_at = t;
+    }
+
+    /// A pyramid client's effective reception time at `t`: wall time
+    /// since its join boundary minus the stall integral accrued since.
+    /// Reception geometry is phase-locked to the channel wheel, so a
+    /// stalled stretch shifts the front back rather than punching holes —
+    /// the continuous twin of the server's exact per-session bitmap.
+    fn pyr_elapsed(&self, t: f64, viewer: ArenaId) -> f64 {
+        let v = self.viewers.live(viewer);
+        ((t - v.joined_at) - (self.pyr_stall_accum - v.stall_at_join)).max(0.0)
     }
 
     /// Re-derive the live window geometry from the base geometry and the
@@ -501,6 +605,7 @@ impl<'a> Engine<'a> {
             t_base: t,
             holds_dedicated: false,
             joined_at: t,
+            stall_at_join: self.pyr_stall_accum,
         });
 
         match self.cfg.backend {
@@ -564,8 +669,12 @@ impl<'a> Engine<'a> {
 
     fn on_start(&mut self, t: f64, viewer: ArenaId) {
         // Pyramid reception (and queued dedicated playback) begins here,
-        // not at arrival: re-anchor the reception clock.
-        self.viewers.live_mut(viewer).joined_at = t;
+        // not at arrival: re-anchor the reception clock and its stall
+        // baseline.
+        let stall = self.pyr_stall_accum;
+        let v = self.viewers.live_mut(viewer);
+        v.joined_at = t;
+        v.stall_at_join = stall;
         self.begin_playback(t, viewer, 0.0);
     }
 
@@ -624,8 +733,8 @@ impl<'a> Engine<'a> {
             }
             BackendKind::PyramidBroadcast => {
                 matches!(req.kind, VcrKind::FastForward) && !plan.reached_end && {
-                    let joined = self.viewers.live(viewer).joined_at;
-                    !self.geometries[movie].received_by_continuous(t - joined, plan.end_pos)
+                    let elapsed = self.pyr_elapsed(t, viewer);
+                    !self.geometries[movie].received_by_continuous(elapsed, plan.end_pos)
                 }
             }
         };
@@ -705,8 +814,8 @@ impl<'a> Engine<'a> {
                 self.windows[movie].classify_resume(t, end_pos).is_hit()
             }
             BackendKind::PyramidBroadcast => {
-                let joined = self.viewers.live(viewer).joined_at;
-                self.geometries[movie].received_by_continuous(t - joined, end_pos)
+                let elapsed = self.pyr_elapsed(t, viewer);
+                self.geometries[movie].received_by_continuous(elapsed, end_pos)
             }
             BackendKind::DedicatedStream => false,
         };
@@ -739,6 +848,13 @@ impl<'a> Engine<'a> {
             let v = self.viewers.live(viewer);
             (v.movie, v.t_base, v.holds_dedicated)
         };
+        if self.cfg.backend == BackendKind::PyramidBroadcast && self.measuring() {
+            // The stall integral a finished client lived through — the
+            // continuous twin of the server's per-session stall_minutes.
+            let stalled = self.pyr_stall_accum - self.viewers.live(viewer).stall_at_join;
+            self.report.runtime.stall_minutes += stalled;
+            self.report.per_movie[movie].runtime.stall_minutes += stalled;
+        }
         self.account_playback(movie, t_base, t, was_dedicated);
         self.release_dedicated(t, viewer);
         if self.measuring() {
