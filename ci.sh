@@ -15,9 +15,16 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- ${CLIPPY_FLAGS}
 
-echo "== vod-lint (workspace invariant checker, see DESIGN.md §9) =="
+echo "== vod-lint (workspace semantic analyzer, see DESIGN.md §9/§14) =="
 mkdir -p results
+# The binary prints the per-rule summary table and exits non-zero on any
+# unsuppressed finding; the gate is exact — schema v2, zero findings, no
+# baseline slack.
 cargo run -p vod-lint --release -- --workspace --json results/LINT_REPORT.json
+grep -q '"version": 2' results/LINT_REPORT.json
+grep -q '"findings": \[\]' results/LINT_REPORT.json
+# Dogfood: the linter's own sources pass the same gate standalone.
+cargo run -p vod-lint --release -- --root . crates/lint/src
 
 echo "== cargo doc (deny rustdoc warnings, incl. broken intra-doc links) =="
 # First-party crates only: the vendored offline stand-ins (vendor/) are

@@ -1,0 +1,468 @@
+//! Intra-procedural use-def tracking for the semantic rules.
+//!
+//! Per fn body, this module recovers just enough dataflow to reason
+//! about unsigned arithmetic: the inferred type of each `let` local, the
+//! defining expression text of each local (so `let b = a.min(x)` proves
+//! `a - b` safe), and every ordering comparison in the body (so a
+//! `debug_assert!(a >= b)`, an `if a >= b` dominator, or a `while a > b`
+//! loop head counts as a guard). The analysis is deliberately flow-
+//! insensitive — a comparison anywhere in the fn counts — which trades a
+//! little soundness for zero false positives on guard placement; the
+//! rules that consume it only *silence* findings with these facts, never
+//! produce them.
+
+use std::collections::BTreeMap;
+
+use crate::index::WorkspaceIndex;
+use crate::parse::{matching_close, FnDef};
+use crate::tokenizer::{TokKind, Token};
+
+/// Facts recovered from one fn body.
+#[derive(Debug, Default)]
+pub struct FnFacts {
+    /// Local name → inferred type text (only when inference succeeded).
+    pub locals: BTreeMap<String, String>,
+    /// Local name → defining expression (compact text, last def wins).
+    pub defs: BTreeMap<String, String>,
+    /// Ordering/equality comparisons `(left, op, right)` as compact
+    /// operand texts; includes `if`/`while`/`match`-guard/`assert!` sites
+    /// uniformly (they are all just comparison tokens).
+    pub cmps: Vec<(String, String, String)>,
+}
+
+/// Render an operand token range as compact text (`self.disk.failed()`).
+pub fn operand_text(tokens: &[Token], range: (usize, usize)) -> String {
+    tokens[range.0..range.1]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .concat()
+}
+
+/// Find the open delimiter matching the close delimiter at `close`,
+/// searching backwards; returns `close` when unbalanced.
+fn matching_open(tokens: &[Token], close: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        match tokens[i].text.as_str() {
+            ")" | "]" | "}" => depth += 1,
+            "(" | "[" | "{" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        if i == 0 {
+            return close;
+        }
+        i -= 1;
+    }
+}
+
+/// Operators that, adjacent to an operand, make it part of a larger
+/// arithmetic expression the extractor cannot type (`a + b - c`).
+const LEFT_POISON: &[&str] = &["+", "-", "*", "/", "%", "<<", ">>"];
+const RIGHT_POISON: &[&str] = &["*", "/", "%", "<<", ">>"];
+
+/// Extract the simple operand ending at `end` (exclusive): an ident/
+/// `self` path with optional field projections, method calls, and
+/// indexing (`self.disk.failed()`, `xs[i].n`, `count`). Returns `None`
+/// for anything compound (parenthesized subexpressions, arithmetic
+/// chains) — the caller skips what it cannot type.
+pub fn operand_ending_at(tokens: &[Token], end: usize) -> Option<(usize, usize)> {
+    let mut i = end;
+    loop {
+        if i == 0 {
+            return None;
+        }
+        let t = &tokens[i - 1];
+        match t.text.as_str() {
+            ")" | "]" => {
+                let open = matching_open(tokens, i - 1);
+                if open == i - 1 || open == 0 {
+                    return None;
+                }
+                // A call or index must follow an ident; a bare
+                // parenthesized expression is compound.
+                if tokens[open - 1].kind != TokKind::Ident {
+                    return None;
+                }
+                i = open;
+            }
+            _ if t.kind == TokKind::Ident || t.kind == TokKind::Int => {
+                i -= 1;
+                // Keep walking through `.`/`::` path segments.
+                if i >= 1 && matches!(tokens[i - 1].text.as_str(), "." | "::") && i >= 2 {
+                    i -= 1;
+                    continue;
+                }
+                break;
+            }
+            _ => return None,
+        }
+    }
+    // Reject operands that are themselves the tail of a larger
+    // arithmetic expression.
+    if i > 0 && LEFT_POISON.contains(&tokens[i - 1].text.as_str()) {
+        return None;
+    }
+    if i > 0 && tokens[i - 1].text == "as" {
+        // `x as u64 - 1`: the operand is the cast; its type is the
+        // target primitive, which is exactly the single token we found.
+        return Some((i, end));
+    }
+    Some((i, end))
+}
+
+/// Extract the simple operand starting at `start`: the mirror of
+/// [`operand_ending_at`], walking forward over a path with calls and
+/// indexing. Returns the token range, extended over a trailing
+/// `as <primitive>` cast when present.
+pub fn operand_starting_at(tokens: &[Token], start: usize) -> Option<(usize, usize)> {
+    let first = tokens.get(start)?;
+    if first.kind != TokKind::Ident && first.kind != TokKind::Int {
+        return None;
+    }
+    let mut i = start + 1;
+    loop {
+        match tokens.get(i).map(|t| t.text.as_str()) {
+            Some(".") | Some("::") => {
+                if tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            Some("(") | Some("[") => {
+                let close = matching_close(tokens, i);
+                if close >= tokens.len() {
+                    return None;
+                }
+                i = close + 1;
+            }
+            _ => break,
+        }
+    }
+    // `b as u64`: extend over the cast so the type is the target.
+    if tokens.get(i).is_some_and(|t| t.text == "as")
+        && tokens.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        i += 2;
+    }
+    if tokens
+        .get(i)
+        .is_some_and(|t| RIGHT_POISON.contains(&t.text.as_str()))
+    {
+        return None;
+    }
+    Some((start, i))
+}
+
+/// Resolve the type of an operand range using locals/params, struct
+/// fields, and workspace-unambiguous method return types. Returns the
+/// type text, `"{integer}"` for an unsuffixed int literal, or `None`.
+pub fn resolve_type(
+    tokens: &[Token],
+    range: (usize, usize),
+    fndef: &FnDef,
+    facts: &FnFacts,
+    index: &WorkspaceIndex,
+) -> Option<String> {
+    let toks = &tokens[range.0..range.1];
+    if toks.is_empty() {
+        return None;
+    }
+    // `expr as T` — the cast target is the type.
+    if toks.len() >= 2 && toks[toks.len() - 2].text == "as" {
+        return Some(toks[toks.len() - 1].text.clone());
+    }
+    if toks.len() == 1 && toks[0].kind == TokKind::Int {
+        return Some(literal_type(&toks[0].text));
+    }
+    // A lone primitive-type ident is the tail of an `as` cast whose
+    // source [`operand_ending_at`] dropped: its type is itself.
+    if toks.len() == 1 && is_primitive(&toks[0].text) {
+        return Some(toks[0].text.clone());
+    }
+    // Walk the path segment by segment: `self` / local / param roots,
+    // then `.field` lookups and `.method()` return types.
+    let mut cur: Option<String> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let is_call = toks.get(i + 1).is_some_and(|n| n.text == "(");
+        let seg = t.text.as_str();
+        cur = if i == 0 {
+            if seg == "self" {
+                fndef.self_type.clone()
+            } else if is_call {
+                index.return_type(seg).map(str::to_string)
+            } else {
+                facts.locals.get(seg).cloned().or_else(|| {
+                    fndef
+                        .params
+                        .iter()
+                        .find(|(p, _)| p == seg)
+                        .map(|(_, ty)| ty.clone())
+                })
+            }
+        } else {
+            match seg {
+                // Methods whose return type is structural, not indexed.
+                "len" | "capacity" | "count" if is_call => Some("usize".to_string()),
+                // Type-preserving numeric combinators.
+                "min" | "max" | "clamp" | "saturating_sub" | "saturating_add" | "wrapping_sub"
+                | "abs_diff" | "pow"
+                    if is_call =>
+                {
+                    cur
+                }
+                _ if is_call => index.return_type(seg).map(str::to_string),
+                _ => {
+                    let base = cur?;
+                    let base = base.trim_start_matches('&').trim().to_string();
+                    index.field_type(&base, seg).map(str::to_string)
+                }
+            }
+        };
+        cur.as_ref()?;
+        if is_call || toks.get(i + 1).is_some_and(|n| n.text == "[") {
+            i = matching_close_rel(toks, i + 1) + 1;
+        } else {
+            i += 1;
+        }
+        // Skip the `.`/`::` separator.
+        if toks.get(i).is_some_and(|n| n.text == "." || n.text == "::") {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    cur.map(|ty| ty.trim_start_matches('&').trim().to_string())
+}
+
+/// [`matching_close`] over a sub-slice with slice-relative indices.
+fn matching_close_rel(toks: &[Token], open: usize) -> usize {
+    matching_close(toks, open)
+}
+
+/// Is `ty` a primitive numeric type name?
+fn is_primitive(ty: &str) -> bool {
+    matches!(
+        ty,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+    )
+}
+
+/// Type of an integer literal from its suffix (`3u32` → `u32`), or the
+/// `"{integer}"` placeholder for unsuffixed literals.
+fn literal_type(text: &str) -> String {
+    for suffix in [
+        "usize", "u8", "u16", "u32", "u64", "u128", "isize", "i8", "i16", "i32", "i64", "i128",
+    ] {
+        if text.ends_with(suffix) {
+            return suffix.to_string();
+        }
+    }
+    "{integer}".to_string()
+}
+
+/// Numeric value of an int-literal operand text, when it is one.
+pub fn literal_value(text: &str) -> Option<u64> {
+    let stripped: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .collect();
+    if stripped.is_empty() {
+        return None;
+    }
+    stripped.replace('_', "").parse().ok()
+}
+
+/// Analyze one fn body: local types/defs plus comparison facts.
+pub fn analyze_fn(tokens: &[Token], fndef: &FnDef, index: &WorkspaceIndex) -> FnFacts {
+    let mut facts = FnFacts::default();
+    let (start, end) = fndef.body;
+    let body_end = end.min(tokens.len());
+    // Pass 1, in order: `let [mut] name [: Type] = expr` bindings. In-
+    // order processing lets later lets resolve through earlier ones.
+    let mut i = start;
+    while i < body_end {
+        if tokens[i].text != "let" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.text == "mut") {
+            j += 1;
+        }
+        let Some(name_tok) = tokens.get(j) else { break };
+        if name_tok.kind != TokKind::Ident
+            || !tokens
+                .get(j + 1)
+                .is_some_and(|t| t.text == ":" || t.text == "=")
+        {
+            // Pattern binding (`let Some(x) = ...`) — out of scope.
+            i = j;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        let mut ty: Option<String> = None;
+        let mut k = j + 1;
+        if tokens[k].text == ":" {
+            // Explicit annotation: collect type tokens to `=` or `;`.
+            let ty_start = k + 1;
+            let mut depth = 0i32;
+            let mut m = ty_start;
+            while m < body_end {
+                match tokens[m].text.as_str() {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth -= 1,
+                    ">>" => depth -= 2,
+                    "=" | ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                m += 1;
+            }
+            ty = Some(
+                tokens[ty_start..m]
+                    .iter()
+                    .map(|t| t.text.as_str())
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            );
+            k = m;
+        }
+        if tokens.get(k).is_some_and(|t| t.text == "=") {
+            // Initializer: tokens to the statement-ending `;` at depth 0.
+            let expr_start = k + 1;
+            let mut depth = 0i32;
+            let mut m = expr_start;
+            while m < body_end {
+                match tokens[m].text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                m += 1;
+            }
+            facts
+                .defs
+                .insert(name.clone(), operand_text(tokens, (expr_start, m)));
+            if ty.is_none() {
+                // Infer from the initializer when it is a simple operand
+                // spanning the whole expression.
+                if let Some(r) = operand_starting_at(tokens, expr_start) {
+                    if r.1 == m {
+                        ty = resolve_type(tokens, r, fndef, &facts, index);
+                    }
+                }
+            }
+            i = m;
+        } else {
+            i = k;
+        }
+        if let Some(ty) = ty {
+            if ty != "{integer}" {
+                facts.locals.insert(name, ty);
+            }
+        }
+    }
+    // Pass 2: comparison facts anywhere in the body.
+    for op_idx in start..body_end {
+        let op = tokens[op_idx].text.as_str();
+        if !matches!(op, "<" | ">" | "<=" | ">=" | "==" | "!=")
+            || tokens[op_idx].kind != TokKind::Punct
+        {
+            continue;
+        }
+        let Some(l) = operand_ending_at(tokens, op_idx) else {
+            continue;
+        };
+        let Some(r) = operand_starting_at(tokens, op_idx + 1) else {
+            continue;
+        };
+        facts.cmps.push((
+            operand_text(tokens, l),
+            op.to_string(),
+            operand_text(tokens, r),
+        ));
+    }
+    facts
+}
+
+impl FnFacts {
+    /// Is `left - right` dominated by an ordering fact implying
+    /// `left >= right`? Checks direct comparisons both ways and, for a
+    /// literal `right`, threshold comparisons (`x > 0` guards `x - 1`).
+    pub fn guards_subtraction(&self, left: &str, right: &str) -> bool {
+        for (l, op, r) in &self.cmps {
+            let direct = (l == left && r == right && matches!(op.as_str(), ">=" | ">"))
+                || (l == right && r == left && matches!(op.as_str(), "<=" | "<"))
+                || (l == left && r == right && op == "==")
+                || (l == right && r == left && op == "==");
+            if direct {
+                return true;
+            }
+            if let Some(k) = literal_value(right) {
+                // Threshold guard on the left operand vs a literal bound.
+                let ok = (l == left
+                    && literal_value(r).is_some_and(|m| match op.as_str() {
+                        ">" => m >= k.saturating_sub(1),
+                        ">=" | "==" => m >= k,
+                        "!=" => m == 0 && k == 1,
+                        _ => false,
+                    }))
+                    || (r == left
+                        && literal_value(l).is_some_and(|m| match op.as_str() {
+                            "<" => m >= k.saturating_sub(1),
+                            "<=" | "==" => m >= k,
+                            "!=" => m == 0 && k == 1,
+                            _ => false,
+                        }));
+                if ok {
+                    return true;
+                }
+            }
+        }
+        // Use-def relations: `right = left.min(..)`, `right = left % ..`,
+        // `right = left & ..`, `left = right.max(..)`, `left = right + ..`.
+        if let Some(rdef) = self.defs.get(right) {
+            if rdef.starts_with(&format!("{left}.min("))
+                || rdef.ends_with(&format!(".min({left})"))
+                || rdef.starts_with(&format!("{left}%"))
+                || rdef.starts_with(&format!("{left}&"))
+                || rdef.starts_with(&format!("{left}>>"))
+            {
+                return true;
+            }
+        }
+        if let Some(ldef) = self.defs.get(left) {
+            if ldef.starts_with(&format!("{right}.max(")) || ldef.starts_with(&format!("{right}+"))
+            {
+                return true;
+            }
+        }
+        false
+    }
+}

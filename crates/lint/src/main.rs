@@ -11,6 +11,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use vod_lint::{lint_source, walk, Baseline, Report};
 
@@ -53,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run() -> Result<Report, String> {
+    let started = Instant::now();
     let args = parse_args()?;
     let mut report = if args.workspace {
         vod_lint::lint_workspace(&args.root)?
@@ -89,6 +91,7 @@ fn run() -> Result<Report, String> {
         report.baselined = old.len();
         report.findings = fresh;
     }
+    report.wall_time_ms = started.elapsed().as_millis() as u64;
 
     if let Some(json_path) = &args.json {
         if let Some(dir) = json_path.parent() {
@@ -109,12 +112,18 @@ fn main() -> ExitCode {
             for f in &report.findings {
                 println!("{}", f.render());
             }
+            // Per-rule summary table (schema v2 `rule_counts`).
+            eprintln!("vod-lint: rule                  findings");
+            for (name, count) in report.rule_counts() {
+                eprintln!("vod-lint:   {name:<20} {count:>8}");
+            }
             eprintln!(
-                "vod-lint: {} file(s), {} finding(s), {} suppressed, {} baselined",
+                "vod-lint: {} file(s), {} finding(s), {} suppressed, {} baselined, {} ms",
                 report.files_scanned,
                 report.findings.len(),
                 report.suppressed,
-                report.baselined
+                report.baselined,
+                report.wall_time_ms
             );
             if report.findings.is_empty() {
                 ExitCode::SUCCESS

@@ -18,6 +18,9 @@ pub struct Report {
     /// Findings matched against the `--baseline` report (reported but
     /// not counted toward the exit code).
     pub baselined: usize,
+    /// Analyzer wall time in milliseconds, stamped by the CLI. Zero in
+    /// library use (tests pin the schema, not the timing).
+    pub wall_time_ms: u64,
 }
 
 impl Report {
@@ -28,13 +31,37 @@ impl Report {
         });
     }
 
-    /// Render the JSON report (version 1 shape, see DESIGN.md §9).
+    /// Surviving findings per rule, over the full catalog (zeroes
+    /// included, so the report shape is stable as rules are added).
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize)> {
+        Rule::ALL
+            .iter()
+            .map(|r| {
+                (
+                    r.name(),
+                    self.findings.iter().filter(|f| f.rule == *r).count(),
+                )
+            })
+            .collect()
+    }
+
+    /// Render the JSON report (schema v2: per-rule counts and analyzer
+    /// wall time on top of the v1 scalars; see DESIGN.md §14).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
-        s.push_str("{\n  \"version\": 1,\n");
+        s.push_str("{\n  \"version\": 2,\n");
         s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         s.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
         s.push_str(&format!("  \"baselined\": {},\n", self.baselined));
+        s.push_str(&format!("  \"wall_time_ms\": {},\n", self.wall_time_ms));
+        s.push_str("  \"rule_counts\": {");
+        for (i, (name, count)) in self.rule_counts().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\n    \"{name}\": {count}"));
+        }
+        s.push_str("\n  },\n");
         s.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -167,15 +194,5 @@ fn extract_str(line: &str, key: &str) -> Option<String> {
 
 /// Re-export used by tests to assert rule identity from parsed names.
 pub fn rule_names() -> Vec<&'static str> {
-    [
-        Rule::FloatCmp,
-        Rule::NoPanic,
-        Rule::QuantizeCast,
-        Rule::Nondet,
-        Rule::PubFnDoc,
-        Rule::Suppression,
-    ]
-    .iter()
-    .map(|r| r.name())
-    .collect()
+    Rule::ALL.iter().map(|r| r.name()).collect()
 }

@@ -6,6 +6,8 @@
 //! standing directly above it. The justification text is mandatory; a
 //! bare directive is itself reported under the `suppression` rule.
 
+use crate::index::WorkspaceIndex;
+use crate::parse::parse_items;
 use crate::tokenizer::{tokenize, Comment, TokKind, Token, TokenStream};
 
 /// The rule catalog. Names are stable: they appear in findings, reports,
@@ -25,6 +27,15 @@ pub enum Rule {
     PubFnDoc,
     /// Malformed suppression directive (unknown rule, or no justification).
     Suppression,
+    /// Unguarded unsigned subtraction in the deterministic core.
+    UncheckedSub,
+    /// Paired-counter mutation without its twin or an audit in scope.
+    CounterConservation,
+    /// Missing `FaultKind`/`BackendKind` coverage in a handler file, or
+    /// a wildcard arm that would swallow new variants.
+    FaultExhaustive,
+    /// Cross-domain tick/minute/segment arithmetic without conversion.
+    TimeDomain,
 }
 
 impl Rule {
@@ -37,6 +48,10 @@ impl Rule {
             Rule::Nondet => "nondet",
             Rule::PubFnDoc => "pub-fn-doc",
             Rule::Suppression => "suppression",
+            Rule::UncheckedSub => "unchecked-sub",
+            Rule::CounterConservation => "counter-conservation",
+            Rule::FaultExhaustive => "fault-exhaustive",
+            Rule::TimeDomain => "time-domain",
         }
     }
 
@@ -49,9 +64,27 @@ impl Rule {
             "nondet" => Some(Rule::Nondet),
             "pub-fn-doc" => Some(Rule::PubFnDoc),
             "suppression" => Some(Rule::Suppression),
+            "unchecked-sub" => Some(Rule::UncheckedSub),
+            "counter-conservation" => Some(Rule::CounterConservation),
+            "fault-exhaustive" => Some(Rule::FaultExhaustive),
+            "time-domain" => Some(Rule::TimeDomain),
             _ => None,
         }
     }
+
+    /// Every rule, in report order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::FloatCmp,
+        Rule::NoPanic,
+        Rule::QuantizeCast,
+        Rule::Nondet,
+        Rule::PubFnDoc,
+        Rule::Suppression,
+        Rule::UncheckedSub,
+        Rule::CounterConservation,
+        Rule::FaultExhaustive,
+        Rule::TimeDomain,
+    ];
 }
 
 /// One reported violation.
@@ -111,8 +144,24 @@ const GEOMETRY_MARKERS: &[&str] = &["QuantizedGeometry", "PartitionWindows", "Py
 /// Identifiers that, as `.method()` calls, constitute ad-hoc quantization.
 const ROUNDING_METHODS: &[&str] = &["floor", "round", "ceil", "trunc"];
 
-/// Lint one file's source text under the given classification.
+/// Lint one file's source text under the given classification, with a
+/// symbol index built from the file itself. Fixture tests and
+/// single-file CLI runs use this entry: the semantic rules resolve
+/// types and enum variant sets against the file's own declarations, so
+/// a fixture is self-contained. Workspace runs use
+/// [`lint_source_indexed`] with the cross-file index instead.
 pub fn lint_source(file: &str, src: &str, class: FileClass) -> FileLint {
+    let index = WorkspaceIndex::from_sources([src]);
+    lint_source_indexed(file, src, class, &index)
+}
+
+/// Lint one file against a pre-built (typically workspace-wide) index.
+pub fn lint_source_indexed(
+    file: &str,
+    src: &str,
+    class: FileClass,
+    index: &WorkspaceIndex,
+) -> FileLint {
     let stream = tokenize(src);
     let test_regions = test_regions(&stream.tokens);
     let in_test = |line: u32| test_regions.iter().any(|r| r.0 <= line && line <= r.1);
@@ -135,6 +184,17 @@ pub fn lint_source(file: &str, src: &str, class: FileClass) -> FileLint {
     }
     if class.doc_required {
         rule_pub_fn_doc(file, src, &stream, &in_test, &mut findings);
+    }
+    if class.deterministic {
+        let parsed = parse_items(&stream.tokens);
+        crate::semantic::run(
+            file,
+            &stream.tokens,
+            &parsed,
+            index,
+            &in_test,
+            &mut findings,
+        );
     }
 
     // A directive trailing a code line covers that line; a standalone

@@ -1,0 +1,204 @@
+//! Rule `fault-exhaustive`: every `FaultKind` / `BackendKind` variant
+//! must be handled everywhere faults or backends are dispatched.
+//!
+//! rustc already rejects a non-exhaustive `match` — what it cannot
+//! reject is the two ways a new variant slips through *silently*:
+//!
+//! 1. a `_ =>` wildcard arm in a match over one of these enums compiles
+//!    happily when a variant is added and swallows it at runtime, so
+//!    wildcards are banned in such matches (name every variant; the
+//!    compiler then turns the next variant addition into a build error);
+//! 2. a fault handler (`apply_faults*` / `inject_faults*`) that
+//!    dispatches with `if let` / `==` chains instead of a match has no
+//!    exhaustiveness check at all, so the rule requires each handler
+//!    *file* that references any `FaultKind` variant to reference all of
+//!    them — adding a variant fails lint in every backend and the sim
+//!    until each one names it. `BackendKind` gets the same file-level
+//!    treatment in dispatch files (two or more variants referenced).
+//!
+//! The variant sets come from the workspace index, never a hardcoded
+//! list, so the requirement widens automatically with the enum.
+
+use std::collections::BTreeSet;
+
+use crate::index::WorkspaceIndex;
+use crate::parse::{matching_close, ParsedFile};
+use crate::rules::{Finding, Rule};
+use crate::tokenizer::{TokKind, Token};
+
+/// Enums whose handling must stay exhaustive across the workspace.
+const EXHAUSTIVE_ENUMS: &[&str] = &["FaultKind", "BackendKind"];
+
+/// fn-name prefixes that mark a file as a fault handler.
+const FAULT_HANDLER_PREFIXES: &[&str] = &["apply_fault", "inject_fault"];
+
+/// Run the rule over one file.
+pub fn check(
+    file: &str,
+    tokens: &[Token],
+    parsed: &ParsedFile,
+    index: &WorkspaceIndex,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for enum_name in EXHAUSTIVE_ENUMS {
+        let Some(variants) = index.enums.get(*enum_name) else {
+            continue;
+        };
+        check_wildcard_arms(file, tokens, enum_name, in_test, out);
+        check_file_coverage(file, tokens, parsed, enum_name, variants, in_test, out);
+    }
+}
+
+/// Ban `_ =>` arms in matches whose patterns reference `enum_name`.
+fn check_wildcard_arms(
+    file: &str,
+    tokens: &[Token],
+    enum_name: &str,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind != TokKind::Ident || tokens[i].text != "match" || in_test(tokens[i].line)
+        {
+            i += 1;
+            continue;
+        }
+        // Scrutinee runs to the first `{` at delimiter depth 0.
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if j >= tokens.len() {
+            break;
+        }
+        let close = matching_close(tokens, j);
+        // Walk the arms: pattern position runs from an arm start to its
+        // `=>`; arm bodies (blocks or depth-0 expressions) are skipped.
+        let mut k = j + 1;
+        let mut in_pattern = true;
+        let mut references_enum = false;
+        let mut wildcard_line: Option<u32> = None;
+        while k < close {
+            let t = &tokens[k];
+            match t.text.as_str() {
+                "(" | "[" => {
+                    k = matching_close(tokens, k) + 1;
+                    continue;
+                }
+                "{" => {
+                    // Arm-body block (or struct pattern inside a
+                    // pattern, which also ends before the next `=>`).
+                    k = matching_close(tokens, k) + 1;
+                    if !in_pattern {
+                        in_pattern = true;
+                    }
+                    continue;
+                }
+                "=>" => in_pattern = false,
+                "," => in_pattern = true,
+                "_" if in_pattern
+                    && tokens
+                        .get(k + 1)
+                        .is_some_and(|n| n.text == "=>" || n.text == "if") =>
+                {
+                    wildcard_line.get_or_insert(t.line);
+                }
+                _ => {
+                    if in_pattern
+                        && t.text == enum_name
+                        && tokens.get(k + 1).is_some_and(|n| n.text == "::")
+                    {
+                        references_enum = true;
+                    }
+                }
+            }
+            k += 1;
+        }
+        if references_enum {
+            if let Some(line) = wildcard_line {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line,
+                    rule: Rule::FaultExhaustive,
+                    message: format!(
+                        "wildcard `_` arm in a match over `{enum_name}` — name every variant so adding one fails the build instead of being silently swallowed"
+                    ),
+                });
+            }
+        }
+        i = j + 1;
+    }
+}
+
+/// File-level coverage: handler files must reference every variant.
+fn check_file_coverage(
+    file: &str,
+    tokens: &[Token],
+    parsed: &ParsedFile,
+    enum_name: &str,
+    variants: &[String],
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let mut referenced: BTreeSet<&str> = BTreeSet::new();
+    let mut first_ref_line = None;
+    for w in tokens.windows(3) {
+        if w[0].text == enum_name
+            && w[1].text == "::"
+            && w[2].kind == TokKind::Ident
+            && variants.iter().any(|v| *v == w[2].text)
+            && !in_test(w[0].line)
+        {
+            referenced.insert(
+                variants
+                    .iter()
+                    .find(|v| **v == w[2].text)
+                    .map(|v| v.as_str())
+                    .unwrap_or(""),
+            );
+            first_ref_line.get_or_insert(w[0].line);
+        }
+    }
+    let required = match enum_name {
+        // Fault handlers must mirror the full taxonomy.
+        "FaultKind" => {
+            !referenced.is_empty()
+                && parsed.fns.iter().any(|f| {
+                    FAULT_HANDLER_PREFIXES.iter().any(|p| f.name.starts_with(p))
+                        && f.body.0 < f.body.1
+                })
+        }
+        // Dispatch files (two or more variants named) must name all.
+        _ => referenced.len() >= 2,
+    };
+    if !required {
+        return;
+    }
+    let missing: Vec<&str> = variants
+        .iter()
+        .map(String::as_str)
+        .filter(|v| !referenced.contains(v))
+        .collect();
+    if let (Some(line), false) = (first_ref_line, missing.is_empty()) {
+        out.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: Rule::FaultExhaustive,
+            message: format!(
+                "this file handles `{enum_name}` but covers {}/{} variants — missing: {}",
+                referenced.len(),
+                variants.len(),
+                missing.join(", ")
+            ),
+        });
+    }
+}

@@ -1,0 +1,39 @@
+//! Semantic rule families (lint v2).
+//!
+//! Unlike the token rules in [`crate::rules`], these see structure: fn
+//! bodies from [`crate::parse`], cross-file symbol facts from
+//! [`crate::index`], and per-fn use-def/guard facts from
+//! [`crate::dataflow`]. Each family encodes one bug class this repo has
+//! actually shipped and fixed (see DESIGN.md §14):
+//!
+//! | rule | bug class |
+//! |------|-----------|
+//! | `unchecked-sub` | PR 6 — unsigned subtraction underflow in the session hot path |
+//! | `counter-conservation` | PR 8 — `reserve.failed != disk.failed` fail-before-release parity |
+//! | `fault-exhaustive` | PR 5/8 — a new `FaultKind`/`BackendKind` variant silently unhandled |
+//! | `time-domain` | PR 2 — tick/minute/segment quantities mixed without conversion |
+
+pub mod counters;
+pub mod faults;
+pub mod time_domain;
+pub mod unchecked_sub;
+
+use crate::index::WorkspaceIndex;
+use crate::parse::ParsedFile;
+use crate::rules::Finding;
+use crate::tokenizer::Token;
+
+/// Run every semantic family over one deterministic-core file.
+pub fn run(
+    file: &str,
+    tokens: &[Token],
+    parsed: &ParsedFile,
+    index: &WorkspaceIndex,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    unchecked_sub::check(file, tokens, parsed, index, in_test, out);
+    counters::check(file, tokens, parsed, in_test, out);
+    faults::check(file, tokens, parsed, index, in_test, out);
+    time_domain::check(file, tokens, parsed, in_test, out);
+}

@@ -1,0 +1,141 @@
+//! Rule `time-domain`: tick, minute, and segment quantities must not
+//! mix in arithmetic or comparisons without an explicit conversion (the
+//! PR 2 double-rounding class: two quantities quantized in different
+//! domains were combined as if commensurable).
+//!
+//! Domains are assigned from declaration-site naming, which this
+//! codebase keeps disciplined (`*_ticks`, `stall_minutes`,
+//! `buffer_segments`, ...): an identifier belongs to a domain iff its
+//! name contains exactly one of the domain substrings. An operand's
+//! domain is the domain of its identifiers when they agree; operands
+//! mixing domains internally, or containing a conversion-shaped name
+//! (`to_*`, `from_*`, `per_*`, `as_*`), are treated as explicit
+//! conversions and never flagged. Unclassified names (`length`,
+//! `restart_interval`, bare literals) have no domain — the tick grid
+//! deliberately identifies one tick with one minute-sized segment, so
+//! only *named* cross-domain mixes are errors.
+
+use crate::dataflow::{operand_ending_at, operand_starting_at, operand_text};
+use crate::parse::ParsedFile;
+use crate::rules::{Finding, Rule};
+use crate::tokenizer::{TokKind, Token};
+
+/// The three time-like unit domains of the tick server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Virtual-clock ticks (`now`, `*_tick`, `ticks`).
+    Tick,
+    /// Wall minutes of the paper's model (`stall_minutes`, `length_minutes`).
+    Minute,
+    /// Movie segments / partition slots (`segments`, `buffer_segments`).
+    Segment,
+}
+
+impl Domain {
+    fn name(self) -> &'static str {
+        match self {
+            Domain::Tick => "tick",
+            Domain::Minute => "minute",
+            Domain::Segment => "segment",
+        }
+    }
+}
+
+/// Domain of one identifier, from its name. Names matching several
+/// domains (`ticks_per_minute`) are conversions, not members.
+fn ident_domain(name: &str) -> Option<Domain> {
+    let lower = name.to_ascii_lowercase();
+    let hits = [
+        (lower.contains("tick"), Domain::Tick),
+        (lower.contains("minute"), Domain::Minute),
+        (lower.contains("segment"), Domain::Segment),
+    ];
+    let mut found = None;
+    for (hit, d) in hits {
+        if hit {
+            if found.is_some() {
+                return None;
+            }
+            found = Some(d);
+        }
+    }
+    found
+}
+
+/// Does the name look like an explicit unit conversion?
+fn is_conversion_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    ["to_", "from_", "per_", "as_", "convert"]
+        .iter()
+        .any(|p| lower.contains(p))
+}
+
+/// Domain of an operand token range: the agreed domain of its
+/// classified identifiers; `None` on internal disagreement or when a
+/// conversion-shaped name appears anywhere in the operand.
+fn operand_domain(tokens: &[Token], range: (usize, usize)) -> Option<Domain> {
+    let mut found: Option<Domain> = None;
+    for t in &tokens[range.0..range.1] {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if is_conversion_name(&t.text) {
+            return None;
+        }
+        if let Some(d) = ident_domain(&t.text) {
+            match found {
+                Some(prev) if prev != d => return None,
+                _ => found = Some(d),
+            }
+        }
+    }
+    found
+}
+
+/// Operators across which domains must agree.
+const MIXING_OPS: &[&str] = &["+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!="];
+
+/// Run the rule over every fn body in the file.
+pub fn check(
+    file: &str,
+    tokens: &[Token],
+    parsed: &ParsedFile,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for fndef in &parsed.fns {
+        let (start, end) = fndef.body;
+        for i in start..end.min(tokens.len()) {
+            let t = &tokens[i];
+            if t.kind != TokKind::Punct || !MIXING_OPS.contains(&t.text.as_str()) || in_test(t.line)
+            {
+                continue;
+            }
+            let Some(l) = operand_ending_at(tokens, i) else {
+                continue;
+            };
+            let Some(r) = operand_starting_at(tokens, i + 1) else {
+                continue;
+            };
+            let (Some(ld), Some(rd)) = (operand_domain(tokens, l), operand_domain(tokens, r))
+            else {
+                continue;
+            };
+            if ld != rd {
+                out.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    rule: Rule::TimeDomain,
+                    message: format!(
+                        "cross-domain `{}` between `{}` ({}) and `{}` ({}) — convert explicitly before mixing units (PR 2 rounding-domain class)",
+                        t.text,
+                        operand_text(tokens, l),
+                        ld.name(),
+                        operand_text(tokens, r),
+                        rd.name()
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Rule `unchecked-sub`: unguarded `a - b` / `a -= b` on unsigned
+//! integers in the deterministic core (the PR 6 underflow class).
+//!
+//! A subtraction is flagged only when *both* operand types resolve to
+//! unsigned integers (through locals, params, struct fields, or
+//! workspace-unambiguous method return types) and no guard is visible in
+//! the same fn. Guards that silence a site:
+//!
+//! * an ordering comparison implying `a >= b` anywhere in the fn —
+//!   `if`/`while` conditions, `match` guards, and `debug_assert!`s all
+//!   count (the analysis is flow-insensitive on purpose);
+//! * for `a - k` with literal `k`, a threshold fact (`a > 0` guards
+//!   `a - 1`);
+//! * a use-def relation proving order: `b = a.min(..)`, `b = a % ..`,
+//!   `b = a & ..`, `a = b.max(..)`, `a = b + ..`;
+//! * writing `saturating_sub`/`checked_sub` instead (no `-` token), or a
+//!   justified `vod-lint: allow(unchecked-sub)` directive.
+//!
+//! Operands the extractor cannot type are skipped: the rule trades
+//! recall for a zero-false-positive default, because the workspace gate
+//! requires `findings == 0`.
+
+use crate::dataflow::{
+    analyze_fn, operand_ending_at, operand_starting_at, operand_text, resolve_type,
+};
+use crate::index::{is_unsigned, WorkspaceIndex};
+use crate::parse::ParsedFile;
+use crate::rules::{Finding, Rule};
+use crate::tokenizer::{TokKind, Token};
+
+/// Run the rule over every fn body in the file.
+pub fn check(
+    file: &str,
+    tokens: &[Token],
+    parsed: &ParsedFile,
+    index: &WorkspaceIndex,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for fndef in &parsed.fns {
+        let (start, end) = fndef.body;
+        if start >= end {
+            continue;
+        }
+        let facts = analyze_fn(tokens, fndef, index);
+        for i in start..end.min(tokens.len()) {
+            let t = &tokens[i];
+            if t.kind != TokKind::Punct || (t.text != "-" && t.text != "-=") || in_test(t.line) {
+                continue;
+            }
+            if t.text == "-" && !is_binary_minus(tokens, i) {
+                continue;
+            }
+            let Some(l) = operand_ending_at(tokens, i) else {
+                continue;
+            };
+            let Some(r) = operand_starting_at(tokens, i + 1) else {
+                continue;
+            };
+            // A literal left side (`64 - x`) is a constant-bound shape
+            // the rule does not reason about.
+            if l.1 - l.0 == 1 && tokens[l.0].kind == TokKind::Int {
+                continue;
+            }
+            let Some(lt) = resolve_type(tokens, l, fndef, &facts, index) else {
+                continue;
+            };
+            if !is_unsigned(&lt) {
+                continue;
+            }
+            let right_is_literal = r.1 - r.0 == 1 && tokens[r.0].kind == TokKind::Int;
+            if !right_is_literal {
+                let Some(rt) = resolve_type(tokens, r, fndef, &facts, index) else {
+                    continue;
+                };
+                if !is_unsigned(&rt) && rt != "{integer}" {
+                    continue;
+                }
+            }
+            let ltext = operand_text(tokens, l);
+            let rtext = operand_text(tokens, r);
+            if facts.guards_subtraction(&ltext, &rtext) {
+                continue;
+            }
+            out.push(Finding {
+                file: file.to_string(),
+                line: t.line,
+                rule: Rule::UncheckedSub,
+                message: format!(
+                    "unsigned subtraction `{ltext} {} {rtext}` ({lt}) with no visible `>=` guard — use saturating_sub/checked_sub or guard it (PR 6 underflow class)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Is the `-` at `i` a binary operator (vs unary negation)?
+fn is_binary_minus(tokens: &[Token], i: usize) -> bool {
+    let Some(prev) = i.checked_sub(1).map(|p| &tokens[p]) else {
+        return false;
+    };
+    matches!(prev.kind, TokKind::Ident | TokKind::Int | TokKind::Float)
+        || matches!(prev.text.as_str(), ")" | "]" | "?")
+}

@@ -9,9 +9,11 @@ use crate::rules::FileClass;
 /// them, so nondeterminism sources are banned outright.
 const DETERMINISTIC_CRATES: &[&str] = &["runtime", "sim", "server"];
 
-/// Crates whose public API carries the paper's numerics; every `pub fn`
-/// must document its domain (and panics, per clippy's `missing_panics_doc`).
-const DOC_REQUIRED_CRATES: &[&str] = &["dist", "runtime"];
+/// Crates whose public API carries the paper's numerics — plus the
+/// linter itself (dogfood: rule semantics live in the doc comments);
+/// every `pub fn` must document its domain (and panics, per clippy's
+/// `missing_panics_doc`).
+const DOC_REQUIRED_CRATES: &[&str] = &["dist", "runtime", "lint"];
 
 /// Classify a workspace-relative path (forward slashes) into the rule
 /// families that apply to it. Binaries (`src/bin/`, `main.rs`) keep the

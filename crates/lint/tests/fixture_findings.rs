@@ -119,7 +119,7 @@ fn nondet_flags_clocks_hashes_and_thread_identity() {
             ..FileClass::default()
         },
     );
-    assert_eq!(lint.findings.len(), 9);
+    assert_eq!(lint.findings.len(), 10);
 
     // Outside the deterministic core the same file is unconstrained.
     let lint = lint_source(
@@ -217,12 +217,18 @@ fn json_report_shape_round_trips_through_baseline() {
         suppressed: lint.suppressed,
         files_scanned: 1,
         baselined: 0,
+        wall_time_ms: 0,
     };
     rep.sort();
     let json = rep.to_json();
-    assert!(json.contains("\"version\": 1"));
+    assert!(json.contains("\"version\": 2"));
     assert!(json.contains("\"files_scanned\": 1"));
+    assert!(json.contains("\"wall_time_ms\": 0"));
     assert!(json.contains("\"rule\": \"no-panic\""));
+    // Schema v2: per-rule counts over the full catalog, zeroes included.
+    assert!(json.contains(&format!("\"no-panic\": {}", rep.findings.len())));
+    assert!(json.contains("\"unchecked-sub\": 0"));
+    assert!(json.contains("\"time-domain\": 0"));
     // One finding object per line, carrying all four keys.
     let obj_lines: Vec<&str> = json
         .lines()

@@ -1,0 +1,50 @@
+//! Known-bad fixture for the counter-conservation rule. The file
+//! mentions `DiskSubsystem` so the reserve/disk parity group applies,
+//! and defines `check_invariants` so the file-level audit is satisfied
+//! (the mutation test strips it to prove the audit fires).
+
+pub struct DiskSubsystem {
+    pub online: bool,
+}
+
+pub struct Backend {
+    degraded_count: u64,
+}
+
+impl Backend {
+    pub fn bad_parity(&mut self, count: u32) {
+        self.reserve.fail_streams(count); // LINT: counter-conservation
+    }
+
+    pub fn good_parity(&mut self, count: u32) {
+        self.reserve.fail_streams(count);
+        self.disk.fail_streams(count);
+    }
+
+    pub fn bad_population(&mut self) {
+        self.metrics.runtime.degraded_entries += 1; // LINT: counter-conservation
+    }
+
+    pub fn good_population(&mut self) {
+        self.degraded_count += 1;
+        self.metrics.runtime.degraded_entries += 1;
+    }
+
+    pub fn mirror_merge(&mut self, other: &Backend) {
+        self.metrics.runtime.degraded_entries += other.degraded_entries;
+    }
+
+    pub fn bad_attribution(&mut self) {
+        self.metrics.runtime.faults_injected += 1; // LINT: counter-conservation
+    }
+
+    pub fn good_attribution(&mut self) {
+        let seen = FaultKind::DiskStreamLoss;
+        let _ = seen;
+        self.metrics.runtime.faults_injected += 1;
+    }
+
+    fn check_invariants(&self) -> bool {
+        self.degraded_count < u64::MAX
+    }
+}

@@ -1,0 +1,46 @@
+//! Known-bad fixture for the fault-exhaustive rule. The enums are
+//! declared here so the single-file index carries their variant sets;
+//! `apply_faults` marks the file as a fault handler, which obliges it
+//! to reference every `FaultKind` variant (the mutation test deletes
+//! one arm to prove the coverage check fires).
+
+pub enum FaultKind {
+    DiskStreamLoss,
+    DiskOutage,
+    DiskSlowdown,
+}
+
+pub enum BackendKind {
+    PyramidBroadcast,
+    DedicatedStream,
+    BatchedBuffer,
+}
+
+pub struct Sim {
+    pub faults_seen: u32,
+}
+
+impl Sim {
+    pub fn apply_faults(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::DiskStreamLoss => self.faults_seen += 1,
+            FaultKind::DiskOutage => self.faults_seen += 1,
+            FaultKind::DiskSlowdown => self.faults_seen += 1,
+        }
+    }
+
+    pub fn classify(&self, kind: FaultKind) -> u32 {
+        match kind {
+            FaultKind::DiskStreamLoss => 1,
+            _ => 0, // LINT: fault-exhaustive
+        }
+    }
+
+    pub fn dispatch(&self, backend: BackendKind) -> u32 {
+        match backend {
+            BackendKind::PyramidBroadcast => 1,
+            BackendKind::DedicatedStream => 2,
+            BackendKind::BatchedBuffer => 3,
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Known-bad fixture for the nondet rule (class: deterministic core).
 
 use std::collections::HashMap; // LINT: nondet
+use std::collections::HashSet; // LINT: nondet
 use std::collections::BTreeMap;
 
 pub fn wall_clock() {

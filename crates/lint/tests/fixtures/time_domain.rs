@@ -1,0 +1,23 @@
+//! Known-bad fixture for the time-domain rule: tick/minute/segment
+//! quantities mixed across comparison and additive operators.
+
+pub fn bad_compare(now_tick: u64, stall_minutes: u64) -> bool {
+    now_tick >= stall_minutes // LINT: time-domain
+}
+
+pub fn bad_sum(base_minutes: u64, buffer_segments: u64) -> u64 {
+    base_minutes + buffer_segments // LINT: time-domain
+}
+
+pub fn same_domain(start_minute: u64, end_minute: u64) -> u64 {
+    end_minute.max(start_minute)
+}
+
+pub fn converted(now_tick: u64, ticks_per_minute: u64, stall_minutes: u64) -> bool {
+    let now_minutes = now_tick / ticks_per_minute;
+    now_minutes >= stall_minutes
+}
+
+pub fn suppressed(segment_len: u64, pad_minutes: u64) -> u64 {
+    segment_len + pad_minutes // vod-lint: allow(time-domain) — the pad is defined as minutes of exactly one segment
+}

@@ -1,0 +1,55 @@
+//! Known-bad fixture for the unchecked-sub rule (deterministic core).
+//! Guarded shapes mirror the blessed idioms in `reserve.rs`/`disk.rs`.
+
+pub struct Ledger {
+    failed: u32,
+    budget: usize,
+}
+
+impl Ledger {
+    pub fn bad_field_sub(&mut self, count: u32) {
+        self.failed -= count; // LINT: unchecked-sub
+    }
+
+    pub fn bad_expr(&self, before: u32) -> u32 {
+        self.failed - before // LINT: unchecked-sub
+    }
+
+    pub fn guarded_by_if(&mut self, count: u32) {
+        if self.failed >= count {
+            self.failed -= count;
+        }
+    }
+
+    pub fn guarded_by_assert(&mut self) {
+        debug_assert!(self.budget > 0);
+        self.budget -= 1;
+    }
+
+    pub fn guarded_by_min(&mut self, count: u32) -> u32 {
+        let recovered = count.min(self.failed);
+        self.failed -= recovered;
+        recovered
+    }
+
+    pub fn saturating_is_blessed(&self, before: u32) -> u32 {
+        self.failed.saturating_sub(before)
+    }
+
+    pub fn signed_is_fine(&self, x: i64, y: i64) -> i64 {
+        x - y
+    }
+
+    pub fn suppressed(&self, tail: u32) -> u32 {
+        self.failed - tail // vod-lint: allow(unchecked-sub) — caller holds the partition invariant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_subtract() {
+        let a: u32 = 1;
+        let _ = a - 1;
+    }
+}

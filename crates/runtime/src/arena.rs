@@ -92,6 +92,7 @@ impl<T> Arena<T> {
 
     /// Live occupants.
     pub fn len(&self) -> usize {
+        debug_assert!(self.vacant <= self.slots.len());
         self.slots.len() - self.vacant
     }
 

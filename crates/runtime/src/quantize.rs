@@ -56,6 +56,7 @@ impl QuantizedGeometry {
     /// Maximum batching wait in minutes: `w = T − b`, equal to the
     /// quantized model wait by construction.
     pub fn max_wait(&self) -> u32 {
+        debug_assert!(self.partition_capacity <= self.restart_interval);
         self.restart_interval - self.partition_capacity
     }
 
@@ -80,7 +81,7 @@ impl QuantizedGeometry {
             return false;
         }
         let tail = front + 1 - filled;
-        let will_advance = front < self.length - 1;
+        let will_advance = front + 1 < self.length;
         if will_advance {
             let next_tail = if filled == self.partition_capacity {
                 tail + 1

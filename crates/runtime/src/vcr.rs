@@ -107,7 +107,7 @@ pub fn plan_vcr(
 /// magnitude is a duration, not a distance).
 pub fn truncate_sweep(kind: VcrKind, magnitude: u32, position: u32, length: u32) -> u32 {
     match kind {
-        VcrKind::FastForward => magnitude.min(length - position),
+        VcrKind::FastForward => magnitude.min(length.saturating_sub(position)),
         VcrKind::Rewind => magnitude.min(position),
         VcrKind::Pause => magnitude,
     }

@@ -216,7 +216,7 @@ impl DedicatedServer {
                 FaultKind::DiskStreamLoss { count } | FaultKind::DiskOutage { count, .. } => {
                     let before = self.disk.failed();
                     let revoked = self.disk.fail_streams(count);
-                    let applied = self.disk.failed() - before;
+                    let applied = self.disk.failed().saturating_sub(before);
                     if let FaultKind::DiskOutage { recover_after, .. } = kind {
                         *self
                             .recovery_due
@@ -594,6 +594,7 @@ impl DeliveryBackend for DedicatedServer {
                             let sess = self.sessions.live_at_mut(idx as usize);
                             sess.state = DState::Queued;
                             self.queue.push_back(idx);
+                            debug_assert!(self.starved_count > 0, "starved session outside census");
                             self.starved_count -= 1;
                             self.metrics.runtime.degraded_rejoined += 1;
                             self.active.swap_remove(i);
@@ -605,6 +606,10 @@ impl DeliveryBackend for DedicatedServer {
                                 let sess = self.sessions.live_at_mut(idx as usize);
                                 sess.lease = Some(lease);
                                 sess.state = DState::Playing;
+                                debug_assert!(
+                                    self.starved_count > 0,
+                                    "starved session outside census"
+                                );
                                 self.starved_count -= 1;
                                 self.metrics.runtime.degraded_dedicated += 1;
                                 self.metrics.playback.add(self.now as f64, 1.0);

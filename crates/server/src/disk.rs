@@ -140,7 +140,10 @@ impl DiskSubsystem {
         // Same total-order discipline as `StreamReserve`: every difference
         // in the count/failed/free arithmetic clamps at zero instead of
         // relying on the caller's ordering to keep `from_free ≤ total`. A
-        // wrapped difference here would revoke ~4 billion leases.
+        // wrapped difference here would revoke ~4 billion leases. The
+        // `as usize` below widens u32 → usize (lossless on every
+        // supported target), so the clamp is the only place precision
+        // can change.
         let total = count.min(self.capacity.saturating_sub(self.failed));
         let from_free = total.min(self.available());
         self.failed += from_free;

@@ -273,7 +273,7 @@ impl PyramidServer {
                 FaultKind::DiskStreamLoss { count } | FaultKind::DiskOutage { count, .. } => {
                     let before = self.disk.failed();
                     let revoked = self.disk.fail_streams(count);
-                    let applied = self.disk.failed() - before;
+                    let applied = self.disk.failed().saturating_sub(before);
                     if let FaultKind::DiskOutage { recover_after, .. } = kind {
                         *self
                             .recovery_due
@@ -851,6 +851,7 @@ impl DeliveryBackend for PyramidServer {
                         // The front swept past the starved position.
                         self.reserve.record_denials(pending, false);
                         self.sessions.live_at_mut(idx as usize).state = PState::Receiving;
+                        debug_assert!(self.starved_count > 0, "starved session outside census");
                         self.starved_count -= 1;
                         self.metrics.runtime.degraded_rejoined += 1;
                     } else if !exhausted && now >= next_retry {
@@ -873,6 +874,10 @@ impl DeliveryBackend for PyramidServer {
                                     let sess = self.sessions.live_at_mut(idx as usize);
                                     sess.lease = Some(lease);
                                     sess.state = PState::CatchUp;
+                                    debug_assert!(
+                                        self.starved_count > 0,
+                                        "starved session outside census"
+                                    );
                                     self.starved_count -= 1;
                                     self.metrics.runtime.degraded_dedicated += 1;
                                 }

@@ -1124,6 +1124,7 @@ impl VodServer {
             {
                 // The session closed while waiting; its wakeup fires once
                 // as a no-op and the stale entry is accounted off.
+                debug_assert!(self.wheel_stale > 0, "stale wakeup with no accounted entry");
                 self.wheel_stale -= 1;
                 continue;
             }
@@ -1317,6 +1318,10 @@ impl VodServer {
         else {
             return 0;
         };
+        debug_assert!(
+            self.degraded_count > 0,
+            "degraded session outside the census"
+        );
         self.degraded_count -= 1;
         pending_denials
     }

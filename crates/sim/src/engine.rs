@@ -383,14 +383,14 @@ impl<'a> Engine<'a> {
             match ev.kind {
                 FaultKind::DiskStreamLoss { count } => {
                     let failed = self.reserve.fail_streams(count);
-                    self.take_channels_down(at, count - failed);
+                    self.take_channels_down(at, count.saturating_sub(failed));
                 }
                 FaultKind::DiskOutage {
                     count,
                     recover_after,
                 } => {
                     let failed = self.reserve.fail_streams(count);
-                    let spilled = self.take_channels_down(at, count - failed);
+                    let spilled = self.take_channels_down(at, count.saturating_sub(failed));
                     if failed > 0 || spilled > 0 {
                         self.recoveries
                             .push((at + recover_after.max(1) as f64, failed, spilled));
@@ -420,6 +420,18 @@ impl<'a> Engine<'a> {
             }
         }
         self.pyr_advance(t);
+        debug_assert!(self.check_invariants(), "sim fault-ledger audit failed");
+    }
+
+    /// Ledger audit, the continuous-time twin of the server's per-tick
+    /// `check_invariants`: the channel-outage ledger stays within the
+    /// catalog's channel population and the fault cursor within the
+    /// schedule. Pure reads, consumed by `debug_assert!` at the end of
+    /// every fault application — free in release builds and incapable of
+    /// perturbing the simulation.
+    fn check_invariants(&self) -> bool {
+        self.pyr_channels_down <= self.pyr_channels_total
+            && self.fault_cursor <= self.cfg.faults.events().len()
     }
 
     /// Pyramid only: route the part of a stream fault that spilled past
@@ -430,7 +442,10 @@ impl<'a> Engine<'a> {
             return 0;
         }
         self.pyr_advance(at);
-        let taken = spill.min(self.pyr_channels_total - self.pyr_channels_down);
+        let headroom = self
+            .pyr_channels_total
+            .saturating_sub(self.pyr_channels_down);
+        let taken = spill.min(headroom);
         self.pyr_channels_down += taken;
         taken
     }
