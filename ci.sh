@@ -31,7 +31,8 @@ echo "== cargo doc (deny rustdoc warnings, incl. broken intra-doc links) =="
 # path dependencies and would otherwise be documented too.
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet \
   -p vod-prealloc -p vod-dist -p vod-model -p vod-sizing -p vod-workload \
-  -p vod-runtime -p vod-sim -p vod-server -p vod-bench -p vod-lint
+  -p vod-runtime -p vod-sim -p vod-server -p vod-federation -p vod-bench \
+  -p vod-lint
 
 echo "== tier-1: build + test =="
 cargo build --release
@@ -51,6 +52,18 @@ test "$(grep -c '"seed"' results/CHAOS_REPORT.json)" -eq 54
 test "$(grep -c '"backend": "pyramid_broadcast"' results/CHAOS_REPORT.json)" -eq 18
 test "$(grep -c '"backend": "dedicated_stream"' results/CHAOS_REPORT.json)" -eq 18
 test "$(grep -c '"violations": 0' results/CHAOS_REPORT.json)" -eq 54
+
+echo "== federation: sharded-catalog chaos matrix (whole-shard outage failover, see DESIGN.md §15) =="
+cargo run --release -p vod-bench --bin federation
+# The bin exits non-zero on any violation or determinism break; verify
+# the written report too: schema v1, all 42 cells present, the 1-shard
+# empty-plan identity with run_harness held, and every cell's per-tick
+# conservation audit recorded zero violations.
+grep -q '"schema": 1' results/FEDERATION_REPORT.json
+grep -q '"ok": true' results/FEDERATION_REPORT.json
+grep -q '"identity_ok": true' results/FEDERATION_REPORT.json
+test "$(grep -c '"seed"' results/FEDERATION_REPORT.json)" -eq 42
+test "$(grep -c '"violations": 0' results/FEDERATION_REPORT.json)" -eq 42
 
 echo "== scale: wheel+arena engine smoke (downscaled; the full run uses --sessions 1000000) =="
 cargo run --release -p vod-bench --bin scale -- --sessions 50000 --ticks 120

@@ -7,13 +7,13 @@ use crate::rules::FileClass;
 /// Crates whose `src/` trees form the deterministic core: the PR 2
 /// cross-validation gate requires bitwise same-seed agreement across
 /// them, so nondeterminism sources are banned outright.
-const DETERMINISTIC_CRATES: &[&str] = &["runtime", "sim", "server"];
+const DETERMINISTIC_CRATES: &[&str] = &["runtime", "sim", "server", "federation"];
 
 /// Crates whose public API carries the paper's numerics — plus the
 /// linter itself (dogfood: rule semantics live in the doc comments);
 /// every `pub fn` must document its domain (and panics, per clippy's
 /// `missing_panics_doc`).
-const DOC_REQUIRED_CRATES: &[&str] = &["dist", "runtime", "lint"];
+const DOC_REQUIRED_CRATES: &[&str] = &["dist", "runtime", "lint", "federation"];
 
 /// Classify a workspace-relative path (forward slashes) into the rule
 /// families that apply to it. Binaries (`src/bin/`, `main.rs`) keep the

@@ -139,6 +139,27 @@ fn removing_a_fault_arm_breaks_file_coverage() {
     );
 }
 
+/// The widening property the federation work leans on: the variant set
+/// comes from the *index*, not a hardcoded list, so merely declaring a
+/// new `FaultKind` variant (here the shard pair this repo added for
+/// whole-shard chaos) obliges every fault-handler file to name it — no
+/// linter change required.
+#[test]
+fn declaring_new_fault_variants_widens_handler_coverage() {
+    let mutated = FAULTS.replace(
+        "    DiskSlowdown,\n}",
+        "    DiskSlowdown,\n    ShardOutage,\n    ShardRecovery,\n}",
+    );
+    assert_ne!(mutated, FAULTS, "fixture edit must apply");
+    let lint = lint_source("fixtures/fault_exhaustive.rs", &mutated, det());
+    assert!(
+        lint.findings.iter().any(|f| f.rule == Rule::FaultExhaustive
+            && f.message.contains("missing: ShardOutage, ShardRecovery")),
+        "new variants must widen the handler-file obligation: {:?}",
+        lint.findings
+    );
+}
+
 #[test]
 fn wildcarding_backend_dispatch_fires_twice() {
     let mutated = FAULTS.replace("BackendKind::BatchedBuffer => 3,", "_ => 3,");

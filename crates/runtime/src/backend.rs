@@ -505,7 +505,7 @@ mod tests {
         // Filling the hole connects the island through in one step.
         rx.record(3);
         rx.record(4);
-        assert_eq!(rx.front(), 3, "minute 2 still missing");
+        assert_eq!(rx.front(), 2, "minute 2 still missing");
         rx.record(2);
         assert_eq!(rx.front(), 6, "front jumps across the connected run");
         assert!(rx.received(5));

@@ -52,6 +52,21 @@ pub enum FaultKind {
         /// Segments returned to the budget.
         segments: u32,
     },
+    /// Whole-shard outage: federation shard `shard` goes dark at the
+    /// fault instant. The front tier drains its live sessions through
+    /// the displaced-session ledger; single-server drivers treat the
+    /// event as inert (the front tier, not the shard, interprets it).
+    ShardOutage {
+        /// Federation shard index taken down.
+        shard: u32,
+    },
+    /// Whole-shard recovery: shard `shard` cold-restarts from its
+    /// provisioning config (sessions do not survive — the ledger either
+    /// re-admitted them elsewhere or resolves them as denials).
+    ShardRecovery {
+        /// Federation shard index brought back.
+        shard: u32,
+    },
 }
 
 impl FaultKind {
@@ -63,6 +78,8 @@ impl FaultKind {
             FaultKind::DiskSlowdown { .. } => "disk_slowdown",
             FaultKind::BufferShrink { .. } => "buffer_shrink",
             FaultKind::BufferRestore { .. } => "buffer_restore",
+            FaultKind::ShardOutage { .. } => "shard_outage",
+            FaultKind::ShardRecovery { .. } => "shard_recovery",
         }
     }
 
@@ -78,6 +95,8 @@ impl FaultKind {
             }
             FaultKind::BufferShrink { segments } => format!("\"segments\":{segments}"),
             FaultKind::BufferRestore { segments } => format!("\"segments\":{segments}"),
+            FaultKind::ShardOutage { shard } => format!("\"shard\":{shard}"),
+            FaultKind::ShardRecovery { shard } => format!("\"shard\":{shard}"),
         }
     }
 }
@@ -196,6 +215,80 @@ impl FaultPlan {
         Self::new(plan)
     }
 
+    /// Generate a federation chaos plan: the single-server mix of
+    /// [`FaultPlan::generate`] widened with whole-shard outages over a
+    /// front tier of `shards` shards. The generator cycles all seven
+    /// fault kinds; every [`FaultKind::ShardOutage`] is paired with a
+    /// later [`FaultKind::ShardRecovery`] of the same shard, so the
+    /// federation trends back to full strength and displaced sessions
+    /// have somewhere to resolve. Seeded with the same integer-only
+    /// SplitMix64 stream as `generate` (salted by `shards`), so plans
+    /// are identical on every platform.
+    pub fn generate_federation(seed: u64, horizon: u64, events: u32, shards: u32) -> Self {
+        let shards = shards.max(1);
+        let mut state = seed ^ 0x5DEECE66D ^ (u64::from(shards) << 32);
+        let lo = horizon / 8;
+        let span = horizon.saturating_sub(lo).max(1);
+        let mut plan = Vec::new();
+        let mut shrunk: u32 = 0;
+        let mut last_outage: Option<(u64, u32)> = None;
+        for i in 0..events {
+            let at = lo + splitmix64(&mut state) % span;
+            let roll = splitmix64(&mut state);
+            let (at, kind) = match i % 7 {
+                0 => (
+                    at,
+                    FaultKind::DiskStreamLoss {
+                        count: 1 + (roll % 2) as u32,
+                    },
+                ),
+                1 => (
+                    at,
+                    FaultKind::DiskOutage {
+                        count: 1 + (roll % 2) as u32,
+                        recover_after: 5 + roll % 40,
+                    },
+                ),
+                2 => (
+                    at,
+                    FaultKind::DiskSlowdown {
+                        period: 2 + (roll % 2) as u32,
+                        duration: 10 + roll % 50,
+                    },
+                ),
+                3 => {
+                    let segments = 1 + (roll % 8) as u32;
+                    shrunk += segments;
+                    (at, FaultKind::BufferShrink { segments })
+                }
+                4 => {
+                    let segments = shrunk.max(1);
+                    shrunk = 0;
+                    (at, FaultKind::BufferRestore { segments })
+                }
+                5 => {
+                    let shard = (roll % u64::from(shards)) as u32;
+                    last_outage = Some((at, shard));
+                    (at, FaultKind::ShardOutage { shard })
+                }
+                _ => {
+                    // Recovery of the most recent outage, strictly after
+                    // it; with no outage yet the event is a harmless
+                    // recovery of an already-up shard.
+                    let (outage_at, shard) = last_outage
+                        .take()
+                        .unwrap_or((at, (roll % u64::from(shards)) as u32));
+                    (
+                        outage_at + 1 + roll % 60,
+                        FaultKind::ShardRecovery { shard },
+                    )
+                }
+            };
+            plan.push(FaultEvent { at, kind });
+        }
+        Self::new(plan)
+    }
+
     /// JSON array of events (one line, stable key order) so chaos reports
     /// embed the exact plan they ran.
     pub fn to_json(&self) -> String {
@@ -207,6 +300,157 @@ impl FaultPlan {
             .join(",");
         format!("[{body}]")
     }
+
+    /// Parse a plan back from the JSON [`FaultPlan::to_json`] emits
+    /// (whitespace-tolerant). Round-tripping is the serde-stability
+    /// contract of the chaos reports: `from_json(to_json(p)) == p` for
+    /// every plan, and unknown kinds or malformed fields are errors
+    /// rather than silent drops.
+    pub fn from_json(input: &str) -> Result<Self, String> {
+        let mut c = Cursor {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        c.eat(b'[')?;
+        let mut events = Vec::new();
+        if !c.peek_is(b']') {
+            loop {
+                events.push(parse_event(&mut c)?);
+                if c.peek_is(b',') {
+                    c.eat(b',')?;
+                } else {
+                    break;
+                }
+            }
+        }
+        c.eat(b']')?;
+        c.skip_ws();
+        if c.pos != c.bytes.len() {
+            return Err(format!("trailing input at byte {}", c.pos));
+        }
+        Ok(Self::new(events))
+    }
+}
+
+/// Minimal JSON scanner for [`FaultPlan::from_json`]: just enough for the
+/// flat integer objects the emitter writes, kept dependency-free.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek_is(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        self.bytes.get(self.pos) == Some(&b)
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|&b| b != b'"') {
+            self.pos += 1;
+        }
+        let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.eat(b'"')?;
+        Ok(s)
+    }
+
+    fn integer(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected integer at byte {start}"));
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos])
+            .parse::<u64>()
+            .map_err(|e| format!("integer at byte {start}: {e}"))
+    }
+}
+
+/// Parse one `{"at":…,"kind":"…",…}` object into a [`FaultEvent`].
+fn parse_event(c: &mut Cursor<'_>) -> Result<FaultEvent, String> {
+    c.eat(b'{')?;
+    let mut at: Option<u64> = None;
+    let mut tag: Option<String> = None;
+    let mut params: Vec<(String, u64)> = Vec::new();
+    loop {
+        let key = c.string()?;
+        c.eat(b':')?;
+        match key.as_str() {
+            "at" => at = Some(c.integer()?),
+            "kind" => tag = Some(c.string()?),
+            _ => params.push((key, c.integer()?)),
+        }
+        if c.peek_is(b',') {
+            c.eat(b',')?;
+        } else {
+            break;
+        }
+    }
+    c.eat(b'}')?;
+    let at = at.ok_or_else(|| "event missing `at`".to_string())?;
+    let tag = tag.ok_or_else(|| "event missing `kind`".to_string())?;
+    let get = |name: &str| -> Result<u64, String> {
+        params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("`{tag}` event missing `{name}`"))
+    };
+    let narrow = |v: u64, name: &str| -> Result<u32, String> {
+        u32::try_from(v).map_err(|_| format!("`{name}` out of u32 range: {v}"))
+    };
+    let kind = match tag.as_str() {
+        "disk_stream_loss" => FaultKind::DiskStreamLoss {
+            count: narrow(get("count")?, "count")?,
+        },
+        "disk_outage" => FaultKind::DiskOutage {
+            count: narrow(get("count")?, "count")?,
+            recover_after: get("recover_after")?,
+        },
+        "disk_slowdown" => FaultKind::DiskSlowdown {
+            period: narrow(get("period")?, "period")?,
+            duration: get("duration")?,
+        },
+        "buffer_shrink" => FaultKind::BufferShrink {
+            segments: narrow(get("segments")?, "segments")?,
+        },
+        "buffer_restore" => FaultKind::BufferRestore {
+            segments: narrow(get("segments")?, "segments")?,
+        },
+        "shard_outage" => FaultKind::ShardOutage {
+            shard: narrow(get("shard")?, "shard")?,
+        },
+        "shard_recovery" => FaultKind::ShardRecovery {
+            shard: narrow(get("shard")?, "shard")?,
+        },
+        other => return Err(format!("unknown fault kind `{other}`")),
+    };
+    Ok(FaultEvent { at, kind })
 }
 
 /// SplitMix64 step: the standard finalizer-mix generator, inlined so this
@@ -247,6 +491,15 @@ pub struct DegradePolicy {
     pub retry_backoff_cap: u64,
     /// Ticks after degradation entry when dedicated retries stop for good.
     pub retry_timeout: u64,
+    /// Resolution order when a capacity recovery lands on the very tick a
+    /// session's retry timeout expires: with `recovery_wins` the session
+    /// gets one last lease attempt against the just-recovered capacity
+    /// before its ledger resolves (recovery wins the race); without it
+    /// the timeout resolves first (the historical order, kept as the
+    /// default so frozen chaos baselines stay byte-identical). The
+    /// federation front tier arms this for the shards it owns — after a
+    /// whole-shard recovery the race is the norm, not the edge.
+    pub recovery_wins: bool,
 }
 
 impl Default for DegradePolicy {
@@ -256,6 +509,7 @@ impl Default for DegradePolicy {
             retry_backoff: 1,
             retry_backoff_cap: 8,
             retry_timeout: 32,
+            recovery_wins: false,
         }
     }
 }
@@ -335,6 +589,128 @@ mod tests {
             "[{\"at\":7,\"kind\":\"disk_outage\",\"count\":2,\"recover_after\":11}]"
         );
         assert_eq!(FaultPlan::empty().to_json(), "[]");
+    }
+
+    #[test]
+    fn generate_federation_pairs_outage_with_later_recovery() {
+        let plan = FaultPlan::generate_federation(7, 1440, 14, 4);
+        assert_eq!(plan, FaultPlan::generate_federation(7, 1440, 14, 4));
+        assert_ne!(plan, FaultPlan::generate_federation(8, 1440, 14, 4));
+        assert_ne!(plan, FaultPlan::generate_federation(7, 1440, 14, 2));
+        assert_eq!(plan.len(), 14);
+        // All seven kinds appear with a 14-event cycle.
+        let tags: Vec<_> = plan.events().iter().map(|e| e.kind.tag()).collect();
+        for tag in [
+            "disk_stream_loss",
+            "disk_outage",
+            "disk_slowdown",
+            "buffer_shrink",
+            "buffer_restore",
+            "shard_outage",
+            "shard_recovery",
+        ] {
+            assert!(tags.contains(&tag), "missing kind {tag}");
+        }
+        // Shard indices stay inside the federation, and each recovery
+        // lands strictly after the outage it pairs with.
+        let mut outage_at: Option<(u64, u32)> = None;
+        for e in plan.events() {
+            match e.kind {
+                FaultKind::ShardOutage { shard } => {
+                    assert!(shard < 4);
+                    outage_at = Some((e.at, shard));
+                }
+                FaultKind::ShardRecovery { shard } => {
+                    assert!(shard < 4);
+                    if let Some((at, s)) = outage_at.take() {
+                        assert_eq!(shard, s, "recovery pairs with the last outage");
+                        assert!(e.at > at, "recovery strictly after its outage");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn json_round_trips_every_kind() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: 3,
+                kind: FaultKind::DiskStreamLoss { count: 2 },
+            },
+            FaultEvent {
+                at: 5,
+                kind: FaultKind::DiskOutage {
+                    count: 1,
+                    recover_after: 9,
+                },
+            },
+            FaultEvent {
+                at: 7,
+                kind: FaultKind::DiskSlowdown {
+                    period: 2,
+                    duration: 10,
+                },
+            },
+            FaultEvent {
+                at: 9,
+                kind: FaultKind::BufferShrink { segments: 4 },
+            },
+            FaultEvent {
+                at: 11,
+                kind: FaultKind::BufferRestore { segments: 4 },
+            },
+            FaultEvent {
+                at: 13,
+                kind: FaultKind::ShardOutage { shard: 1 },
+            },
+            FaultEvent {
+                at: 17,
+                kind: FaultKind::ShardRecovery { shard: 1 },
+            },
+        ]);
+        let parsed = FaultPlan::from_json(&plan.to_json());
+        assert_eq!(parsed, Ok(plan));
+        assert_eq!(FaultPlan::from_json("[]"), Ok(FaultPlan::empty()));
+        // Whitespace-tolerant.
+        let spaced = FaultPlan::from_json(
+            " [ { \"at\" : 13 , \"kind\" : \"shard_outage\" , \"shard\" : 1 } ] ",
+        );
+        assert_eq!(
+            spaced,
+            Ok(FaultPlan::new(vec![FaultEvent {
+                at: 13,
+                kind: FaultKind::ShardOutage { shard: 1 },
+            }]))
+        );
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(FaultPlan::from_json("").is_err());
+        assert!(
+            FaultPlan::from_json("[{\"at\":1}]").is_err(),
+            "missing kind"
+        );
+        assert!(
+            FaultPlan::from_json("[{\"kind\":\"disk_stream_loss\",\"count\":1}]").is_err(),
+            "missing at"
+        );
+        assert!(
+            FaultPlan::from_json("[{\"at\":1,\"kind\":\"warp_core_breach\"}]").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            FaultPlan::from_json("[{\"at\":1,\"kind\":\"shard_outage\"}]").is_err(),
+            "missing param"
+        );
+        assert!(
+            FaultPlan::from_json("[{\"at\":1,\"kind\":\"shard_outage\",\"shard\":4294967296}]")
+                .is_err(),
+            "u32 overflow"
+        );
+        assert!(FaultPlan::from_json("[] trailing").is_err(), "trailing");
     }
 
     #[test]

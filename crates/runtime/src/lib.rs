@@ -61,7 +61,7 @@ mod windows;
 pub use arena::{Arena, ArenaId};
 pub use backend::{BackendKind, PyramidGeometry, ReceptionFront};
 pub use degrade::{DegradePolicy, FaultEvent, FaultKind, FaultPlan};
-pub use metrics::{kind_index, RuntimeMetrics};
+pub use metrics::{kind_index, FederationMetrics, RuntimeMetrics};
 pub use quantize::QuantizedGeometry;
 pub use reserve::StreamReserve;
 pub use vcr::{plan_vcr, truncate_sweep, ResumeClass, SweepPlan};

@@ -300,9 +300,228 @@ impl RuntimeMetrics {
     }
 }
 
+/// Front-tier counters of a shard federation: admission routing and the
+/// displaced-session ledger whole-shard outages feed. Kept separate from
+/// [`RuntimeMetrics`] (whose JSON shape is frozen at schema 2) — per-shard
+/// runtime metrics still use that vocabulary; this struct only measures
+/// what the federation layer itself does between the shards.
+///
+/// The conservation contract: every session displaced by a
+/// [`ShardOutage`](crate::FaultKind::ShardOutage) resolves in exactly one
+/// of {re-admitted into a batch cohort, re-admitted on a dedicated
+/// stream, denied-transient, denied-permanent} or is still in flight, so
+///
+/// ```text
+/// displaced_total == readmitted_cohort + readmitted_dedicated
+///                  + denied_transient + denied_permanent + in flight
+/// ```
+///
+/// holds on every tick ([`FederationMetrics::conserved`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FederationMetrics {
+    /// Admissions routed to a shard by the placement map's first live
+    /// replica.
+    pub admissions_routed: u64,
+    /// Admissions that skipped one or more dead replicas before landing
+    /// (a strict subset of `admissions_routed`).
+    pub admissions_rerouted: u64,
+    /// Admissions refused because every replica of the movie was dark.
+    pub admissions_denied: u64,
+    /// Whole-shard outage events applied by the front tier.
+    pub shard_outages: u64,
+    /// Whole-shard recovery events applied by the front tier.
+    pub shard_recoveries: u64,
+    /// Live sessions displaced from shards taken down (ledger entries
+    /// ever created).
+    pub displaced_total: u64,
+    /// Displaced sessions re-admitted into an in-window batch cohort on
+    /// a surviving replica.
+    pub readmitted_cohort: u64,
+    /// Displaced sessions re-admitted by borrowing a surviving shard's
+    /// dedicated-stream reserve.
+    pub readmitted_dedicated: u64,
+    /// Displaced sessions that timed out while their movie was still
+    /// recoverable (a replica up, or a scheduled shard recovery ahead).
+    pub denied_transient: u64,
+    /// Displaced sessions denied for good: every hosting replica dark
+    /// with no recovery scheduled.
+    pub denied_permanent: u64,
+    /// Re-admission attempts refused by a surviving shard (backoff
+    /// retries keep the session in the ledger).
+    pub readmit_refusals: u64,
+    /// Ticks displaced sessions spent waiting in the ledger.
+    pub rewait_ticks: u64,
+}
+
+impl FederationMetrics {
+    /// Version of the JSON shape emitted by
+    /// [`FederationMetrics::to_json`]; bumped on any field addition or
+    /// rename so `results/FEDERATION_REPORT.json` consumers can detect
+    /// drift.
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Fresh, all-zero metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Does the displaced-session ledger balance, given `in_flight`
+    /// entries still unresolved? See the type docs for the identity.
+    pub fn conserved(&self, in_flight: u64) -> bool {
+        let resolved = self
+            .readmitted_cohort
+            .checked_add(self.readmitted_dedicated)
+            .and_then(|s| s.checked_add(self.denied_transient))
+            .and_then(|s| s.checked_add(self.denied_permanent))
+            .and_then(|s| s.checked_add(in_flight));
+        resolved == Some(self.displaced_total)
+    }
+
+    /// Counters in `later` that went backwards relative to `self` (every
+    /// federation counter is cumulative; there are no windowed fields).
+    pub fn monotone_violations(&self, later: &FederationMetrics) -> Vec<&'static str> {
+        let fields: [(&'static str, u64, u64); 12] = [
+            (
+                "admissions_routed",
+                self.admissions_routed,
+                later.admissions_routed,
+            ),
+            (
+                "admissions_rerouted",
+                self.admissions_rerouted,
+                later.admissions_rerouted,
+            ),
+            (
+                "admissions_denied",
+                self.admissions_denied,
+                later.admissions_denied,
+            ),
+            ("shard_outages", self.shard_outages, later.shard_outages),
+            (
+                "shard_recoveries",
+                self.shard_recoveries,
+                later.shard_recoveries,
+            ),
+            (
+                "displaced_total",
+                self.displaced_total,
+                later.displaced_total,
+            ),
+            (
+                "readmitted_cohort",
+                self.readmitted_cohort,
+                later.readmitted_cohort,
+            ),
+            (
+                "readmitted_dedicated",
+                self.readmitted_dedicated,
+                later.readmitted_dedicated,
+            ),
+            (
+                "denied_transient",
+                self.denied_transient,
+                later.denied_transient,
+            ),
+            (
+                "denied_permanent",
+                self.denied_permanent,
+                later.denied_permanent,
+            ),
+            (
+                "readmit_refusals",
+                self.readmit_refusals,
+                later.readmit_refusals,
+            ),
+            ("rewait_ticks", self.rewait_ticks, later.rewait_ticks),
+        ];
+        let mut bad = Vec::new();
+        for (name, before, after) in fields {
+            if after < before {
+                bad.push(name);
+            }
+        }
+        bad
+    }
+
+    /// JSON object (one line, stable key order) for the federation bench.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"schema_version\":{},",
+                "\"admissions_routed\":{},\"admissions_rerouted\":{},",
+                "\"admissions_denied\":{},\"shard_outages\":{},",
+                "\"shard_recoveries\":{},\"displaced_total\":{},",
+                "\"readmitted_cohort\":{},\"readmitted_dedicated\":{},",
+                "\"denied_transient\":{},\"denied_permanent\":{},",
+                "\"readmit_refusals\":{},\"rewait_ticks\":{}}}"
+            ),
+            Self::SCHEMA_VERSION,
+            self.admissions_routed,
+            self.admissions_rerouted,
+            self.admissions_denied,
+            self.shard_outages,
+            self.shard_recoveries,
+            self.displaced_total,
+            self.readmitted_cohort,
+            self.readmitted_dedicated,
+            self.denied_transient,
+            self.denied_permanent,
+            self.readmit_refusals,
+            self.rewait_ticks,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn federation_ledger_conservation() {
+        let mut m = FederationMetrics::new();
+        assert!(m.conserved(0));
+        m.displaced_total = 10;
+        m.readmitted_cohort = 4;
+        m.readmitted_dedicated = 2;
+        m.denied_transient = 1;
+        m.denied_permanent = 1;
+        assert!(m.conserved(2));
+        assert!(!m.conserved(3));
+        assert!(!m.conserved(0));
+    }
+
+    #[test]
+    fn federation_monotone_flags_regressions() {
+        let mut before = FederationMetrics::new();
+        before.displaced_total = 5;
+        before.rewait_ticks = 7;
+        let mut after = before;
+        after.displaced_total = 6;
+        assert!(before.monotone_violations(&after).is_empty());
+        after.rewait_ticks = 3;
+        after.readmit_refusals = 0;
+        let bad = before.monotone_violations(&after);
+        assert_eq!(bad, vec!["rewait_ticks"]);
+    }
+
+    #[test]
+    fn federation_json_shape_is_pinned() {
+        let mut m = FederationMetrics::new();
+        m.displaced_total = 3;
+        m.readmitted_cohort = 2;
+        m.rewait_ticks = 9;
+        let j = m.to_json();
+        assert_eq!(
+            j,
+            "{\"schema_version\":1,\"admissions_routed\":0,\
+             \"admissions_rerouted\":0,\"admissions_denied\":0,\
+             \"shard_outages\":0,\"shard_recoveries\":0,\
+             \"displaced_total\":3,\"readmitted_cohort\":2,\
+             \"readmitted_dedicated\":0,\"denied_transient\":0,\
+             \"denied_permanent\":0,\"readmit_refusals\":0,\
+             \"rewait_ticks\":9}"
+        );
+    }
 
     #[test]
     fn record_updates_overall_and_kind() {

@@ -27,6 +27,18 @@ use crate::pyramid::PyramidServer;
 use crate::server::{ServerConfig, ServerError, VodServer};
 use crate::session::{SessionId, SessionStatus};
 
+/// How a backend re-admitted a displaced session
+/// ([`DeliveryBackend::adopt_session`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Adoption {
+    /// Joined an existing batch/broadcast cohort whose window covers the
+    /// session's position — free, no dedicated resources consumed.
+    CohortJoin,
+    /// Granted a dedicated stream from the backend's reserve (cross-shard
+    /// borrowing when the front tier drives the adoption).
+    DedicatedStream,
+}
+
 /// A delivery scheme a workload driver can run sessions against.
 ///
 /// Contract (every implementor, pinned by the equivalence and proptest
@@ -67,6 +79,26 @@ pub trait DeliveryBackend {
 
     /// Current session status in the shared vocabulary.
     fn session_status(&self, id: SessionId) -> Result<SessionStatus, ServerError>;
+
+    /// Playback position (whole minutes consumed) of a session. Valid
+    /// for any live or finished session; the federation front tier
+    /// snapshots it when draining a shard marked for outage.
+    fn session_position(&self, id: SessionId) -> Result<u32, ServerError>;
+
+    /// Adopt a session displaced from another shard, resuming `movie` at
+    /// `position`. Unlike `open_session` this is a migration, not an
+    /// admission: no startup-wait sample is recorded, and the backend
+    /// must either place the session immediately (join a cohort whose
+    /// window covers `position`, or grant a dedicated stream) or refuse
+    /// with [`ServerError::VcrDenied`] so the caller's failover ledger
+    /// can back off and retry. `position` past the movie end is an
+    /// [`ServerError::InvalidState`]; a backend whose delivery scheme
+    /// cannot start mid-movie may refuse every call.
+    fn adopt_session(
+        &mut self,
+        movie: MovieId,
+        position: u32,
+    ) -> Result<(SessionId, Adoption), ServerError>;
 
     /// Advance one virtual minute.
     fn tick(&mut self);
@@ -132,6 +164,18 @@ impl DeliveryBackend for VodServer {
 
     fn session_status(&self, id: SessionId) -> Result<SessionStatus, ServerError> {
         VodServer::session_status(self, id)
+    }
+
+    fn session_position(&self, id: SessionId) -> Result<u32, ServerError> {
+        VodServer::session_position(self, id)
+    }
+
+    fn adopt_session(
+        &mut self,
+        movie: MovieId,
+        position: u32,
+    ) -> Result<(SessionId, Adoption), ServerError> {
+        VodServer::adopt_session(self, movie, position)
     }
 
     fn tick(&mut self) {

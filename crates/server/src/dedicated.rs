@@ -37,7 +37,7 @@ use vod_runtime::{
 };
 use vod_workload::{TimeWeighted, VcrKind, Welford};
 
-use crate::backend::DeliveryBackend;
+use crate::backend::{Adoption, DeliveryBackend};
 use crate::content::{verify_segment, MovieId};
 use crate::disk::{DiskSubsystem, StreamLease};
 use crate::metrics::ServerMetrics;
@@ -138,6 +138,10 @@ pub struct DedicatedServer {
     slowdown: Option<(u32, u64)>,
     /// Outage recoveries scheduled by tick.
     recovery_due: BTreeMap<u64, u32>,
+    /// Tick of the most recent recovery that returned streams; a starved
+    /// retry timeout expiring on this exact tick attempts one last lease
+    /// first — recovery wins the same-tick race.
+    recovered_at: Option<u64>,
     starved_count: u32,
 }
 
@@ -168,6 +172,7 @@ impl DedicatedServer {
             policy: DegradePolicy::default(),
             slowdown: None,
             recovery_due: BTreeMap::new(),
+            recovered_at: None,
             starved_count: 0,
         }
     }
@@ -204,6 +209,9 @@ impl DedicatedServer {
         if let Some(streams) = self.recovery_due.remove(&self.now) {
             let recovered = self.disk.recover_streams(streams);
             self.reserve.recover_streams(recovered);
+            if recovered > 0 {
+                self.recovered_at = Some(self.now);
+            }
         }
         let events: Vec<FaultKind> = self
             .plan
@@ -263,7 +271,13 @@ impl DedicatedServer {
                     self.slowdown = Some((period.max(1), self.now + duration));
                     self.metrics.runtime.faults_injected += 1;
                 }
-                FaultKind::BufferShrink { .. } | FaultKind::BufferRestore { .. } => {}
+                // Buffer faults are meaningless without a buffer; shard
+                // events belong to the federation front tier. Both are
+                // skipped without counting.
+                FaultKind::BufferShrink { .. }
+                | FaultKind::BufferRestore { .. }
+                | FaultKind::ShardOutage { .. }
+                | FaultKind::ShardRecovery { .. } => {}
             }
         }
         if let Some((_, until)) = self.slowdown {
@@ -437,6 +451,48 @@ impl DeliveryBackend for DedicatedServer {
         Ok(())
     }
 
+    fn session_position(&self, id: SessionId) -> Result<u32, ServerError> {
+        self.sessions
+            .get(id.0)
+            .map(|s| s.position)
+            .ok_or(ServerError::UnknownSession(id))
+    }
+
+    fn adopt_session(
+        &mut self,
+        movie: MovieId,
+        position: u32,
+    ) -> Result<(SessionId, Adoption), ServerError> {
+        let movie_idx = *self
+            .movie_index
+            .get(&movie)
+            .ok_or(ServerError::UnknownMovie(movie))?;
+        if position >= self.config.movies[movie_idx].geometry.length {
+            return Err(ServerError::InvalidState { operation: "adopt" });
+        }
+        // A migration places immediately or refuses: the FIFO queue is
+        // for fresh admissions, and queueing a displaced session here
+        // would hide it from the front tier's failover ledger.
+        let Some(lease) = self.try_lease() else {
+            // Locally permanent — the ledger may resolve the displaced
+            // session elsewhere; see `FederationMetrics`.
+            self.reserve.record_denials(1, false);
+            return Err(ServerError::VcrDenied);
+        };
+        let id = SessionId(self.sessions.insert(DSession {
+            movie_idx,
+            position,
+            opened_at: self.now,
+            admitted: true,
+            state: DState::Playing,
+            lease: Some(lease),
+            stats: DeliveryStats::default(),
+        }));
+        self.metrics.playback.add(self.now as f64, 1.0);
+        self.active.push(id.0.index() as u32);
+        Ok((id, Adoption::DedicatedStream))
+    }
+
     fn session_status(&self, id: SessionId) -> Result<SessionStatus, ServerError> {
         let sess = self
             .sessions
@@ -589,7 +645,14 @@ impl DeliveryBackend for DedicatedServer {
                         )
                     };
                     if !exhausted && now >= next_retry {
-                        if now.saturating_sub(since) >= self.policy.retry_timeout {
+                        let timed_out = now.saturating_sub(since) >= self.policy.retry_timeout;
+                        // A recovery landing on the timeout tick wins the
+                        // race: the session gets one last lease attempt
+                        // before the timeout resolves its ledger.
+                        let last_chance = timed_out
+                            && self.policy.recovery_wins
+                            && self.recovered_at == Some(now);
+                        if timed_out && !last_chance {
                             self.reserve.record_denials(pending, false);
                             let sess = self.sessions.live_at_mut(idx as usize);
                             sess.state = DState::Queued;
@@ -613,6 +676,23 @@ impl DeliveryBackend for DedicatedServer {
                                 self.starved_count -= 1;
                                 self.metrics.runtime.degraded_dedicated += 1;
                                 self.metrics.playback.add(self.now as f64, 1.0);
+                            }
+                            None if last_chance => {
+                                // Recovery was not enough after all: the
+                                // refused attempt joins the ledger and the
+                                // timeout proceeds as usual.
+                                self.reserve.record_denials(pending + 1, false);
+                                let sess = self.sessions.live_at_mut(idx as usize);
+                                sess.state = DState::Queued;
+                                self.queue.push_back(idx);
+                                debug_assert!(
+                                    self.starved_count > 0,
+                                    "starved session outside census"
+                                );
+                                self.starved_count -= 1;
+                                self.metrics.runtime.degraded_rejoined += 1;
+                                self.active.swap_remove(i);
+                                continue;
                             }
                             None => {
                                 let nb = (backoff * 2).min(self.policy.retry_backoff_cap.max(1));

@@ -68,6 +68,64 @@ pub struct ChaosOutcome {
 /// Cap on stored violation strings in a [`ChaosOutcome`].
 const MAX_VIOLATION_REPORTS: usize = 16;
 
+impl ChaosOutcome {
+    /// Outcome schema version; bump on any key change in
+    /// [`to_json`](Self::to_json).
+    pub const SCHEMA_VERSION: u32 = 1;
+
+    /// Serialize to a single-line JSON object with a pinned key order
+    /// (`schema_version`, `violations`, `violation_details`,
+    /// `sessions_opened`, `sessions_done`, `degraded_at_end`, `ticks`,
+    /// `metrics`). The shape is frozen by the serde-stability suite:
+    /// report consumers may parse positionally.
+    pub fn to_json(&self) -> String {
+        let details: Vec<String> = self
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", escape_json(v)))
+            .collect();
+        format!(
+            concat!(
+                "{{\"schema_version\":{},",
+                "\"violations\":{},",
+                "\"violation_details\":[{}],",
+                "\"sessions_opened\":{},",
+                "\"sessions_done\":{},",
+                "\"degraded_at_end\":{},",
+                "\"ticks\":{},",
+                "\"metrics\":{}}}"
+            ),
+            Self::SCHEMA_VERSION,
+            self.violation_count,
+            details.join(","),
+            self.sessions_opened,
+            self.sessions_done,
+            self.degraded_at_end,
+            self.ticks,
+            self.metrics.to_json(),
+        )
+    }
+}
+
+/// Escape a violation string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Drive the server with a seeded workload and return the measured
 /// [`RuntimeMetrics`]. Same seed, same config ⇒ bitwise-identical
 /// metrics (asserted by the cross-validation test).
@@ -460,6 +518,38 @@ mod tests {
         let b = run_harness(&cfg, 7);
         assert_eq!(a, b, "same seed must reproduce bitwise-identical metrics");
         assert!(a.resumes.trials() > 50, "workload actually exercised VCR");
+    }
+
+    #[test]
+    fn chaos_outcome_json_shape_is_pinned() {
+        let outcome = ChaosOutcome {
+            metrics: RuntimeMetrics::new(),
+            violation_count: 2,
+            violations: vec!["t=3: lease \"drift\"".to_string(), "t=4: x\\y".to_string()],
+            sessions_opened: 10,
+            sessions_done: 7,
+            degraded_at_end: 1,
+            ticks: 60,
+        };
+        let json = outcome.to_json();
+        let expected_prefix = concat!(
+            "{\"schema_version\":1,",
+            "\"violations\":2,",
+            "\"violation_details\":[\"t=3: lease \\\"drift\\\"\",\"t=4: x\\\\y\"],",
+            "\"sessions_opened\":10,",
+            "\"sessions_done\":7,",
+            "\"degraded_at_end\":1,",
+            "\"ticks\":60,",
+            "\"metrics\":{\"schema_version\":2,"
+        );
+        assert!(
+            json.starts_with(expected_prefix),
+            "pinned key order/escaping changed:\n{json}"
+        );
+        assert!(
+            json.ends_with("}}"),
+            "metrics object must close the outcome"
+        );
     }
 
     #[test]

@@ -57,7 +57,7 @@ use vod_runtime::{
 };
 use vod_workload::{TimeWeighted, VcrKind, Welford};
 
-use crate::backend::DeliveryBackend;
+use crate::backend::{Adoption, DeliveryBackend};
 use crate::buffer::{BroadcastSlot, BufferPool};
 use crate::content::{verify_segment, MovieId};
 use crate::disk::{DiskSubsystem, StreamLease};
@@ -165,6 +165,10 @@ pub struct PyramidServer {
     policy: DegradePolicy,
     slowdown: Option<(u32, u64)>,
     recovery_due: BTreeMap<u64, u32>,
+    /// Tick of the most recent recovery that returned streams; a starved
+    /// retry timeout expiring on this exact tick attempts one last lease
+    /// first — recovery wins the same-tick race.
+    recovered_at: Option<u64>,
     starved_count: u32,
 }
 
@@ -228,6 +232,7 @@ impl PyramidServer {
             policy: DegradePolicy::default(),
             slowdown: None,
             recovery_due: BTreeMap::new(),
+            recovered_at: None,
             starved_count: 0,
         }
     }
@@ -261,6 +266,9 @@ impl PyramidServer {
         if let Some(streams) = self.recovery_due.remove(&self.now) {
             let recovered = self.disk.recover_streams(streams);
             self.reserve.recover_streams(recovered);
+            if recovered > 0 {
+                self.recovered_at = Some(self.now);
+            }
         }
         let events: Vec<FaultKind> = self
             .plan
@@ -335,6 +343,9 @@ impl PyramidServer {
                     self.pool.grow(segments as usize);
                     self.metrics.runtime.faults_injected += 1;
                 }
+                // Whole-shard events belong to the federation front
+                // tier; below it they are inert and uncounted.
+                FaultKind::ShardOutage { .. } | FaultKind::ShardRecovery { .. } => {}
             }
         }
         if let Some((_, until)) = self.slowdown {
@@ -579,6 +590,54 @@ impl DeliveryBackend for PyramidServer {
             PState::Starved { .. } => SessionStatus::Degraded,
             PState::Done => SessionStatus::Done,
         })
+    }
+
+    fn session_position(&self, id: SessionId) -> Result<u32, ServerError> {
+        let sess = self
+            .sessions
+            .get(id.0)
+            .ok_or(ServerError::UnknownSession(id))?;
+        Ok(sess.position)
+    }
+
+    fn adopt_session(
+        &mut self,
+        movie: MovieId,
+        position: u32,
+    ) -> Result<(SessionId, Adoption), ServerError> {
+        let movie_idx = *self
+            .movie_index
+            .get(&movie)
+            .ok_or(ServerError::UnknownMovie(movie))?;
+        let geometry = self.movies[movie_idx].geometry;
+        if position >= geometry.length() {
+            return Err(ServerError::InvalidState { operation: "adopt" });
+        }
+        // A broadcast client assembles its prefix from the channels it
+        // has been recording since it joined; an adopted session arrives
+        // with an empty local prefix, so mid-movie playback can only be
+        // served from the dedicated reserve. The session plays catch-up
+        // on the lease and merges into the broadcast once its (fresh)
+        // reception front sweeps past its position — the looping
+        // channels guarantee that eventually happens.
+        let lease = match self.try_dedicated_lease() {
+            Some(lease) => lease,
+            None => {
+                self.metrics.runtime.vcr_denied += 1;
+                self.reserve.record_denials(1, false);
+                return Err(ServerError::VcrDenied);
+            }
+        };
+        let id = SessionId(self.sessions.insert(PSession {
+            movie_idx,
+            position,
+            rx: ReceptionFront::new(geometry.length()),
+            state: PState::CatchUp,
+            lease: Some(lease),
+            stats: DeliveryStats::default(),
+        }));
+        self.active.push(id.0.index() as u32);
+        Ok((id, Adoption::DedicatedStream))
     }
 
     fn tick(&mut self) {
@@ -855,7 +914,14 @@ impl DeliveryBackend for PyramidServer {
                         self.starved_count -= 1;
                         self.metrics.runtime.degraded_rejoined += 1;
                     } else if !exhausted && now >= next_retry {
-                        if now.saturating_sub(since) >= self.policy.retry_timeout {
+                        let timed_out = now.saturating_sub(since) >= self.policy.retry_timeout;
+                        // Recovery landing on the timeout tick wins the
+                        // race: one last lease attempt before the ledger
+                        // resolves permanent.
+                        let last_chance = timed_out
+                            && self.policy.recovery_wins
+                            && self.recovered_at == Some(now);
+                        if timed_out && !last_chance {
                             self.reserve.record_denials(pending, false);
                             let sess = self.sessions.live_at_mut(idx as usize);
                             if let PState::Starved {
@@ -869,6 +935,22 @@ impl DeliveryBackend for PyramidServer {
                             }
                         } else {
                             match self.try_dedicated_lease() {
+                                None if timed_out => {
+                                    // Recovery was not enough: the refused
+                                    // attempt joins the ledger and the
+                                    // timeout proceeds.
+                                    self.reserve.record_denials(pending + 1, false);
+                                    let sess = self.sessions.live_at_mut(idx as usize);
+                                    if let PState::Starved {
+                                        pending_denials,
+                                        retries_exhausted,
+                                        ..
+                                    } = &mut sess.state
+                                    {
+                                        *pending_denials = 0;
+                                        *retries_exhausted = true;
+                                    }
+                                }
                                 Some(lease) => {
                                     self.reserve.record_denials(pending, true);
                                     let sess = self.sessions.live_at_mut(idx as usize);

@@ -27,6 +27,7 @@ use vod_runtime::{
 };
 use vod_workload::{TimeWeighted, VcrKind, Welford};
 
+use crate::backend::Adoption;
 use crate::buffer::{BufferPool, Partition};
 use crate::content::{verify_segment, MovieId};
 use crate::disk::{DiskSubsystem, StreamLease};
@@ -258,6 +259,12 @@ pub struct VodServer {
     slowdown: Option<(u32, u64)>,
     /// Outage recoveries scheduled by tick: streams to return to service.
     recovery_due: BTreeMap<u64, u32>,
+    /// Tick of the most recent outage recovery that actually returned
+    /// streams to service. Degraded sessions whose retry timeout expires
+    /// on exactly this tick get one last lease attempt before the
+    /// timeout resolves their denials as permanent — recovery wins the
+    /// same-tick race (see `degraded_tick`).
+    recovered_at: Option<u64>,
     /// Sessions currently in the degraded re-wait state.
     degraded_count: u32,
     /// Startup waits (minutes from open to scheduled playback start),
@@ -307,6 +314,7 @@ impl VodServer {
             fault_mode: false,
             slowdown: None,
             recovery_due: BTreeMap::new(),
+            recovered_at: None,
             degraded_count: 0,
             startup_waits: Welford::default(),
         }
@@ -617,6 +625,65 @@ impl VodServer {
         Ok(id)
     }
 
+    /// Adopt a session displaced from another federation shard, resuming
+    /// `movie` at `position`. A migration, not an admission: no
+    /// startup-wait sample is recorded (the viewer already started
+    /// elsewhere), and placement is immediate or refused — an in-window
+    /// batch cohort when some live partition covers `position`
+    /// ([`Adoption::CohortJoin`]), else a dedicated stream from the VCR
+    /// reserve ([`Adoption::DedicatedStream`]), else
+    /// [`ServerError::VcrDenied`] so the front tier's failover ledger
+    /// backs off and retries.
+    pub fn adopt_session(
+        &mut self,
+        movie: MovieId,
+        position: u32,
+    ) -> Result<(SessionId, Adoption), ServerError> {
+        let movie_idx = *self
+            .movie_index
+            .get(&movie)
+            .ok_or(ServerError::UnknownMovie(movie))?;
+        if position >= self.config.movies[movie_idx].geometry.length {
+            return Err(ServerError::InvalidState { operation: "adopt" });
+        }
+        let (state, lease) = match self.joinable_stream(movie_idx, position) {
+            Some(stream) => {
+                self.streams.live_mut(stream.0).enrolled += 1;
+                (SessionState::Enrolled { stream }, None)
+            }
+            None => match self.try_vcr_lease() {
+                Some(lease) => (SessionState::Dedicated, Some(lease)),
+                None => {
+                    self.metrics.runtime.vcr_denied += 1;
+                    // The shard never observes the retry's resolution
+                    // (the ledger may re-admit elsewhere), so locally
+                    // the refusal is permanent; transient/permanent
+                    // classification of the *displaced session* lives in
+                    // the front tier's `FederationMetrics`.
+                    self.reserve.record_denials(1, false);
+                    return Err(ServerError::VcrDenied);
+                }
+            },
+        };
+        let adoption = if lease.is_some() {
+            Adoption::DedicatedStream
+        } else {
+            Adoption::CohortJoin
+        };
+        let id = SessionId(self.sessions.insert(Session {
+            movie_idx,
+            position,
+            state,
+            lease,
+            stats: DeliveryStats::default(),
+            piggyback_phase: 0,
+        }));
+        // Session slots are never reused, so the new index is maximal
+        // and the active list stays sorted by pushing.
+        self.active.push(id.0.index() as u32);
+        Ok((id, adoption))
+    }
+
     /// Issue a VCR operation on a playing session. `magnitude` is the
     /// movie minutes to sweep (FF/RW) or the pause duration in minutes.
     pub fn request_vcr(
@@ -795,6 +862,9 @@ impl VodServer {
         if let Some(count) = self.recovery_due.remove(&t) {
             let recovered = self.disk.recover_streams(count);
             self.reserve.recover_streams(recovered);
+            if recovered > 0 {
+                self.recovered_at = Some(t);
+            }
         }
         if let Some((_, until)) = self.slowdown {
             if t >= until {
@@ -803,15 +873,16 @@ impl VodServer {
         }
         let due: Vec<FaultKind> = self.plan.events_at(t).iter().map(|e| e.kind).collect();
         for kind in due {
-            self.metrics.runtime.faults_injected += 1;
             match kind {
                 FaultKind::DiskStreamLoss { count } => {
+                    self.metrics.runtime.faults_injected += 1;
                     self.fail_disk_streams(t, count);
                 }
                 FaultKind::DiskOutage {
                     count,
                     recover_after,
                 } => {
+                    self.metrics.runtime.faults_injected += 1;
                     let failed = self.fail_disk_streams(t, count);
                     if failed > 0 {
                         let due = t + recover_after.max(1);
@@ -819,17 +890,24 @@ impl VodServer {
                     }
                 }
                 FaultKind::DiskSlowdown { period, duration } => {
+                    self.metrics.runtime.faults_injected += 1;
                     if period > 1 {
                         self.slowdown = Some((period, t + duration));
                     }
                 }
                 FaultKind::BufferShrink { segments } => {
+                    self.metrics.runtime.faults_injected += 1;
                     self.pool.shrink(segments as usize);
                     self.evict_partitions_to_fit(t);
                 }
                 FaultKind::BufferRestore { segments } => {
+                    self.metrics.runtime.faults_injected += 1;
                     self.pool.grow(segments as usize);
                 }
+                // Whole-shard events are interpreted by the federation
+                // front tier, never by a shard itself: below the front
+                // tier they are inert and uncounted.
+                FaultKind::ShardOutage { .. } | FaultKind::ShardRecovery { .. } => {}
             }
         }
     }
@@ -1261,9 +1339,28 @@ impl VodServer {
             return;
         }
         if t.saturating_sub(since) >= self.policy.retry_timeout {
-            // Timeout: give up on dedicated service, classify the whole
-            // retry sequence as permanently denied, and fall back to
-            // batch admission (keep waiting for a window rejoin).
+            // Timeout — but when an outage recovery landed on this very
+            // tick, recovery wins the race: the streams it returned are
+            // exactly what the session has been retrying for, so give it
+            // one last lease attempt before the sequence resolves. Only
+            // if that attempt also fails does the timeout proceed.
+            if self.policy.recovery_wins
+                && self.recovered_at == Some(t)
+                && self.degraded_retry_lease(t, idx, pending, backoff)
+            {
+                return;
+            }
+            // Give up on dedicated service, classify the whole retry
+            // sequence as permanently denied, and fall back to batch
+            // admission (keep waiting for a window rejoin). A refused
+            // last-chance attempt above added one pending denial; read
+            // the live count so it resolves with the rest.
+            let pending = match self.sessions.live_at(idx).state {
+                SessionState::Degraded {
+                    pending_denials, ..
+                } => pending_denials,
+                _ => pending,
+            };
             self.reserve.record_denials(pending, false);
             let sess = self.sessions.live_at_mut(idx);
             if let SessionState::Degraded {
@@ -1277,6 +1374,14 @@ impl VodServer {
             }
             return;
         }
+        self.degraded_retry_lease(t, idx, pending, backoff);
+    }
+
+    /// One dedicated-stream retry for degraded session `idx`. On success
+    /// the session exits degraded into `Dedicated` (pending denials
+    /// resolve transient) and `true` returns; on refusal the backoff
+    /// ledger advances and `false` returns.
+    fn degraded_retry_lease(&mut self, t: u64, idx: usize, pending: u64, backoff: u64) -> bool {
         match self.try_vcr_lease() {
             Some(lease) => {
                 // Retry succeeded: earlier refusals in this sequence were
@@ -1288,6 +1393,7 @@ impl VodServer {
                 sess.lease = Some(lease);
                 sess.state = SessionState::Dedicated;
                 sess.piggyback_phase = 0;
+                true
             }
             None => {
                 let next_backoff = (backoff * 2).min(self.policy.retry_backoff_cap.max(1));
@@ -1303,6 +1409,7 @@ impl VodServer {
                     *next_retry = t + next_backoff;
                     *backoff = next_backoff;
                 }
+                false
             }
         }
     }

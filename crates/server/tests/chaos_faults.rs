@@ -140,6 +140,110 @@ fn outage_revokes_leases_then_dedicated_retry_succeeds() {
     assert_eq!(stats.verify_failures, 0);
 }
 
+/// The same-tick recovery-vs-timeout race, resolved for recovery. The
+/// timeline is exact: outage degrades the viewer at 12, retries fail at
+/// 14 and 16 (backoff 1 → 2 → 4), and with `retry_timeout = 8` the next
+/// retry, the timeout expiry, *and* the outage recovery
+/// (`recover_after: 8`) all land on tick 20. With `recovery_wins` the
+/// session gets one last lease attempt against the just-returned
+/// streams before the timeout resolves — and it must succeed, because
+/// the streams that came back are exactly what it was retrying for.
+#[test]
+fn recovery_landing_on_the_timeout_tick_wins_the_race() {
+    let movie = HostedMovie::from_allocation(MovieId(0), 30, 3, 15.0);
+    let mut server = VodServer::new(ServerConfig {
+        piggyback: None,
+        ..ServerConfig::provisioned(vec![movie], 2)
+    });
+    server.inject_faults(
+        FaultPlan::new(vec![FaultEvent {
+            at: 12,
+            kind: FaultKind::DiskOutage {
+                count: 100,
+                recover_after: 8, // recovery at 20 == since 12 + timeout 8
+            },
+        }]),
+        DegradePolicy {
+            retry_timeout: 8,
+            recovery_wins: true,
+            ..DegradePolicy::default()
+        },
+    );
+    let viewer = server.open_session(MovieId(0)).unwrap();
+    run_checked(&mut server, 13); // through the t = 12 outage
+    assert_eq!(
+        server.session_status(viewer).unwrap(),
+        SessionStatus::Degraded
+    );
+    run_checked(&mut server, 8); // retries refused at 14/16; race tick 20
+    assert_eq!(
+        server.session_status(viewer).unwrap(),
+        SessionStatus::Dedicated,
+        "recovery landing on the timeout tick must win the race"
+    );
+    let rt = server.runtime_metrics();
+    assert_eq!(rt.degraded_dedicated, 1);
+    assert_eq!(
+        rt.denied_transient, 2,
+        "the 14/16 refusals classify as transient once the last chance lands"
+    );
+    assert_eq!(rt.denied_permanent, 0);
+    run_checked(&mut server, 40);
+    assert_eq!(server.session_status(viewer).unwrap(), SessionStatus::Done);
+    let stats = server.session_stats(viewer).unwrap();
+    assert_eq!(stats.total(), 30);
+    assert_eq!(stats.verify_failures, 0);
+}
+
+/// The identical timeline under the default policy
+/// (`recovery_wins: false`, the historical order): the timeout resolves
+/// *before* the same-tick recovery, so the retry sequence classifies as
+/// permanently denied even though capacity came back that very tick.
+/// The viewer is delayed, never dropped — it rejoins a later restart's
+/// batch window and still completes byte-exact.
+#[test]
+fn default_policy_resolves_timeout_before_same_tick_recovery() {
+    let movie = HostedMovie::from_allocation(MovieId(0), 30, 3, 15.0);
+    let mut server = VodServer::new(ServerConfig {
+        piggyback: None,
+        ..ServerConfig::provisioned(vec![movie], 2)
+    });
+    server.inject_faults(
+        FaultPlan::new(vec![FaultEvent {
+            at: 12,
+            kind: FaultKind::DiskOutage {
+                count: 100,
+                recover_after: 8,
+            },
+        }]),
+        DegradePolicy {
+            retry_timeout: 8,
+            ..DegradePolicy::default()
+        },
+    );
+    let viewer = server.open_session(MovieId(0)).unwrap();
+    run_checked(&mut server, 21); // same timeline through the race tick
+    assert_eq!(
+        server.session_status(viewer).unwrap(),
+        SessionStatus::Degraded,
+        "timeout-first order must not grant the dedicated stream"
+    );
+    let rt = server.runtime_metrics();
+    assert_eq!(rt.degraded_dedicated, 0);
+    assert_eq!(rt.denied_transient, 0);
+    assert_eq!(
+        rt.denied_permanent, 2,
+        "the 14/16 refusals resolve permanent at the timeout"
+    );
+    run_checked(&mut server, 60); // a later restart's window covers position 12
+    assert_eq!(server.session_status(viewer).unwrap(), SessionStatus::Done);
+    let rt = server.runtime_metrics();
+    assert_eq!(rt.degraded_rejoined, 1, "batch admission remains open");
+    let stats = server.session_stats(viewer).unwrap();
+    assert_eq!(stats.total(), 30, "delayed, never dropped");
+    assert_eq!(stats.verify_failures, 0);
+}
+
 /// A disk slowdown stalls enrolled playback on off-period ticks (the
 /// stream produces no segment, so the viewer waits with it) but delivery
 /// stays byte-exact and complete.

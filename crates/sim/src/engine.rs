@@ -377,7 +377,11 @@ impl<'a> Engine<'a> {
                 break;
             }
             self.fault_cursor += 1;
-            if self.measuring() {
+            let shard_event = matches!(
+                ev.kind,
+                FaultKind::ShardOutage { .. } | FaultKind::ShardRecovery { .. }
+            );
+            if self.measuring() && !shard_event {
                 self.report.runtime.faults_injected += 1;
             }
             match ev.kind {
@@ -417,6 +421,11 @@ impl<'a> Engine<'a> {
                     self.buffer_delta = (self.buffer_delta - segments as f64).max(0.0);
                     self.reshape_windows();
                 }
+                // Whole-shard events are interpreted by the federation
+                // mirror (`run_federation_seeded` strips them into
+                // per-shard capacity faults); inside a single-shard
+                // engine they are inert and uncounted.
+                FaultKind::ShardOutage { .. } | FaultKind::ShardRecovery { .. } => {}
             }
         }
         self.pyr_advance(t);

@@ -35,6 +35,7 @@
 
 mod config;
 mod engine;
+mod federation;
 mod report;
 
 pub use config::{CatalogConfig, MovieLoad, SimConfig};
@@ -44,4 +45,5 @@ pub use engine::{
     hit_ratio_over_replications, partition_hit_for_tests, run, run_catalog_seeded,
     run_replications, run_seeded,
 };
+pub use federation::{run_federation_seeded, FederationSimReport};
 pub use report::{CatalogReport, ReplicatedReport, SimReport};

@@ -36,6 +36,14 @@ pub enum SizingError {
         /// Offending value.
         value: f64,
     },
+    /// A federation split asked for zero shards, or more shards than
+    /// movies (every shard must host at least one movie).
+    ShardCountInvalid {
+        /// Requested shard count.
+        shards: u32,
+        /// Movies available to place.
+        movies: u32,
+    },
 }
 
 impl std::fmt::Display for SizingError {
@@ -61,6 +69,10 @@ impl std::fmt::Display for SizingError {
                     "cost parameter `{name}` = {value} must be finite and > 0"
                 )
             }
+            SizingError::ShardCountInvalid { shards, movies } => write!(
+                f,
+                "shard count {shards} invalid for {movies} movies (need 1 ≤ shards ≤ movies)"
+            ),
         }
     }
 }

@@ -45,6 +45,7 @@ mod feasible;
 mod movie;
 mod procurement;
 mod reserve;
+mod shard;
 
 pub use allocate::{
     allocate_min_buffer, allocate_min_buffer_with, allocate_min_cost, allocate_min_cost_with,
@@ -61,3 +62,4 @@ pub use feasible::{
 pub use movie::{example1_movies, MovieSpec};
 pub use procurement::{procurement, Procurement};
 pub use reserve::{erlang_b, size_vcr_reserve, VcrLoad};
+pub use shard::{split_budget, ShardPlan};

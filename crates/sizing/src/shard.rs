@@ -1,0 +1,216 @@
+//! Federation budget splitting: partition one §5 Step-3 allocation
+//! across independent catalog shards.
+//!
+//! The federation front tier (crate `vod-federation`) runs N independent
+//! servers, each hosting a disjoint slice of the catalog. The sizing
+//! question is unchanged — *how should the global `(B_s, n_s)` budget be
+//! split so every movie meets its QoS targets?* — so the split reuses
+//! the single-server optimizer verbatim: [`split_budget`] first solves
+//! the global problem with [`allocate_min_buffer`], then partitions the
+//! *movies* (each carrying its optimal `(B_i*, n_i*)`) across shards
+//! with a deterministic greedy balance (heaviest movie by `n_i*` onto
+//! the least-loaded shard, ties broken by input order and shard index).
+//! Splitting after optimizing keeps the global allocation exactly
+//! optimal — per-shard budgets are derived from the assignment, not the
+//! other way round — and makes conservation trivially auditable:
+//! per-shard budgets sum to the global plan's totals, exactly for
+//! streams and to the f64 sum for buffer.
+
+use crate::{allocate_min_buffer, Budgets, MovieSpec, ResourcePlan, SizingError};
+use vod_model::ModelOptions;
+
+/// A global [`ResourcePlan`] partitioned across federation shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPlan {
+    /// The global allocation (movies in input order) the split preserves.
+    pub plan: ResourcePlan,
+    /// Per shard: indices into `plan.allocations` of the movies it
+    /// hosts, ascending. Every movie appears on exactly one shard, and
+    /// every shard hosts at least one movie.
+    pub shard_movies: Vec<Vec<usize>>,
+    /// Per shard: the derived `(streams, buffer)` budget — the sums of
+    /// its movies' `n_i*` and `B_i*`. `buffer` is always `Some`.
+    pub shard_budgets: Vec<Budgets>,
+}
+
+impl ShardPlan {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shard_movies.len()
+    }
+
+    /// The sub-plan hosted by shard `s` (allocations in the shard's
+    /// local movie order — local movie id = position in the returned
+    /// plan, matching `config_from_plan` downstream).
+    pub fn shard_plan(&self, s: usize) -> ResourcePlan {
+        ResourcePlan {
+            allocations: self.shard_movies[s]
+                .iter()
+                .map(|&i| self.plan.allocations[i].clone())
+                .collect(),
+        }
+    }
+
+    /// Which shard hosts global movie index `i`.
+    pub fn shard_of(&self, i: usize) -> usize {
+        self.shard_movies
+            .iter()
+            .position(|ms| ms.contains(&i))
+            // vod-lint: allow(no-panic) — every global index is placed
+            // on exactly one shard by construction.
+            .expect("movie placed on a shard")
+    }
+}
+
+/// Solve the global allocation and split it across `shards` catalog
+/// shards. Deterministic: same inputs ⇒ bitwise-identical plan and
+/// assignment. Errors propagate from [`allocate_min_buffer`];
+/// additionally `shards` must satisfy `1 ≤ shards ≤ movies.len()`
+/// ([`SizingError::ShardCountInvalid`]).
+pub fn split_budget(
+    movies: &[MovieSpec],
+    budgets: Budgets,
+    shards: u32,
+    opts: &ModelOptions,
+) -> Result<ShardPlan, SizingError> {
+    if shards == 0 || shards as usize > movies.len() {
+        return Err(SizingError::ShardCountInvalid {
+            shards,
+            movies: movies.len() as u32,
+        });
+    }
+    let plan = allocate_min_buffer(movies, budgets, opts)?;
+    // Greedy balance (LPT): heaviest movie first onto the least-loaded
+    // shard. Ordering ties break toward the lower input index, shard
+    // ties toward the lower shard index — both fixed, so the assignment
+    // is a pure function of the plan.
+    let mut order: Vec<usize> = (0..plan.allocations.len()).collect();
+    order.sort_by(|&a, &b| {
+        plan.allocations[b]
+            .n_streams
+            .cmp(&plan.allocations[a].n_streams)
+            .then(a.cmp(&b))
+    });
+    let mut shard_movies: Vec<Vec<usize>> = vec![Vec::new(); shards as usize];
+    let mut load: Vec<u64> = vec![0; shards as usize];
+    for &i in &order {
+        let s = (0..load.len())
+            .min_by_key(|&s| (load[s], s))
+            // vod-lint: allow(no-panic) — shards ≥ 1 was checked above.
+            .expect("at least one shard");
+        shard_movies[s].push(i);
+        load[s] += u64::from(plan.allocations[i].n_streams);
+    }
+    for ms in &mut shard_movies {
+        ms.sort_unstable();
+    }
+    let shard_budgets = shard_movies
+        .iter()
+        .map(|ms| Budgets {
+            streams: ms.iter().map(|&i| plan.allocations[i].n_streams).sum(),
+            buffer: Some(ms.iter().map(|&i| plan.allocations[i].buffer).sum()),
+        })
+        .collect();
+    Ok(ShardPlan {
+        plan,
+        shard_movies,
+        shard_budgets,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movie::example1_movies;
+    use vod_model::VcrMix;
+
+    fn split(shards: u32) -> ShardPlan {
+        let movies = example1_movies(VcrMix::paper_fig7d());
+        split_budget(
+            &movies,
+            Budgets {
+                streams: 1230,
+                buffer: None,
+            },
+            shards,
+            &ModelOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_conserves_the_global_budget() {
+        for shards in [1u32, 2, 3] {
+            let sp = split(shards);
+            assert_eq!(sp.shards(), shards as usize);
+            // Every movie on exactly one shard.
+            let mut seen = vec![0u32; sp.plan.allocations.len()];
+            for ms in &sp.shard_movies {
+                assert!(!ms.is_empty(), "every shard hosts at least one movie");
+                for &i in ms {
+                    seen[i] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "partition, not a cover");
+            // Budgets derived from the assignment sum back exactly.
+            let streams: u32 = sp.shard_budgets.iter().map(|b| b.streams).sum();
+            assert_eq!(streams, sp.plan.total_streams());
+            let buffer: f64 = sp.shard_budgets.iter().map(|b| b.buffer.unwrap()).sum();
+            assert!((buffer - sp.plan.total_buffer()).abs() < 1e-6);
+            // shard_of agrees with the assignment lists.
+            for (s, ms) in sp.shard_movies.iter().enumerate() {
+                for &i in ms {
+                    assert_eq!(sp.shard_of(i), s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_deterministic_and_balanced() {
+        let a = split(2);
+        let b = split(2);
+        assert_eq!(a, b, "same inputs must reproduce the split bitwise");
+        // LPT balance: no shard holds more than ~2/3 of the streams on
+        // Example 1's five-movie catalog (a loose sanity bound — the
+        // greedy is exact on its own objective, not a heuristic test).
+        let total = a.plan.total_streams();
+        for b in &a.shard_budgets {
+            assert!(
+                b.streams * 3 <= total * 2,
+                "shard holds {} of {total} streams",
+                b.streams
+            );
+        }
+    }
+
+    #[test]
+    fn shard_plan_preserves_local_order() {
+        let sp = split(3);
+        for s in 0..sp.shards() {
+            let local = sp.shard_plan(s);
+            assert_eq!(local.allocations.len(), sp.shard_movies[s].len());
+            for (pos, &i) in sp.shard_movies[s].iter().enumerate() {
+                assert_eq!(local.allocations[pos], sp.plan.allocations[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_count_bounds_are_errors() {
+        let movies = example1_movies(VcrMix::paper_fig7d());
+        let budgets = Budgets {
+            streams: 1230,
+            buffer: None,
+        };
+        let o = ModelOptions::default();
+        assert!(matches!(
+            split_budget(&movies, budgets, 0, &o),
+            Err(SizingError::ShardCountInvalid { .. })
+        ));
+        assert!(matches!(
+            split_budget(&movies, budgets, movies.len() as u32 + 1, &o),
+            Err(SizingError::ShardCountInvalid { .. })
+        ));
+    }
+}
